@@ -1,0 +1,24 @@
+"""Benchmark-suite helpers.
+
+Every figure/table benchmark runs its experiment harness once per round
+(the simulations are deterministic, so variance comes only from the host),
+prints the regenerated table when ``-s`` is passed, and returns the tables
+so shape assertions run inside the timed body's wrapper.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def run_experiment(benchmark):
+    """Benchmark an experiment module's fast-mode ``run`` and return tables."""
+
+    def runner(module, rounds: int = 1):
+        tables = benchmark.pedantic(
+            lambda: module.run(fast=True), rounds=rounds, iterations=1
+        )
+        return tables
+
+    return runner

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate the Section 5.1 estimator-correlation study."""
+
+from repro.experiments import estimator_correlation
+from repro.experiments.harness import format_tables
+
+
+def test_estimator_correlation(run_experiment, capsys):
+    tables = run_experiment(estimator_correlation)
+    with capsys.disabled():
+        print("\n" + format_tables(tables))
+    summary = tables[0]
+    for row in summary.to_dicts():
+        assert row["pearson_r"] >= 0.93  # paper's reported correlation

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Figure 2 (motivation: footprint + time breakdown)."""
+
+from repro.experiments import fig02_motivation
+from repro.experiments.harness import format_tables
+
+
+def test_fig02(run_experiment, capsys):
+    tables = run_experiment(fig02_motivation)
+    with capsys.disabled():
+        print("\n" + format_tables(tables))
+    footprint, breakdown = tables
+    assert max(footprint.column("total_tb")) > 1.0
+    kv_shares = breakdown.column("kv_cache_pct")
+    assert max(kv_shares) > 60.0

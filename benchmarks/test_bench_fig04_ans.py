@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Figure 4 (ANS breakdown, utilization, Eq. 3)."""
+
+from repro.experiments import fig04_ans_breakdown
+from repro.experiments.harness import format_tables
+
+
+def test_fig04(run_experiment, capsys):
+    tables = run_experiment(fig04_ans_breakdown)
+    with capsys.disabled():
+        print("\n" + format_tables(tables))
+    breakdown, utilization, traffic = tables
+    for row in traffic.to_dicts():
+        assert abs(row["measured_ratio"] - row["eq3_ratio"]) < 1e-6 * row["eq3_ratio"]
+    ans_rows = [r for r in utilization.to_dicts() if "ANS" in r["system"]]
+    # Section 4.1: offloading leaves the host underutilized (<20%).
+    assert all(r["gpu_pct"] < 20.0 for r in ans_rows)

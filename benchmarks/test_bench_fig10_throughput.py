@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Figure 10 (headline decoding-throughput comparison)."""
+
+from repro.experiments import fig10_throughput
+from repro.experiments.harness import format_tables
+
+
+def test_fig10(run_experiment, capsys):
+    tables = run_experiment(fig10_throughput)
+    with capsys.disabled():
+        print("\n" + format_tables(tables))
+    rows = tables[0].to_dicts()
+    by_system = {
+        (r["system"], r["seq_len"]): r["norm_vs_flex_ssd"] for r in rows
+    }
+    # HILOS(16) wins big over FLEX(SSD) at 66B/32K and more at 64K.
+    assert by_system[("HILOS (16 SmartSSDs)", 32768)] > 4.5
+    assert by_system[("HILOS (16 SmartSSDs)", 65536)] > by_system[
+        ("HILOS (16 SmartSSDs)", 32768)
+    ] * 0.8
+    # The FPGA-disabled platform trails FLEX(SSD) (paper: 0.64-0.94x).
+    assert 0.6 < by_system[("FLEX(16 PCIe 3.0 SSDs)", 32768)] < 1.0

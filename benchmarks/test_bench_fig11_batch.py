@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Figure 11 (batch-size sensitivity + breakdowns)."""
+
+from repro.experiments import fig11_batch_sensitivity
+from repro.experiments.harness import format_tables
+
+
+def test_fig11(run_experiment, capsys):
+    tables = run_experiment(fig11_batch_sensitivity)
+    with capsys.disabled():
+        print("\n" + format_tables(tables))
+    throughput, breakdown = tables
+    flex_dram = [
+        r for r in throughput.to_dicts()
+        if r["system"] == "FLEX(DRAM)" and r["batch"] == 16
+    ]
+    # FLEX(DRAM) cannot hold batch 16 at 32K for OPT-66B (caps at 2).
+    assert all(r["effective_batch"] == 2 for r in flex_dram)
+    dram_rows = [r for r in breakdown.to_dicts() if r["system"] == "FLEX(DRAM)"]
+    assert all(r["load_weight_pct"] > 50.0 for r in dram_rows)

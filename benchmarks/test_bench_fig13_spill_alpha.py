@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Figure 13 (spill interval x X-cache ratio sweep)."""
+
+from repro.experiments import fig13_spill_alpha
+from repro.experiments.harness import format_tables
+
+
+def test_fig13(run_experiment, capsys):
+    tables = run_experiment(fig13_spill_alpha)
+    with capsys.disabled():
+        print("\n" + format_tables(tables))
+    alpha, interval = fig13_spill_alpha.best_point(tables[0])
+    # Figure 13: alpha = 50% and c = 16 are the consistent optima.
+    assert alpha == 50.0
+    assert interval == 16

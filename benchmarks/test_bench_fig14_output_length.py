@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Figure 14 (latency by output length)."""
+
+from repro.experiments import fig14_output_length
+from repro.experiments.harness import format_tables
+
+
+def test_fig14(run_experiment, capsys):
+    tables = run_experiment(fig14_output_length)
+    with capsys.disabled():
+        print("\n" + format_tables(tables))
+    hilos_rows = [r for r in tables[0].to_dicts() if r["system"] == "HILOS"]
+    speedups = [r["speedup"] for r in hilos_rows]
+    # Longer outputs amortize prefill: speedup grows monotonically (paper:
+    # up to ~6x at 128 output tokens).
+    assert speedups == sorted(speedups)
+    assert speedups[-1] > 3.0

@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Figure 16 (cost efficiency + endurance)."""
+
+from repro.experiments import fig16_cost_endurance
+from repro.experiments.harness import format_tables
+
+
+def test_fig16(run_experiment, capsys):
+    tables = run_experiment(fig16_cost_endurance)
+    with capsys.disabled():
+        print("\n" + format_tables(tables))
+    cost, endurance = tables
+    hilos_eff = [
+        r["norm_cost_eff"] for r in cost.to_dicts() if "HILOS" in r["system"]
+    ]
+    # Figure 16(a): HILOS is up to ~2x more cost-effective than FLEX(SSD).
+    assert max(hilos_eff) > 1.5
+    gains = [r["vs_flex"] for r in endurance.to_dicts() if "c=16" in r["system"]]
+    assert all(1.2 < g < 1.6 for g in gains)

@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Figure 17 (energy breakdown + multi-node vLLM)."""
+
+from repro.experiments import fig17_energy_multinode
+from repro.experiments.harness import format_tables
+
+
+def test_fig17(run_experiment, capsys):
+    tables = run_experiment(fig17_energy_multinode)
+    with capsys.disabled():
+        print("\n" + format_tables(tables))
+    energy, multinode = tables
+    norm = {r["system"]: r["norm"] for r in energy.to_dicts()}
+    # FLEX(SSD) is the per-model energy worst case; HILOS cuts it sharply.
+    assert norm["FLEX(SSD)"] == 1.0
+    assert norm["HILOS (16 SSDs)"] < 0.5
+    speedups = {r["system"]: r["hilos_speedup"] for r in multinode.to_dicts()}
+    assert 1.2 < speedups["vLLM (8xA6000)"] < 2.2

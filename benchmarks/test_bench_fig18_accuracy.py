@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Figure 18(c) (lossless vs sparse accuracy)."""
+
+from repro.experiments import fig18_accuracy
+from repro.experiments.harness import format_tables
+
+
+def test_fig18(run_experiment, capsys):
+    tables = run_experiment(fig18_accuracy)
+    with capsys.disabled():
+        print("\n" + format_tables(tables))
+    rows = tables[0].to_dicts()
+    assert len(rows) == 5
+    for row in rows:
+        assert row["hilos"] == row["flashattention"]  # lossless
+        assert row["sparse_drop"] > 0.0

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate the Section 7 future-CSD discussion studies."""
+
+from repro.experiments import discussion_future_csd
+from repro.experiments.harness import format_tables
+
+
+def test_future_csd(run_experiment, capsys):
+    tables = run_experiment(discussion_future_csd)
+    with capsys.disabled():
+        print("\n" + format_tables(tables))
+    equivalence = tables[0].to_dicts()
+    assert 0.75 < equivalence[1]["relative"] < 1.25
+    asic = {r["d_group"]: r for r in tables[2].to_dicts()}
+    assert asic[1]["area_mm2"] == 0.47
+    assert asic[1]["power_w"] == 1.13

@@ -1,0 +1,95 @@
+"""Microbenchmarks of the numerical kernels themselves.
+
+These time the NumPy implementations (not the modeled hardware): useful for
+tracking regressions in the functional layer that every experiment and
+losslessness test depends on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.functional.attention import reference_attention
+from repro.functional.blocked import blocked_attention
+from repro.functional.softmax import three_pass_softmax, two_pass_softmax
+from repro.functional.sparse import approx_topk_sparse_attention
+
+SEQ = 4096
+DIM = 128
+
+
+@pytest.fixture(scope="module")
+def tensors():
+    rng = np.random.default_rng(0)
+    q = rng.standard_normal((4, DIM)).astype(np.float32)
+    k = rng.standard_normal((SEQ, DIM)).astype(np.float16)
+    v = rng.standard_normal((SEQ, DIM)).astype(np.float16)
+    return q, k, v
+
+
+def test_bench_two_pass_softmax(benchmark):
+    rng = np.random.default_rng(1)
+    x = rng.standard_normal((64, SEQ)).astype(np.float32)
+    result = benchmark(two_pass_softmax, x, 128)
+    np.testing.assert_allclose(result.sum(axis=-1), 1.0, rtol=1e-4)
+
+
+def test_bench_three_pass_softmax(benchmark):
+    rng = np.random.default_rng(1)
+    x = rng.standard_normal((64, SEQ)).astype(np.float32)
+    result = benchmark(three_pass_softmax, x)
+    np.testing.assert_allclose(result.sum(axis=-1), 1.0, rtol=1e-4)
+
+
+def test_bench_blocked_attention(benchmark, tensors):
+    q, k, v = tensors
+    out = benchmark(blocked_attention, q, k, v, 128)
+    assert out.shape == (4, DIM)
+
+
+def test_bench_reference_attention(benchmark, tensors):
+    q, k, v = tensors
+    out = benchmark(reference_attention, q, k, v)
+    assert out.shape == (4, DIM)
+
+
+def test_bench_sparse_attention(benchmark, tensors):
+    q, k, v = tensors
+    out = benchmark(
+        approx_topk_sparse_attention, q, k, v, 1.0 / 8.0
+    )
+    assert out.shape == (4, DIM)
+
+
+def test_bench_event_engine_channel(benchmark):
+    """Throughput of the simulation kernel: 2,000 contending transfers."""
+    from repro.sim.channel import Channel
+    from repro.sim.engine import Simulator
+
+    def run() -> float:
+        sim = Simulator()
+        channel = Channel(sim, 1e9)
+        done = sim.all_of([channel.request(1e6) for _ in range(2000)])
+        sim.run(done)
+        return sim.now
+
+    elapsed = benchmark(run)
+    assert elapsed == pytest.approx(2000 * 1e6 / 1e9)
+
+
+def test_bench_hilos_decode_step(benchmark):
+    """One simulated HILOS decode step at OPT-30B/8K (the inner loop of
+    every throughput experiment)."""
+    from repro.core.config import HilosConfig
+    from repro.core.runtime import HilosSystem
+    from repro.models import get_model
+
+    model = get_model("OPT-30B")
+
+    def run():
+        system = HilosSystem(model, HilosConfig(n_devices=8))
+        return system.measure(16, 8192, n_steps=1, warmup_steps=0)
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert result.tokens_per_second > 0

@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Table 3 (resources, peak performance, power)."""
+
+from repro.experiments import table3_resources
+from repro.experiments.harness import format_tables
+
+
+def test_table3(run_experiment, capsys):
+    tables = run_experiment(table3_resources)
+    with capsys.disabled():
+        print("\n" + format_tables(tables))
+    rows = tables[0].to_dicts()
+    for row in rows:
+        relative_error = abs(
+            row["peak_gflops_model"] - row["peak_gflops_paper"]
+        ) / row["peak_gflops_paper"]
+        assert relative_error < 0.03

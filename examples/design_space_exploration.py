@@ -1,0 +1,90 @@
+"""Design-space exploration: sizing a HILOS deployment before buying one.
+
+Sweeps NSP device counts, X-cache ratios, spill intervals, and accelerator
+group sizes for a target model/workload; checks FPGA feasibility (Table 3
+resource model) and prints the recommended operating point -- the workflow
+Section 5.1's estimator exists to support.
+
+Run with::
+
+    python examples/design_space_exploration.py [model-name]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.accelerator.config import AcceleratorConfig
+from repro.accelerator.estimator import kernel_throughput, ssd_feed_throughput
+from repro.accelerator.power import accelerator_power_w
+from repro.accelerator.resources import estimate_resources, max_feasible_d_group
+from repro.core.config import HilosConfig
+from repro.core.runtime import HilosSystem
+from repro.core.xcache import optimal_alpha
+from repro.models import get_model
+from repro.units import GB
+
+BATCH = 16
+SEQ_LEN = 32768
+
+
+def accelerator_feasibility(model) -> None:
+    config = AcceleratorConfig(d_group=model.d_group, head_dim=model.head_dim)
+    resources = estimate_resources(config)
+    print(f"accelerator bitstream for d_group={model.d_group}:")
+    print(f"  resources: {resources.as_dict()}")
+    print(f"  feasible on KU15P: {resources.feasible} "
+          f"(limiting resource: {resources.limiting_resource}, "
+          f"max feasible d_group: {max_feasible_d_group()})")
+    print(f"  kernel {kernel_throughput(config) / GB:.2f} GB/s vs "
+          f"flash feed {ssd_feed_throughput() / GB:.1f} GB/s, "
+          f"power {accelerator_power_w(config):.2f} W\n")
+
+
+def sweep_devices(model) -> int:
+    print("device-count sweep (auto alpha, c=16):")
+    best_n, best_tput = 0, 0.0
+    for n_devices in (2, 4, 8, 16):
+        system = HilosSystem(model, HilosConfig(n_devices=n_devices))
+        result = system.measure(BATCH, SEQ_LEN, n_steps=1, warmup_steps=1)
+        schedule = system.schedule
+        alpha = schedule.alpha if schedule else float("nan")
+        marginal = result.tokens_per_second / n_devices
+        print(f"  {n_devices:2d} SmartSSDs: {result.tokens_per_second:6.3f} tok/s "
+              f"(alpha={alpha:.3f}, {marginal:.4f} tok/s per device)")
+        if result.tokens_per_second > best_tput:
+            best_n, best_tput = n_devices, result.tokens_per_second
+    print()
+    return best_n
+
+
+def sweep_alpha_and_spill(model, n_devices: int) -> None:
+    analytic = optimal_alpha(n_devices * 3.0 * GB, min(16 * GB, n_devices * 3.2 * GB))
+    print(f"alpha sweep at {n_devices} devices (analytic optimum {analytic:.2f}):")
+    for alpha in (0.0, 0.25, 0.5, 0.75):
+        system = HilosSystem(
+            model, HilosConfig(n_devices=n_devices, alpha=alpha, use_xcache=alpha > 0)
+        )
+        result = system.measure(BATCH, SEQ_LEN, n_steps=1, warmup_steps=1)
+        print(f"  alpha={alpha:4.2f}: {result.tokens_per_second:6.3f} tok/s")
+    print("spill-interval sweep (alpha=0.5):")
+    for interval in (2, 8, 16, 64):
+        system = HilosSystem(
+            model, HilosConfig(n_devices=n_devices, alpha=0.5, spill_interval=interval)
+        )
+        result = system.measure(BATCH, SEQ_LEN, n_steps=1, warmup_steps=1)
+        print(f"  c={interval:3d}: {result.tokens_per_second:6.3f} tok/s")
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "OPT-66B"
+    model = get_model(name)
+    print(f"=== design-space exploration for {model.name} "
+          f"(batch {BATCH}, context {SEQ_LEN}) ===\n")
+    accelerator_feasibility(model)
+    best_n = sweep_devices(model)
+    sweep_alpha_and_spill(model, best_n)
+
+
+if __name__ == "__main__":
+    main()

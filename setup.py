@@ -1,0 +1,11 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+The offline evaluation environment lacks ``wheel``, which the PEP 517
+editable-install path requires; this shim lets ``pip install -e .`` fall
+back to the legacy ``setup.py develop`` flow.  All project metadata lives
+in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,41 @@
+"""Models of the HILOS near-storage attention accelerator (Section 4.4).
+
+The real accelerator is an HLS design on the SmartSSD's Kintex UltraScale+
+KU15P FPGA.  This package reproduces the paper's own modeling methodology:
+a cycle-count performance estimator (Section 5.1 reports Pearson r = 0.93
+against hardware), an FPGA resource-utilization model anchored to Table 3,
+and an on-chip power model.
+"""
+
+from repro.accelerator.config import AcceleratorConfig
+from repro.accelerator.estimator import (
+    PerformanceEstimator,
+    kernel_throughput,
+    ssd_feed_throughput,
+)
+from repro.accelerator.pipeline import BlockTiming, block_timing, sequence_latency
+from repro.accelerator.power import accelerator_power_w
+from repro.accelerator.resources import ResourceUtilization, estimate_resources
+from repro.accelerator.units import (
+    qk_unit_cycles,
+    softmax_norm_cycles,
+    softmax_stats_cycles,
+    sv_unit_cycles,
+)
+
+__all__ = [
+    "AcceleratorConfig",
+    "PerformanceEstimator",
+    "kernel_throughput",
+    "ssd_feed_throughput",
+    "BlockTiming",
+    "block_timing",
+    "sequence_latency",
+    "accelerator_power_w",
+    "ResourceUtilization",
+    "estimate_resources",
+    "qk_unit_cycles",
+    "softmax_norm_cycles",
+    "softmax_stats_cycles",
+    "sv_unit_cycles",
+]

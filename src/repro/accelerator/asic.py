@@ -1,0 +1,74 @@
+"""ASIC variant of the attention accelerator (Section 7.1).
+
+For the envisioned ISP device the paper synthesizes the d_group=1 design
+with the OpenROAD flow (Nangate45, scaled to an 8 nm-class node at the
+FPGA-matching 300 MHz) and models on-chip SRAM with CACTI 7.0, reporting a
+total area of **0.47 mm^2** and **1.13 W** on a 32K-token inference profile
+-- "a reasonable overhead for ISP".
+
+This module anchors those published numbers and provides first-order
+scaling in ``d_group`` (MAC lanes and softmax units replicate; the control
+plane and transpose buffers are shared), so the design-space example can
+ask what a grouped-attention ASIC would cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.accelerator.config import AcceleratorConfig
+from repro.errors import ConfigurationError
+
+#: Published OpenROAD/CACTI results for the d_group=1 build (Section 7.1).
+BASE_AREA_MM2 = 0.47
+BASE_POWER_W = 1.13
+PROCESS_NODE_NM = 8
+CLOCK_MHZ = 300.0
+
+#: Fractions of the base design that replicate with d_group (datapath:
+#: MAC lanes, exponential units, score buffers) versus fixed (control,
+#: transpose buffers, AXI interfaces).
+_REPLICATED_FRACTION = 0.62
+
+
+@dataclass(frozen=True)
+class AsicEstimate:
+    """Area/power estimate of one ASIC accelerator build."""
+
+    d_group: int
+    area_mm2: float
+    power_w: float
+    clock_mhz: float = CLOCK_MHZ
+    process_nm: int = PROCESS_NODE_NM
+
+    @property
+    def power_density_w_per_mm2(self) -> float:
+        """Power density (sanity metric for the SSD-controller budget)."""
+        return self.power_w / self.area_mm2
+
+
+def estimate_asic(config: AcceleratorConfig | int) -> AsicEstimate:
+    """Area and power of an ASIC build, anchored at the published point."""
+    d_group = config.d_group if isinstance(config, AcceleratorConfig) else int(config)
+    if d_group < 1:
+        raise ConfigurationError("d_group must be >= 1")
+    scale = (1.0 - _REPLICATED_FRACTION) + _REPLICATED_FRACTION * d_group
+    return AsicEstimate(
+        d_group=d_group,
+        area_mm2=BASE_AREA_MM2 * scale,
+        power_w=BASE_POWER_W * scale,
+    )
+
+
+def fits_ssd_controller_budget(
+    estimate: AsicEstimate,
+    area_budget_mm2: float = 5.0,
+    power_budget_w: float = 3.0,
+) -> bool:
+    """Whether the build fits a modern SSD controller's slack.
+
+    Controllers in the PM9A3/990 Pro class dedicate a few mm^2 and a few
+    watts of margin to value-add engines (compression, crypto); the paper's
+    0.47 mm^2 / 1.13 W sits comfortably inside.
+    """
+    return estimate.area_mm2 <= area_budget_mm2 and estimate.power_w <= power_budget_w

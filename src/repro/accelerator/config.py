@@ -1,0 +1,77 @@
+"""Accelerator configuration (the HLS design parameters of Sections 4.4/5.4).
+
+Defaults mirror the shipped bitstreams: 296.05 MHz (just under the 300 MHz
+power-envelope limit), 128-token blocks, 128 MAC lanes per GEMV unit (the
+count that saturates the device DRAM), exponential units unrolled by two,
+and two-level reduction trees of depth four.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.units import GB, MHZ
+
+
+@dataclass(frozen=True)
+class AcceleratorConfig:
+    """One attention-accelerator build.
+
+    ``d_group`` is the number of query heads sharing a KV head (Table 2);
+    the K/V buffers broadcast to ``d_group x 128`` MAC lanes so grouped
+    queries reuse each fetched block (Section 4.4, "native support for
+    attention variants").
+    """
+
+    d_group: int = 1
+    head_dim: int = 128
+    block_tokens: int = 128
+    mac_lanes: int = 128
+    clock_hz: float = 296.05 * MHZ
+    exp_unroll: int = 2
+    reduction_depth: int = 4
+    #: Effective FPGA DRAM bandwidth (DDR4-2400, single channel, after AXI
+    #: burst efficiency).  Calibrated so the DRAM-roofline peak reproduces
+    #: Table 3's 11.9 / 46.8 / 56.3 GFLOPS at d_group 1 / 4 / 5.
+    dram_bandwidth: float = 12.2 * GB
+    #: Bytes per staged QK^T score (FP32 intermediates, Section 5.4).
+    score_bytes: int = 4
+    #: FP16 storage elements (Section 5.4).
+    element_bytes: int = 2
+    #: Pipeline fill overhead per block, cycles (AXI burst setup + unit
+    #: latency through the four-stage DATAFLOW pipeline).
+    pipeline_fill_cycles: int = 64
+
+    def __post_init__(self) -> None:
+        if self.d_group < 1:
+            raise ConfigurationError("d_group must be >= 1")
+        if self.block_tokens < 1 or self.mac_lanes < 1:
+            raise ConfigurationError("block/MAC sizes must be positive")
+        if self.head_dim < 1:
+            raise ConfigurationError("head_dim must be positive")
+        if self.exp_unroll < 1:
+            raise ConfigurationError("exp_unroll must be >= 1")
+        if self.clock_hz <= 0 or self.dram_bandwidth <= 0:
+            raise ConfigurationError("clock and DRAM bandwidth must be positive")
+
+    # --- derived per-block quantities -------------------------------------------
+
+    def kv_bytes_per_block(self) -> int:
+        """K + V bytes of one 128-token block (read from device DRAM)."""
+        return 2 * self.block_tokens * self.head_dim * self.element_bytes
+
+    def staging_bytes_per_block(self) -> int:
+        """QK^T staging traffic: written after pass 1, re-read for pass 2."""
+        scores = self.d_group * self.block_tokens * self.score_bytes
+        return 2 * scores
+
+    def flops_per_block(self) -> int:
+        """Attention FLOPs per block: QK^T and score.V MACs for the group."""
+        return 4 * self.d_group * self.block_tokens * self.head_dim
+
+    def blocks_for_sequence(self, seq_len: int) -> int:
+        """Blocks needed to cover ``seq_len`` tokens (zero-padded, Sec. 5.4)."""
+        if seq_len < 0:
+            raise ConfigurationError("sequence length must be non-negative")
+        return -(-seq_len // self.block_tokens)

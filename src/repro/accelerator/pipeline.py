@@ -1,0 +1,96 @@
+"""DATAFLOW pipeline timing: blocks per second, roofline, sequence latency.
+
+The top-level HLS kernel runs the four units as a task-level pipeline
+(Section 5.4's DATAFLOW pragma), overlapping KV-block loading with the
+computation of preceding blocks.  A block therefore completes at the rate of
+the slower of (a) the slowest unit's cycle count and (b) the block's share
+of device-DRAM bandwidth; the first block additionally pays the pipeline
+fill.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.accelerator.config import AcceleratorConfig
+from repro.accelerator.units import max_unit_cycles
+
+
+@dataclass(frozen=True)
+class BlockTiming:
+    """Per-block timing decomposition of one accelerator build."""
+
+    compute_seconds: float
+    dram_seconds: float
+    kv_bytes: int
+    flops: int
+
+    @property
+    def block_seconds(self) -> float:
+        """Steady-state time per block (max of compute and memory)."""
+        return max(self.compute_seconds, self.dram_seconds)
+
+    @property
+    def dram_bound(self) -> bool:
+        """True when device DRAM, not the MAC/softmax pipeline, governs."""
+        return self.dram_seconds >= self.compute_seconds
+
+    @property
+    def gflops(self) -> float:
+        """Achieved FLOP rate at the steady-state block rate."""
+        return self.flops / self.block_seconds / 1e9
+
+    @property
+    def kv_bandwidth(self) -> float:
+        """KV bytes processed per second at the steady-state block rate."""
+        return self.kv_bytes / self.block_seconds
+
+
+def block_timing(
+    config: AcceleratorConfig, include_ingest: bool = False
+) -> BlockTiming:
+    """Timing of one 128-token block.
+
+    ``include_ingest=True`` adds the flash-to-DRAM P2P write of the same KV
+    bytes to the DRAM budget -- the sustained operating mode where the
+    kernel consumes data as the SSD delivers it (the Figure 12a kernel
+    microbenchmark).  ``False`` gives the DRAM-roofline peak reported in
+    Table 3 (data already resident).
+    """
+    compute = max_unit_cycles(config) / config.clock_hz
+    kv_bytes = config.kv_bytes_per_block()
+    dram_bytes = kv_bytes + config.staging_bytes_per_block()
+    if include_ingest:
+        dram_bytes += kv_bytes
+    dram = dram_bytes / config.dram_bandwidth
+    return BlockTiming(
+        compute_seconds=compute,
+        dram_seconds=dram,
+        kv_bytes=kv_bytes,
+        flops=config.flops_per_block(),
+    )
+
+
+def sequence_latency(
+    config: AcceleratorConfig,
+    seq_len: int,
+    n_tiles: int = 1,
+    include_ingest: bool = True,
+) -> float:
+    """Latency to attend over ``seq_len`` cached tokens for ``n_tiles`` tiles.
+
+    A *tile* is one (batch element, KV head) pair; the device iterates tiles
+    sequentially, each covering ``ceil(s/128)`` blocks, with one pipeline
+    fill per kernel invocation.  This is the §5.1 performance estimator's
+    core formula.
+    """
+    timing = block_timing(config, include_ingest=include_ingest)
+    blocks = config.blocks_for_sequence(seq_len)
+    fill = config.pipeline_fill_cycles / config.clock_hz
+    per_tile = fill + blocks * timing.block_seconds
+    return n_tiles * per_tile
+
+
+def peak_gflops(config: AcceleratorConfig) -> float:
+    """Table 3's "Peak Perf." -- DRAM-roofline FLOP rate, data resident."""
+    return block_timing(config, include_ingest=False).gflops

@@ -1,0 +1,41 @@
+"""Accelerator power model anchored to Table 3's measured on-chip power.
+
+The reported figures comprise static, dynamic, and PCIe transceiver power;
+the shipped builds measure 11.25 W (d_group=1), 15.39 W (d_group=4) and
+16.08 W (d_group=5), peaking just under the SmartSSD's power envelope.  As
+with resources, measured builds return exact values and other group sizes a
+least-squares fit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.accelerator.config import AcceleratorConfig
+from repro.errors import ConfigurationError
+
+#: Table 3 measured total on-chip power (W).
+MEASURED_POWER_W: dict[int, float] = {1: 11.25, 4: 15.39, 5: 16.08}
+
+#: Idle (static + transceiver) floor of the FPGA+SSD package.
+STATIC_POWER_W = 8.0
+
+
+def accelerator_power_w(config: AcceleratorConfig | int) -> float:
+    """Total on-chip power of one accelerator build (W)."""
+    d_group = config.d_group if isinstance(config, AcceleratorConfig) else int(config)
+    if d_group < 1:
+        raise ConfigurationError("d_group must be >= 1")
+    if d_group in MEASURED_POWER_W:
+        return MEASURED_POWER_W[d_group]
+    groups = np.array(sorted(MEASURED_POWER_W), dtype=np.float64)
+    values = np.array([MEASURED_POWER_W[int(g)] for g in groups])
+    slope, intercept = np.polyfit(groups, values, 1)
+    return float(max(STATIC_POWER_W, slope * d_group + intercept))
+
+
+def deployment_power_w(n_devices: int, d_group: int = 1) -> float:
+    """Power of a full NSP deployment (Section 6.2: 16 devices ~ 258 W)."""
+    if n_devices < 0:
+        raise ConfigurationError("device count must be non-negative")
+    return n_devices * accelerator_power_w(d_group)

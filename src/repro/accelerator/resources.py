@@ -1,0 +1,130 @@
+"""FPGA resource-utilization model anchored to Table 3.
+
+The KU15P floorplan numbers the paper measures for its three shipped
+bitstreams (d_group 1, 4, 5) anchor a per-resource linear model in
+``d_group``; configurations between or beyond the anchors are least-squares
+interpolations/extrapolations.  The model exposes a feasibility check used
+by the design-space exploration example and the Section 7.2 discussion
+experiment (DSP exhaustion under a hypothetical PCIe 5.0 scale-up).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.accelerator.config import AcceleratorConfig
+from repro.errors import ConfigurationError
+
+#: Table 3: measured utilization (%) per resource for the shipped builds.
+MEASURED_UTILIZATION: dict[int, dict[str, float]] = {
+    1: {"LUT": 38.76, "FF": 28.57, "BRAM": 51.02, "URAM": 9.38, "DSP": 10.06},
+    4: {"LUT": 56.60, "FF": 39.70, "BRAM": 59.30, "URAM": 9.38, "DSP": 20.27},
+    5: {"LUT": 67.40, "FF": 46.15, "BRAM": 58.49, "URAM": 9.38, "DSP": 27.79},
+}
+
+RESOURCE_KINDS = ("LUT", "FF", "BRAM", "URAM", "DSP")
+
+
+@dataclass(frozen=True)
+class ResourceUtilization:
+    """Utilization percentages of one build."""
+
+    d_group: int
+    lut: float
+    ff: float
+    bram: float
+    uram: float
+    dsp: float
+    measured: bool
+
+    def as_dict(self) -> dict[str, float]:
+        """Resource-name keyed view (Table 3 column order)."""
+        return {
+            "LUT": self.lut,
+            "FF": self.ff,
+            "BRAM": self.bram,
+            "URAM": self.uram,
+            "DSP": self.dsp,
+        }
+
+    @property
+    def feasible(self) -> bool:
+        """True when every resource fits on the device."""
+        return all(value <= 100.0 for value in self.as_dict().values())
+
+    @property
+    def limiting_resource(self) -> str:
+        """The resource closest to (or beyond) exhaustion."""
+        usage = self.as_dict()
+        return max(usage, key=usage.get)
+
+
+def _linear_fit(resource: str) -> tuple[float, float]:
+    """Least-squares slope/intercept of one resource over the anchors."""
+    groups = np.array(sorted(MEASURED_UTILIZATION), dtype=np.float64)
+    values = np.array(
+        [MEASURED_UTILIZATION[int(g)][resource] for g in groups], dtype=np.float64
+    )
+    slope, intercept = np.polyfit(groups, values, 1)
+    return float(slope), float(intercept)
+
+
+def estimate_resources(config: AcceleratorConfig | int) -> ResourceUtilization:
+    """Resource utilization for a build: measured rows exact, others fitted."""
+    d_group = config.d_group if isinstance(config, AcceleratorConfig) else int(config)
+    if d_group < 1:
+        raise ConfigurationError("d_group must be >= 1")
+    if d_group in MEASURED_UTILIZATION:
+        row = MEASURED_UTILIZATION[d_group]
+        return ResourceUtilization(
+            d_group=d_group,
+            lut=row["LUT"],
+            ff=row["FF"],
+            bram=row["BRAM"],
+            uram=row["URAM"],
+            dsp=row["DSP"],
+            measured=True,
+        )
+    fitted = {}
+    for resource in RESOURCE_KINDS:
+        slope, intercept = _linear_fit(resource)
+        fitted[resource] = max(0.0, slope * d_group + intercept)
+    return ResourceUtilization(
+        d_group=d_group,
+        lut=fitted["LUT"],
+        ff=fitted["FF"],
+        bram=fitted["BRAM"],
+        uram=fitted["URAM"],
+        dsp=fitted["DSP"],
+        measured=False,
+    )
+
+
+def max_feasible_d_group(limit: int = 64) -> int:
+    """Largest ``d_group`` whose projected utilization still fits the FPGA."""
+    best = 0
+    for d_group in range(1, limit + 1):
+        if estimate_resources(d_group).feasible:
+            best = d_group
+        else:
+            break
+    if best == 0:
+        raise ConfigurationError("no feasible d_group found")
+    return best
+
+
+def dsp_count_for_throughput_scale(scale: float, baseline_dsps: int = 1968) -> int:
+    """DSPs needed to scale softmax throughput by ``scale`` (Section 7.2).
+
+    The discussion section estimates that matching a PCIe 5.0 interface
+    (4x throughput) via DSP parallelization would need over 2,000 DSPs,
+    exceeding the KU15P.  ``baseline_dsps`` is the KU15P's DSP count times
+    the d_group=5 utilization scaled to the required parallelism.
+    """
+    if scale <= 0:
+        raise ConfigurationError("scale must be positive")
+    ku15p_dsps = 1968
+    used_at_dg5 = MEASURED_UTILIZATION[5]["DSP"] / 100.0 * ku15p_dsps
+    return int(round(used_at_dg5 * scale))

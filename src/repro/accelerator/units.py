@@ -1,0 +1,93 @@
+"""Cycle models of the four accelerator pipeline units (Figure 7b-e).
+
+Each function returns the cycles one unit needs to process one 128-token
+block for one query group.  The numbers follow the HLS structure described
+in Sections 4.4 and 5.4:
+
+* the GEMV units run 128 MAC lanes at initiation interval 1, so a block
+  takes ``head_dim`` accumulation cycles (one per reduction element);
+* the online transpose overlaps with accumulation (dedicated K-Buf/K^T-Buf
+  BRAMs), adding only its fill latency;
+* the softmax units stream ``d_group x 128`` elements through exponential
+  units unrolled by ``exp_unroll`` and a reduction tree of depth
+  ``reduction_depth``.
+"""
+
+from __future__ import annotations
+
+from repro.accelerator.config import AcceleratorConfig
+from repro.units import ceil_div
+
+
+def qk_unit_cycles(config: AcceleratorConfig) -> int:
+    """Query-key product unit: blocked GEMV with online transpose (Fig. 7d).
+
+    128 MAC lanes each own one key column; the dot product over ``head_dim``
+    elements takes ``head_dim`` cycles at II=1.  The local 128x128 transpose
+    is double-buffered and hidden behind accumulation except for its fill.
+    """
+    accumulation = config.head_dim
+    transpose_fill = config.block_tokens // 4  # 4 elements per cycle into K^T-Buf
+    return accumulation + transpose_fill
+
+
+def softmax_stats_cycles(config: AcceleratorConfig) -> int:
+    """Softmax statistics aggregation unit: pass 1 of Algorithm 1 (Fig. 7b).
+
+    Every element of the ``d_group x 128`` score block passes through an
+    exponential unit (DSP-heavy, so only ``exp_unroll`` operate in
+    parallel), then a two-level reduction tree of ``reduction_depth``
+    produces the block max and partial sum for the streaming update unit.
+    """
+    elements = config.d_group * config.block_tokens
+    exp_cycles = ceil_div(elements, config.exp_unroll)
+    tree_cycles = config.reduction_depth * 2  # max tree + sum tree
+    streaming_update = 4  # running (m, Z) update, lines 5-9
+    return exp_cycles + tree_cycles + streaming_update
+
+
+def softmax_norm_cycles(config: AcceleratorConfig) -> int:
+    """Softmax normalization unit: pass 2 of Algorithm 1 (Fig. 7c).
+
+    Element-wise ``exp(x - m) / Z`` over the same score block; the divider
+    is pipelined with the exponential units, so throughput is again set by
+    ``exp_unroll``.
+    """
+    elements = config.d_group * config.block_tokens
+    return ceil_div(elements, config.exp_unroll) + config.reduction_depth
+
+
+def sv_unit_cycles(config: AcceleratorConfig) -> int:
+    """Score-value product unit (Fig. 7e).
+
+    The normalized score row (128 wide) multiplies the value block into the
+    per-query output accumulators; with 128 MAC lanes this takes
+    ``head_dim`` cycles (one output element per cycle) per query group,
+    because the broadcast V-Buf serves all ``d_group`` rows concurrently.
+    """
+    return config.head_dim + config.reduction_depth
+
+
+def max_unit_cycles(config: AcceleratorConfig) -> int:
+    """Cycles of the slowest pipeline stage (sets the DATAFLOW block rate)."""
+    return max(
+        qk_unit_cycles(config),
+        softmax_stats_cycles(config),
+        softmax_norm_cycles(config),
+        sv_unit_cycles(config),
+    )
+
+
+def softmax_fraction(config: AcceleratorConfig) -> float:
+    """Share of per-block unit cycles spent in the two softmax units.
+
+    Section 7.2 observes softmax dominates (>50%) as ``d_group`` grows; this
+    diagnostic reproduces that trend for the discussion experiments.
+    """
+    softmax = softmax_stats_cycles(config) + softmax_norm_cycles(config)
+    total = (
+        qk_unit_cycles(config)
+        + softmax
+        + sv_unit_cycles(config)
+    )
+    return softmax / total

@@ -1,0 +1,28 @@
+"""Analytical models: traffic (Eq. 3), capacity, cost, energy, endurance."""
+
+from repro.analysis.capacity import PlacementPlan, max_feasible_batch, plan_placement
+from repro.analysis.cost import CostModel, cost_efficiency
+from repro.analysis.endurance import EnduranceModel, serviceable_requests
+from repro.analysis.energy import EnergyBreakdown, energy_breakdown
+from repro.analysis.traffic import (
+    ans_step_traffic,
+    ans_traffic_reduction_ratio,
+    baseline_step_traffic,
+    xcache_step_traffic,
+)
+
+__all__ = [
+    "PlacementPlan",
+    "max_feasible_batch",
+    "plan_placement",
+    "CostModel",
+    "cost_efficiency",
+    "EnduranceModel",
+    "serviceable_requests",
+    "EnergyBreakdown",
+    "energy_breakdown",
+    "ans_step_traffic",
+    "ans_traffic_reduction_ratio",
+    "baseline_step_traffic",
+    "xcache_step_traffic",
+]

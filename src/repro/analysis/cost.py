@@ -1,0 +1,76 @@
+"""Cost-effectiveness analysis (Figure 16a): tokens per second per dollar.
+
+Component prices follow Section 6.6's evaluation: a $15,000 host server, a
+$7,000 A100 (or $30,000 H100), a $10,000 PCIe expansion chassis, $2,400 per
+SmartSSD, and $400 per conventional PCIe 4.0 SSD.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+HOST_SERVER_USD = 15_000.0
+PCIE_EXPANSION_USD = 10_000.0
+SMARTSSD_USD = 2_400.0
+CONVENTIONAL_SSD_USD = 400.0
+GPU_PRICES_USD = {"A100": 7_000.0, "H100": 30_000.0, "A6000": 4_500.0}
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Capital cost of one evaluated configuration."""
+
+    label: str
+    gpu: str = "A100"
+    n_gpus: int = 1
+    n_conventional_ssds: int = 0
+    n_smartssds: int = 0
+    n_hosts: int = 1
+    needs_expansion: bool = False
+
+    def total_usd(self) -> float:
+        """Total system price."""
+        if self.gpu not in GPU_PRICES_USD:
+            raise ConfigurationError(f"no price for GPU {self.gpu!r}")
+        total = self.n_hosts * HOST_SERVER_USD
+        total += self.n_gpus * GPU_PRICES_USD[self.gpu]
+        total += self.n_conventional_ssds * CONVENTIONAL_SSD_USD
+        total += self.n_smartssds * SMARTSSD_USD
+        if self.needs_expansion:
+            total += PCIE_EXPANSION_USD
+        return total
+
+
+def flexgen_cost(gpu: str = "A100") -> CostModel:
+    """The baseline server: host + GPU + four PCIe 4.0 drives."""
+    return CostModel(label=f"FLEX ({gpu})", gpu=gpu, n_conventional_ssds=4)
+
+
+def hilos_cost(n_smartssds: int, gpu: str = "A100") -> CostModel:
+    """HILOS replaces the drives with SmartSSDs behind an expansion chassis."""
+    return CostModel(
+        label=f"HILOS ({n_smartssds} SmartSSDs, {gpu})",
+        gpu=gpu,
+        n_smartssds=n_smartssds,
+        needs_expansion=True,
+    )
+
+
+def multinode_cost(n_nodes: int = 2, gpus_per_node: int = 4, gpu: str = "A6000") -> CostModel:
+    """The distributed vLLM fleet of Section 6.6."""
+    return CostModel(
+        label=f"vLLM ({n_nodes}x{gpus_per_node} {gpu})",
+        gpu=gpu,
+        n_gpus=n_nodes * gpus_per_node,
+        n_hosts=n_nodes,
+    )
+
+
+def cost_efficiency(tokens_per_second: float, cost: CostModel) -> float:
+    """Tokens/sec/$ -- the Figure 16a metric."""
+    total = cost.total_usd()
+    if total <= 0:
+        raise ConfigurationError("system cost must be positive")
+    return tokens_per_second / total

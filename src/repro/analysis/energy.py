@@ -1,0 +1,95 @@
+"""Energy-consumption breakdown (Figure 17a).
+
+The paper measures GPU power with NVML, CPU/DRAM with RAPL, SmartSSD power
+through the expansion-board controller, and uses the 13 W datasheet figure
+for the PM9A3 baseline drives.  We reproduce the same arithmetic: component
+power (idle floor + utilization-scaled dynamic part) times the measured
+per-token latency, attributed per component.
+
+HILOS's SmartSSDs draw more power than plain drives, but the latency
+reduction dominates: energy per token falls by up to ~85% against
+``FLEX(SSD)`` (Section 6.6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.accelerator.power import accelerator_power_w
+from repro.errors import ConfigurationError
+from repro.sim.devices import GPU_SPECS
+
+if TYPE_CHECKING:  # circular at runtime: baselines imports analysis
+    from repro.baselines.base import MeasuredResult
+
+#: Component power model parameters.
+GPU_IDLE_W = 55.0
+CPU_IDLE_W = 80.0
+CPU_TDP_W = 230.0
+DRAM_W_PER_GIB = 0.12  # DDR4 background + activate power at 512 GiB scale
+DRAM_CAPACITY_GIB = 512
+CONVENTIONAL_SSD_ACTIVE_W = 13.0  # PM9A3 datasheet
+CONVENTIONAL_SSD_IDLE_W = 5.0
+SMARTSSD_NVME_W = 8.0  # NVMe portion; the FPGA adds Table 3's on-chip power
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Joules per generated token, per component."""
+
+    system: str
+    cpu_j: float
+    dram_j: float
+    gpu_j: float
+    ssd_j: float
+
+    @property
+    def total_j(self) -> float:
+        """Total energy per token."""
+        return self.cpu_j + self.dram_j + self.gpu_j + self.ssd_j
+
+    def fractions(self) -> dict[str, float]:
+        """Component shares of the total."""
+        total = self.total_j
+        if total <= 0:
+            return {"cpu": 0.0, "dram": 0.0, "gpu": 0.0, "ssd": 0.0}
+        return {
+            "cpu": self.cpu_j / total,
+            "dram": self.dram_j / total,
+            "gpu": self.gpu_j / total,
+            "ssd": self.ssd_j / total,
+        }
+
+
+def energy_breakdown(
+    result: "MeasuredResult",
+    gpu: str = "A100",
+    n_conventional_ssds: int = 0,
+    n_smartssds: int = 0,
+    d_group: int = 1,
+    storage_utilization: float = 0.7,
+) -> EnergyBreakdown:
+    """Energy per generated token for one measured configuration."""
+    if result.oom or result.tokens_per_second <= 0:
+        raise ConfigurationError(f"cannot compute energy for OOM result {result.system}")
+    if gpu not in GPU_SPECS:
+        raise ConfigurationError(f"unknown GPU {gpu!r}")
+    seconds_per_token = 1.0 / result.tokens_per_second
+    gpu_power = GPU_IDLE_W + (GPU_SPECS[gpu].power_w - GPU_IDLE_W) * result.utilization.gpu
+    cpu_power = CPU_IDLE_W + (CPU_TDP_W - CPU_IDLE_W) * result.utilization.cpu
+    dram_power = DRAM_W_PER_GIB * DRAM_CAPACITY_GIB
+    ssd_power = n_conventional_ssds * (
+        CONVENTIONAL_SSD_IDLE_W
+        + (CONVENTIONAL_SSD_ACTIVE_W - CONVENTIONAL_SSD_IDLE_W) * storage_utilization
+    )
+    ssd_power += n_smartssds * (
+        SMARTSSD_NVME_W + accelerator_power_w(d_group) * storage_utilization
+    )
+    return EnergyBreakdown(
+        system=result.system,
+        cpu_j=cpu_power * seconds_per_token,
+        dram_j=dram_power * seconds_per_token,
+        gpu_j=gpu_power * seconds_per_token,
+        ssd_j=ssd_power * seconds_per_token,
+    )

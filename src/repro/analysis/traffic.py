@@ -1,0 +1,118 @@
+"""Interconnect-traffic models (Section 4.1's Equation 3 and Section 4.2).
+
+These closed-form byte counts serve two purposes: they are the paper's
+first-order argument for attention near storage (the host-interconnect
+traffic ratio grows linearly in the context length, Equation 3), and they
+cross-validate the discrete-event simulation -- the unit tests assert the
+simulated byte counters match these formulas exactly.
+
+All quantities are *per decode step, per transformer layer*, in bytes;
+``h`` below is the model hidden size and ``s`` the context length, matching
+the paper's notation (MHA, FP16: K+V for the whole context is ``4sh``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.models.config import ModelConfig
+
+
+@dataclass(frozen=True)
+class StepTraffic:
+    """Host-interconnect bytes moved in one decode step of one layer."""
+
+    interconnect_read: float
+    interconnect_write: float
+    storage_read: float
+    storage_write: float
+
+    @property
+    def interconnect_total(self) -> float:
+        """Total bytes crossing the shared system interconnect."""
+        return self.interconnect_read + self.interconnect_write
+
+
+def baseline_step_traffic(model: ModelConfig, batch_size: int, seq_len: int) -> StepTraffic:
+    """Conventional offloading (Figure 1b): the whole KV cache crosses PCIe.
+
+    Reads are ``4sh`` per element (K and V, FP16); writes are the new K/V
+    pair, ``4h``.  Storage traffic equals interconnect traffic because every
+    byte read from flash is shipped to the host.
+    """
+    kv_read = model.kv_bytes_per_token_per_layer() * seq_len * batch_size
+    kv_write = model.kv_bytes_per_token_per_layer() * batch_size
+    return StepTraffic(
+        interconnect_read=kv_read,
+        interconnect_write=kv_write,
+        storage_read=kv_read,
+        storage_write=kv_write,
+    )
+
+
+def ans_step_traffic(model: ModelConfig, batch_size: int, seq_len: int) -> StepTraffic:
+    """Attention near storage (Figure 4a): only Q/K/V in, outputs back.
+
+    The interconnect carries the new query/key/value vectors down (``6h``
+    per element for MHA) and the attention output up (``2h``); the ``4sh``
+    KV read stays on the device-internal path (storage_read).
+    """
+    new_qkv = (
+        model.n_heads * model.head_dim + 2 * model.kv_proj_dim
+    ) * model.bytes_per_element * batch_size
+    attn_out = model.n_heads * model.head_dim * model.bytes_per_element * batch_size
+    kv_read = model.kv_bytes_per_token_per_layer() * seq_len * batch_size
+    kv_write = model.kv_bytes_per_token_per_layer() * batch_size
+    return StepTraffic(
+        interconnect_read=attn_out,
+        interconnect_write=new_qkv,
+        storage_read=kv_read,
+        storage_write=kv_write,
+    )
+
+
+def ans_traffic_reduction_ratio(seq_len: int) -> float:
+    """Equation 3: ``T_BASE / T_ANS = (s + 1) / 2`` for MHA models.
+
+    Baseline interconnect traffic is ``4sh + 4h``; with ANS it becomes
+    ``2h + 6h``.  The ratio is independent of the hidden size and grows
+    linearly with the context length.
+    """
+    if seq_len < 1:
+        raise ConfigurationError("sequence length must be >= 1")
+    return (seq_len + 1) / 2.0
+
+
+def xcache_step_traffic(
+    model: ModelConfig, batch_size: int, seq_len: int, alpha: float
+) -> StepTraffic:
+    """ANS + cooperative X-cache (Section 4.2).
+
+    An ``alpha`` fraction of the batch x head tiles is served by streaming
+    the pre-projection activations ``X`` (half the size of K+V for MHA) to
+    the GPU over the interconnect; the remaining ``1 - alpha`` KV bytes stay
+    on the internal storage path.
+    """
+    if not 0.0 <= alpha <= 1.0:
+        raise ConfigurationError(f"alpha must be within [0, 1], got {alpha}")
+    base = ans_step_traffic(model, batch_size, seq_len)
+    x_bytes_full = model.hidden * model.bytes_per_element * seq_len * batch_size
+    kv_bytes_full = model.kv_bytes_per_token_per_layer() * seq_len * batch_size
+    return StepTraffic(
+        interconnect_read=base.interconnect_read + alpha * x_bytes_full,
+        interconnect_write=base.interconnect_write,
+        storage_read=alpha * x_bytes_full + (1.0 - alpha) * kv_bytes_full,
+        storage_write=base.storage_write,
+    )
+
+
+def x_to_kv_size_ratio(model: ModelConfig) -> float:
+    """``S_X / S_KV``: 0.5 for MHA; above 1 for aggressively grouped GQA.
+
+    The X-cache stores ``s x h`` activations versus ``2 x s x kv_proj`` for
+    K+V, so for GQA models with few KV heads the activation cache can be
+    *larger* than the KV pair it regenerates -- which shifts the optimal
+    alpha (see :func:`repro.core.xcache.optimal_alpha`).
+    """
+    return model.hidden / (2.0 * model.kv_proj_dim)

@@ -1,0 +1,20 @@
+"""Baseline inference systems the paper compares against (Section 6.1)."""
+
+from repro.baselines.base import InferenceSystem, MeasuredResult
+from repro.baselines.deepspeed import DeepSpeedUVM
+from repro.baselines.flexgen import FlexGen, FlexGenDRAM, FlexGenSSD, FlexGenSmartSSDsNoFPGA
+from repro.baselines.registry import SYSTEM_BUILDERS, build_inference_system
+from repro.baselines.vllm import MultiNodeVLLM
+
+__all__ = [
+    "InferenceSystem",
+    "MeasuredResult",
+    "DeepSpeedUVM",
+    "FlexGen",
+    "FlexGenDRAM",
+    "FlexGenSSD",
+    "FlexGenSmartSSDsNoFPGA",
+    "MultiNodeVLLM",
+    "SYSTEM_BUILDERS",
+    "build_inference_system",
+]

@@ -1,0 +1,344 @@
+"""Shared machinery for simulated inference systems.
+
+Every system (HILOS and the baselines) follows the same measurement recipe:
+
+1. decide the *effective* batch size its placement allows (FLEX(DRAM) halves
+   the batch until the KV cache fits host DRAM; storage-backed systems keep
+   the requested batch, Section 6.3);
+2. build a fresh :class:`~repro.sim.topology.SystemModel` and place weights
+   and caches;
+3. run one warm-up decode step, then time several steady-state steps while
+   recording phase spans (Figures 4b/11b) and resource busy time (Fig. 4c);
+4. report tokens/sec as ``effective_batch / step_seconds``.
+
+Subclasses implement :meth:`InferenceSystem._setup` (placement, staging
+channels) and :meth:`InferenceSystem._step_process` (one decode step as a
+simulation process).  Weight prefetching -- common to every framework -- is
+provided here as a concurrent streamer process with per-layer ready events.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+from repro.analysis.capacity import (
+    KVPlacement,
+    WeightPlacement,
+    default_weight_placement,
+    max_feasible_batch,
+)
+from repro.errors import CapacityError
+from repro.models.config import ModelConfig
+from repro.sim.engine import Event
+from repro.sim.metrics import (
+    HOST_COMPUTE,
+    LOAD_WEIGHT,
+    Breakdown,
+    PhaseRecorder,
+    UtilizationSample,
+)
+from repro.sim.topology import HardwareConfig, SystemModel, build_system
+
+
+@dataclass(frozen=True)
+class MeasuredResult:
+    """Outcome of measuring one system at one (model, batch, context) point."""
+
+    system: str
+    model: str
+    requested_batch: int
+    effective_batch: int
+    seq_len: int
+    step_seconds: float
+    tokens_per_second: float
+    prefill_seconds: float
+    breakdown: Breakdown
+    utilization: UtilizationSample
+    storage_logical_written: float = 0.0
+    storage_physical_written: float = 0.0
+    oom: bool = False
+    note: str = ""
+
+    @staticmethod
+    def out_of_memory(
+        system: str, model: str, batch: int, seq_len: int, note: str
+    ) -> "MeasuredResult":
+        """The paper's ``CPU OOM`` bars: zero throughput with a reason."""
+        return MeasuredResult(
+            system=system,
+            model=model,
+            requested_batch=batch,
+            effective_batch=0,
+            seq_len=seq_len,
+            step_seconds=float("inf"),
+            tokens_per_second=0.0,
+            prefill_seconds=float("inf"),
+            breakdown=Breakdown(),
+            utilization=UtilizationSample(cpu=0.0, gpu=0.0, dram_capacity=0.0),
+            oom=True,
+            note=note,
+        )
+
+
+@dataclass
+class StepContext:
+    """Everything a decode-step process needs, bundled."""
+
+    system: SystemModel
+    model: ModelConfig
+    batch_size: int
+    seq_len: int
+    recorder: PhaseRecorder
+    weight_ready: list[Event] = field(default_factory=list)
+    kv_ready: list[Event] = field(default_factory=list)
+
+    @property
+    def sim(self):
+        """The underlying simulator."""
+        return self.system.sim
+
+
+class InferenceSystem(abc.ABC):
+    """Base class for all simulated inference frameworks."""
+
+    name: str = "abstract"
+    #: Where this framework keeps the KV cache (drives batch feasibility).
+    kv_placement: KVPlacement = KVPlacement.STORAGE
+    #: Per-layer fixed overhead: kernel launches, framework bookkeeping.
+    per_layer_overhead_s: float = 0.003
+    #: Delivered bandwidth of the framework's pinned-buffer weight pipeline.
+    #: All evaluated frameworks (FlexGen, DeepSpeed, and HILOS, which is
+    #: integrated into the FlexGen-style PyTorch stack, Section 5) stream
+    #: weights through staged pinned copies at well below the raw link rate.
+    weight_staging_bandwidth: float = 16e9
+
+    def __init__(self, model: ModelConfig) -> None:
+        self.model = model
+        self._weight_staging = None
+        #: The most recent measurement's system model, kept for byte-counter
+        #: introspection (tests cross-check simulated traffic against the
+        #: paper's closed forms).
+        self.last_system: SystemModel | None = None
+
+    def _staging_bandwidth(self) -> float:
+        """Weight-pipeline bandwidth; PCIe 5.0 hosts (H100) move ~1.5x more."""
+        if getattr(self, "gpu", "A100") == "H100":
+            return self.weight_staging_bandwidth * 1.5
+        return self.weight_staging_bandwidth
+
+    # --- hooks -----------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def hardware_config(self) -> HardwareConfig:
+        """The machine this framework runs on (Table 1 variants)."""
+
+    @abc.abstractmethod
+    def _setup(self, ctx: StepContext) -> None:
+        """Place data, validate capacity, create framework channels."""
+
+    @abc.abstractmethod
+    def _step_process(self, ctx: StepContext):
+        """Generator: one full decode step (all layers)."""
+
+    # --- weight streaming (shared by every framework) -----------------------------------
+
+    def weight_placement(self) -> WeightPlacement:
+        """Resolved placement for this model's weights."""
+        return default_weight_placement(self.model)
+
+    def _weight_staging_event(self, ctx: StepContext, n_bytes: float) -> Event:
+        """The pinned-buffer staging hop every framework's weight path pays."""
+        if self._weight_staging is None:
+            from repro.sim.channel import Channel
+
+            self._weight_staging = Channel(
+                ctx.sim, self._staging_bandwidth(), name=f"{self.name}.wstage"
+            )
+        return self._weight_staging.request(n_bytes, LOAD_WEIGHT)
+
+    def _load_weights_event(self, ctx: StepContext, n_bytes: float) -> Event:
+        """One layer's weight transfer to the GPU; overridden per source."""
+        return ctx.sim.all_of(
+            [
+                ctx.system.dram_to_gpu(n_bytes, tag=LOAD_WEIGHT),
+                self._weight_staging_event(ctx, n_bytes),
+            ]
+        )
+
+    def _weight_streamer(self, ctx: StepContext):
+        """Prefetches each layer's weights in order, firing ready events.
+
+        Runs concurrently with the layer loop, so layer ``i+1``'s weights
+        stream while layer ``i`` computes -- the paper's Weights Prefetcher.
+        """
+        model = self.model
+        for layer in range(model.n_layers):
+            n_bytes = (
+                model.attention_weight_bytes_per_layer()
+                + model.mlp_weight_bytes_per_layer(layer)
+            )
+            started = ctx.recorder.start()
+            yield self._load_weights_event(ctx, n_bytes)
+            ctx.recorder.stop(LOAD_WEIGHT, started)
+            ctx.weight_ready[layer].succeed()
+
+    def _gpu_projection_and_mlp_flops(self, layer: int, batch: int) -> tuple[float, float]:
+        """(QKV, MLP) FLOPs of one decode step of one layer."""
+        qkv = self.model.qkv_flops_per_layer(batch)
+        mlp = self.model.mlp_flops_per_layer(batch, layer)
+        return qkv, mlp
+
+    def _run_gpu(self, ctx: StepContext, flops: float, mem_bytes: float) -> Event:
+        """GPU kernel tagged as host compute."""
+        return ctx.system.gpu.run_kernel(flops, mem_bytes, tag=HOST_COMPUTE)
+
+    # --- batch feasibility ------------------------------------------------------------------
+
+    def effective_batch(self, batch_size: int, seq_len: int) -> int:
+        """Largest batch this placement supports (0 means OOM)."""
+        hardware = self.hardware_config()
+        if self.kv_placement is KVPlacement.DRAM:
+            return max_feasible_batch(
+                self.model, seq_len, self.kv_placement, hardware.host_dram_bytes, batch_size
+            )
+        return batch_size
+
+    # --- measurement -----------------------------------------------------------------------
+
+    def measure(
+        self, batch_size: int, seq_len: int, n_steps: int = 2, warmup_steps: int = 1
+    ) -> MeasuredResult:
+        """Simulate decoding and report steady-state throughput + breakdowns."""
+        effective = self.effective_batch(batch_size, seq_len)
+        if effective == 0:
+            return MeasuredResult.out_of_memory(
+                self.name, self.model.name, batch_size, seq_len, note="CPU OOM"
+            )
+        system = build_system(self.hardware_config())
+        recorder = PhaseRecorder(system.sim)
+        ctx = StepContext(
+            system=system,
+            model=self.model,
+            batch_size=effective,
+            seq_len=seq_len,
+            recorder=recorder,
+        )
+        self._weight_staging = None  # channels must bind to the fresh simulator
+        self.last_system = system
+        try:
+            self._setup(ctx)
+        except CapacityError as exc:
+            return MeasuredResult.out_of_memory(
+                self.name, self.model.name, batch_size, seq_len, note=str(exc)
+            )
+        for _ in range(warmup_steps):
+            self._run_one_step(ctx)
+        # Reset the recorder so breakdowns cover only measured steps.
+        ctx.recorder = PhaseRecorder(system.sim)
+        measure_start = system.sim.now
+        # A device is "busy" when either its compute or its memory stream is
+        # occupied; decode kernels are memory-bound, so the stream dominates.
+        gpu_busy0 = max(system.gpu.compute.busy_seconds, system.gpu.hbm.busy_seconds)
+        cpu_busy0 = max(system.cpu.compute.busy_seconds, system.cpu.stream.busy_seconds)
+        written0 = self._storage_written(system)
+        for _ in range(n_steps):
+            self._run_one_step(ctx)
+        elapsed = system.sim.now - measure_start
+        step_seconds = elapsed / n_steps
+        gpu_busy1 = max(system.gpu.compute.busy_seconds, system.gpu.hbm.busy_seconds)
+        cpu_busy1 = max(system.cpu.compute.busy_seconds, system.cpu.stream.busy_seconds)
+        gpu_util = (gpu_busy1 - gpu_busy0) / elapsed
+        cpu_util = (cpu_busy1 - cpu_busy0) / elapsed
+        written1 = self._storage_written(system)
+        return MeasuredResult(
+            system=self.name,
+            model=self.model.name,
+            requested_batch=batch_size,
+            effective_batch=effective,
+            seq_len=seq_len,
+            step_seconds=step_seconds,
+            tokens_per_second=effective / step_seconds,
+            prefill_seconds=self.prefill_seconds(effective, seq_len),
+            breakdown=ctx.recorder.breakdown,
+            utilization=UtilizationSample(
+                cpu=min(1.0, cpu_util),
+                gpu=min(1.0, gpu_util),
+                dram_capacity=system.dram.utilization,
+            ),
+            storage_logical_written=(written1[0] - written0[0]) / n_steps,
+            storage_physical_written=(written1[1] - written0[1]) / n_steps,
+        )
+
+    def _run_one_step(self, ctx: StepContext) -> None:
+        sim = ctx.system.sim
+        ctx.weight_ready = [sim.event(f"w{i}") for i in range(self.model.n_layers)]
+        ctx.kv_ready = [sim.event(f"kv{i}") for i in range(self.model.n_layers)]
+        sim.process(self._weight_streamer(ctx), name=f"{self.name}.weights")
+        step = sim.process(self._step_process(ctx), name=f"{self.name}.step")
+        sim.run(step)
+
+    @staticmethod
+    def _storage_written(system: SystemModel) -> tuple[float, float]:
+        """(logical, physical) bytes written across every flash device."""
+        logical = sum(d.logical_bytes_written for d in system.ssds)
+        physical = sum(d.physical_bytes_written for d in system.ssds)
+        logical += sum(d.flash.logical_bytes_written for d in system.smartssds)
+        physical += sum(d.flash.physical_bytes_written for d in system.smartssds)
+        return logical, physical
+
+    # --- prefill (analytic, Section 6.4 / Figure 14) ------------------------------------------
+
+    def prefill_compute_seconds(self, batch_size: int, seq_len: int) -> float:
+        """GPU time of the prefill pass (FlashAttention for all systems)."""
+        model = self.model
+        gpu = self.hardware_config().gpu_spec
+        total = 0.0
+        for layer in range(model.n_layers):
+            qkv = model.qkv_flops_per_layer(batch_size) * seq_len
+            attn = model.attention_flops_per_layer(batch_size, seq_len) * seq_len / 2.0
+            mlp = model.mlp_flops_per_layer(batch_size, layer) * seq_len
+            total += qkv + attn + mlp
+        return total / gpu.effective_flops
+
+    def prefill_weight_seconds(self, batch_size: int, seq_len: int) -> float:
+        """Weight-streaming time of one full pass (source-dependent)."""
+        hardware = self.hardware_config()
+        total_bytes = self.model.weight_bytes()
+        return total_bytes / hardware.host_pcie_bandwidth
+
+    def prefill_kv_write_seconds(self, batch_size: int, seq_len: int) -> float:
+        """Time to persist the prefill KV cache to its home."""
+        hardware = self.hardware_config()
+        kv_bytes = self.model.kv_cache_bytes(batch_size, seq_len)
+        if self.kv_placement is KVPlacement.DRAM:
+            return kv_bytes / hardware.host_dram_bandwidth
+        n = max(1, hardware.n_conventional_ssds + hardware.n_smartssds)
+        write_bw = n * (
+            hardware.conventional_ssd_spec.write_bandwidth
+            if hardware.n_conventional_ssds
+            else hardware.smartssd_flash_spec.write_bandwidth
+        )
+        return kv_bytes / write_bw
+
+    #: Prefill pipeline inefficiency (imperfect overlap of the three streams).
+    PREFILL_OVERLAP_FACTOR = 1.15
+
+    def prefill_seconds(self, batch_size: int, seq_len: int) -> float:
+        """End-to-end prefill latency: overlapped compute/weights/KV writes."""
+        compute = self.prefill_compute_seconds(batch_size, seq_len)
+        weights = self.prefill_weight_seconds(batch_size, seq_len)
+        kv_write = self.prefill_kv_write_seconds(batch_size, seq_len)
+        return max(compute, weights, kv_write) * self.PREFILL_OVERLAP_FACTOR
+
+    # --- end-to-end (Figure 14) -----------------------------------------------------------------
+
+    def total_latency_seconds(
+        self, batch_size: int, seq_len: int, output_tokens: int
+    ) -> tuple[float, float, float]:
+        """(prefill, decode, total) latency for a full request batch."""
+        result = self.measure(batch_size, seq_len)
+        if result.oom:
+            return float("inf"), float("inf"), float("inf")
+        decode = result.step_seconds * output_tokens
+        return result.prefill_seconds, decode, result.prefill_seconds + decode

@@ -1,0 +1,42 @@
+"""Factory for the evaluated inference systems, by the paper's figure labels."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.baselines.deepspeed import DeepSpeedUVM
+from repro.baselines.flexgen import FlexGenDRAM, FlexGenSSD, FlexGenSmartSSDsNoFPGA
+from repro.errors import ConfigurationError
+from repro.models.config import ModelConfig
+
+
+def _hilos(n_devices: int) -> Callable[[ModelConfig], object]:
+    def build(model: ModelConfig):
+        # Imported lazily: repro.core.runtime imports this package's base.
+        from repro.core.config import HilosConfig
+        from repro.core.runtime import HilosSystem
+
+        return HilosSystem(model, HilosConfig(n_devices=n_devices))
+
+    return build
+
+
+SYSTEM_BUILDERS: dict[str, Callable[[ModelConfig], object]] = {
+    "FLEX(SSD)": FlexGenSSD,
+    "FLEX(DRAM)": FlexGenDRAM,
+    "FLEX(16 PCIe 3.0 SSDs)": FlexGenSmartSSDsNoFPGA,
+    "DS+UVM(DRAM)": DeepSpeedUVM,
+    "HILOS (4 SmartSSDs)": _hilos(4),
+    "HILOS (8 SmartSSDs)": _hilos(8),
+    "HILOS (16 SmartSSDs)": _hilos(16),
+}
+
+
+def build_inference_system(label: str, model: ModelConfig):
+    """Instantiate a system by its figure label (e.g. ``"FLEX(SSD)"``)."""
+    try:
+        builder = SYSTEM_BUILDERS[label]
+    except KeyError:
+        known = ", ".join(SYSTEM_BUILDERS)
+        raise ConfigurationError(f"unknown system {label!r}; known: {known}") from None
+    return builder(model)

@@ -1,0 +1,16 @@
+"""HILOS core: attention near storage, X-cache, delayed writeback, runtime."""
+
+from repro.core.config import HilosConfig
+from repro.core.runtime import HilosSystem
+from repro.core.writeback import WritebackPlan, plan_writeback
+from repro.core.xcache import CacheSchedule, optimal_alpha, select_alpha
+
+__all__ = [
+    "HilosConfig",
+    "HilosSystem",
+    "WritebackPlan",
+    "plan_writeback",
+    "CacheSchedule",
+    "optimal_alpha",
+    "select_alpha",
+]

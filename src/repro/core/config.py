@@ -1,0 +1,48 @@
+"""HILOS system configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class HilosConfig:
+    """Feature flags and parameters of a HILOS deployment.
+
+    The defaults correspond to the paper's evaluated configuration:
+    8 SmartSSDs (``HILOS (8 SmartSSDs)`` is the paper's default), automatic
+    X-cache ratio, spill interval 16, and all three optimizations enabled.
+    Ablations (Figure 15) toggle the feature flags.
+    """
+
+    n_devices: int = 8
+    alpha: float | None = None  # None selects automatically (Section 4.2)
+    spill_interval: int = 16
+    use_xcache: bool = True
+    use_delayed_writeback: bool = True
+    #: Per-layer fixed overhead (kernel launches, OpenCL enqueue, sync).
+    per_layer_overhead_s: float = 0.004
+
+    def __post_init__(self) -> None:
+        if self.n_devices < 1:
+            raise ConfigurationError("HILOS needs at least one NSP device")
+        if self.alpha is not None and not 0.0 <= self.alpha <= 1.0:
+            raise ConfigurationError("alpha must be within [0, 1]")
+        if self.spill_interval < 1:
+            raise ConfigurationError("spill interval must be >= 1")
+
+    def effective_spill_interval(self) -> int:
+        """Spill interval honoring the delayed-writeback flag (1 = naive)."""
+        return self.spill_interval if self.use_delayed_writeback else 1
+
+    def ablation_name(self) -> str:
+        """The paper's ablation label for this flag combination (Fig. 15)."""
+        if self.use_xcache and self.use_delayed_writeback:
+            return "ANS+WB+X"
+        if self.use_xcache:
+            return "ANS+X"
+        if self.use_delayed_writeback:
+            return "ANS+WB"
+        return "ANS"

@@ -1,0 +1,146 @@
+"""Timing-side model of delayed KV cache writeback (Section 4.3).
+
+The functional twin lives in :mod:`repro.functional.writeback`; this module
+computes the *byte and FLOP volumes* the event simulation moves each decode
+step:
+
+* the new KV entries staged from GPU to the host buffer;
+* the per-step host -> accelerator transfer (query vectors, precomputed
+  partial ``QK^T`` scalars for the staged keys, and the staged value
+  vectors, which are re-sent until spilled);
+* the CPU FLOPs of the partial ``QK^T`` precompute;
+* the periodic spill volume and its write granule (``c`` entries per head
+  laid out contiguously -- c=16 entries of ~256 B fill exactly one 4 KiB
+  flash page, which is why the paper finds c=16 optimal).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.models.config import ModelConfig
+from repro.units import BYTES_FP32
+
+#: Latency of one host-issued direct-I/O write (NVMe round trip + syscall).
+#: The naive approach (Figure 6a) commits every per-head KV entry with such
+#: an operation, serialized on the inference thread's critical path.
+DIRECT_IO_LATENCY_S = 1.2e-4
+
+#: Fixed XRT/DMA synchronization cost of one spill, fanned across the
+#: batch x head tiles (buffer re-registration and kernel-argument updates).
+XRT_SPILL_SYNC_S = 0.25
+
+#: Per-staged-entry DMA bookkeeping each step (pinned-buffer scatter/gather
+#: for the redundantly re-sent value vectors).  Together with the spill sync
+#: this produces the U-shaped spill-interval sensitivity of Figure 13 and
+#: the >30% degradation at c=64 discussed in Section 7.3.
+DMA_PER_STAGED_ENTRY_S = 0.003
+
+
+@dataclass(frozen=True)
+class WritebackPlan:
+    """Per-step byte/FLOP volumes of the writeback machinery for one layer."""
+
+    spill_interval: int
+    stage_bytes_per_step: float
+    host_to_device_bytes_per_step: float
+    cpu_partial_flops_per_step: float
+    spill_bytes: float
+    spill_granule_bytes: float
+    host_buffer_peak_bytes: float
+    #: Critical-path seconds of the naive per-entry commit (0 when delayed).
+    naive_commit_seconds: float = 0.0
+
+    @property
+    def mean_staged_entries(self) -> float:
+        """Average number of staged tokens between spills."""
+        return (self.spill_interval - 1) / 2.0
+
+    def per_layer_overhead_seconds(self) -> float:
+        """Per-layer, per-step writeback management overhead.
+
+        Amortized spill synchronization (``A / c``) plus per-staged-entry
+        DMA bookkeeping (``B * (c - 1) / 2``): minimized near c=16, rising
+        toward both tiny intervals (frequent spill syncs) and large ones
+        (big pinned-buffer transfers), as Figure 13 and Section 7.3 observe.
+        """
+        if self.spill_interval <= 1:
+            return 0.0
+        return (
+            XRT_SPILL_SYNC_S / self.spill_interval
+            + DMA_PER_STAGED_ENTRY_S * self.mean_staged_entries
+        )
+
+
+def plan_writeback(
+    model: ModelConfig,
+    batch_size: int,
+    spill_interval: int,
+    nsp_fraction: float = 1.0,
+) -> WritebackPlan:
+    """Build the per-layer writeback volumes.
+
+    ``nsp_fraction`` is ``1 - alpha``: only the tiles served by the NSP
+    devices flow through the KV writeback path (X-managed tiles stage their
+    activations instead, handled by the runtime separately).
+
+    ``spill_interval == 1`` degenerates to the naive per-token write
+    (Figure 6a): nothing is staged, every entry is committed at per-head
+    granularity on the critical path.
+    """
+    if spill_interval < 1:
+        raise ConfigurationError("spill interval must be >= 1")
+    if not 0.0 <= nsp_fraction <= 1.0:
+        raise ConfigurationError("nsp_fraction must be within [0, 1]")
+    new_kv_bytes = model.kv_bytes_per_token_per_layer() * batch_size * nsp_fraction
+    query_bytes = model.n_heads * model.head_dim * model.bytes_per_element * batch_size
+    staged_mean = (spill_interval - 1) / 2.0
+    # Partial QK^T scalars: one FP32 per (query head, staged token).
+    score_bytes = model.n_heads * staged_mean * BYTES_FP32 * batch_size * nsp_fraction
+    # Staged V rows are re-sent each step until spilled (Section 4.3).
+    staged_v_bytes = (
+        model.kv_proj_dim * model.bytes_per_element * staged_mean * batch_size * nsp_fraction
+    )
+    cpu_flops = 2.0 * model.n_heads * model.head_dim * staged_mean * batch_size * nsp_fraction
+    spill_bytes = new_kv_bytes * spill_interval
+    granule = model.kv_entry_bytes_per_head() * spill_interval
+    if spill_interval == 1:
+        host_to_device = query_bytes + new_kv_bytes
+        # One direct-I/O op per (batch element, KV head): K and V rows land
+        # in the same sub-page run, committed synchronously by the host.
+        io_ops = batch_size * model.n_kv_heads * nsp_fraction
+        return WritebackPlan(
+            spill_interval=1,
+            stage_bytes_per_step=0.0,
+            host_to_device_bytes_per_step=host_to_device,
+            cpu_partial_flops_per_step=0.0,
+            spill_bytes=new_kv_bytes,
+            spill_granule_bytes=model.kv_entry_bytes_per_head(),
+            host_buffer_peak_bytes=0.0,
+            naive_commit_seconds=io_ops * DIRECT_IO_LATENCY_S,
+        )
+    host_to_device = query_bytes + score_bytes + staged_v_bytes + new_kv_bytes
+    return WritebackPlan(
+        spill_interval=spill_interval,
+        stage_bytes_per_step=new_kv_bytes,
+        host_to_device_bytes_per_step=host_to_device,
+        cpu_partial_flops_per_step=cpu_flops,
+        spill_bytes=spill_bytes,
+        spill_granule_bytes=granule,
+        host_buffer_peak_bytes=new_kv_bytes * spill_interval * model.n_layers,
+    )
+
+
+def writeback_write_amplification(model: ModelConfig, spill_interval: int) -> float:
+    """Modeled flash write amplification for per-head KV appends.
+
+    Each head's ``spill_interval`` entries are written as one contiguous
+    run; the flash programs whole 4 KiB pages, so amplification is the page
+    round-up of that run.  c=16 with 256-byte entries is exactly one page.
+    """
+    from repro.units import KiB, ceil_div
+
+    run_bytes = model.kv_entry_bytes_per_head() * spill_interval
+    pages = ceil_div(int(run_bytes), 4 * KiB)
+    return pages * 4 * KiB / run_bytes

@@ -1,0 +1,155 @@
+"""Cooperative X-cache scheduling (Section 4.2).
+
+The cache scheduler decides which fraction ``alpha`` of the batch x head
+tiles is served by the host GPU (reading the pre-projection activations
+``X`` over the interconnect and regenerating K/V) versus the near-storage
+accelerators (reading K/V over the internal flash path).
+
+The paper's first-order model balances the two pipelines:
+
+    T_PCI = alpha * S_X / B_PCI
+    T_GPU = alpha * regeneration FLOPs / C_GPU
+    T_SSD = (alpha * S_X + (1 - alpha) * S_KV) / B_SSD
+    T_eff = max(T_GPU, T_SSD, T_PCI)
+
+For MHA models ``S_X = S_KV / 2`` and equating T_PCI with T_SSD yields the
+closed form ``alpha* = 2 B_PCI / (B_SSD + B_PCI)`` (so B_SSD/B_PCI ~= 3
+gives alpha ~= 50%, the Figure 13 optimum).  :func:`select_alpha` evaluates
+the full max() over a candidate grid -- including the GPU-regeneration term
+the closed form neglects -- and snaps to the grid point with the lowest
+predicted latency, mirroring the runtime's automatic selection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.models.config import ModelConfig
+
+#: The candidate grid the runtime snaps alpha onto (the paper selects "an
+#: alpha closest to a power of two"; the sensitivity study also sweeps 75%).
+ALPHA_CANDIDATES = (0.0, 0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 1.0)
+
+
+def optimal_alpha(
+    b_ssd: float,
+    b_pci: float,
+    x_to_kv_ratio: float = 0.5,
+) -> float:
+    """Closed-form alpha balancing interconnect and internal-flash time.
+
+    Generalizes the paper's Section 4.2 derivation to an arbitrary
+    ``S_X / S_KV`` ratio ``r`` (0.5 for MHA; >0.5 for GQA models whose KV
+    projections are narrow)::
+
+        alpha* = B_PCI / (r * (B_SSD - B_PCI) + B_PCI)
+
+    which reduces to ``2 B_PCI / (B_SSD + B_PCI)`` at ``r = 0.5``.  The
+    result is clamped to [0, 1].
+    """
+    if b_ssd <= 0 or b_pci <= 0:
+        raise ConfigurationError("bandwidths must be positive")
+    if x_to_kv_ratio <= 0:
+        raise ConfigurationError("x_to_kv_ratio must be positive")
+    denominator = x_to_kv_ratio * (b_ssd - b_pci) + b_pci
+    if denominator <= 0:
+        return 1.0
+    return min(1.0, max(0.0, b_pci / denominator))
+
+
+@dataclass(frozen=True)
+class CacheSchedule:
+    """The scheduler's decision and its predicted pipeline times."""
+
+    alpha: float
+    analytic_alpha: float
+    predicted_seconds: float
+    t_pci: float
+    t_ssd: float
+    t_gpu: float
+
+    @property
+    def bottleneck(self) -> str:
+        """Which pipeline governs the predicted latency."""
+        stages = {"pci": self.t_pci, "ssd": self.t_ssd, "gpu": self.t_gpu}
+        return max(stages, key=stages.get)
+
+
+def predict_effective_time(
+    alpha: float,
+    s_kv_bytes: float,
+    b_ssd: float,
+    b_pci: float,
+    gpu_flops: float,
+    regen_flops_full: float,
+    x_to_kv_ratio: float = 0.5,
+) -> tuple[float, float, float]:
+    """(T_PCI, T_SSD, T_GPU) for one decode step at a given alpha.
+
+    ``s_kv_bytes`` is the full per-step KV volume, ``regen_flops_full`` the
+    FLOPs to regenerate K/V for the *entire* batch (scaled by alpha here).
+    """
+    s_x_bytes = x_to_kv_ratio * s_kv_bytes
+    t_pci = alpha * s_x_bytes / b_pci
+    t_ssd = (alpha * s_x_bytes + (1.0 - alpha) * s_kv_bytes) / b_ssd
+    t_gpu = alpha * regen_flops_full / gpu_flops
+    return t_pci, t_ssd, t_gpu
+
+
+def select_alpha(
+    model: ModelConfig,
+    batch_size: int,
+    seq_len: int,
+    b_ssd: float,
+    b_pci: float,
+    gpu_flops: float,
+    candidates: tuple[float, ...] = ALPHA_CANDIDATES,
+    weight_bytes_per_layer: float = 0.0,
+    weights_on_storage: bool = False,
+    b_host: float | None = None,
+) -> CacheSchedule:
+    """Pick the candidate alpha minimizing the predicted pipeline maximum.
+
+    Beyond the paper's three-term balance, the predictor accounts for weight
+    streaming when it shares the X-cache's paths: for >100B models whose
+    weights live on the NSP flash (Section 6.1), weight reads occupy both
+    the internal flash bandwidth and the host-facing link, which pushes the
+    optimum toward smaller alpha (to zero for weight-heavy MoE models such
+    as GLaM-143B, whose per-layer expert weights rival the KV volume).
+    """
+    if not candidates:
+        raise ConfigurationError("candidate grid must not be empty")
+    from repro.analysis.traffic import x_to_kv_size_ratio
+
+    ratio = x_to_kv_size_ratio(model)
+    s_kv = float(model.kv_bytes_per_token_per_layer()) * batch_size * seq_len
+    regen_full = model.kv_regen_flops_per_layer(batch_size, seq_len)
+    analytic = optimal_alpha(b_ssd, b_pci, x_to_kv_ratio=ratio)
+    shared_weights = weight_bytes_per_layer if weights_on_storage else 0.0
+    best: CacheSchedule | None = None
+    for alpha in candidates:
+        t_pci, t_ssd, t_gpu = predict_effective_time(
+            alpha, s_kv, b_ssd, b_pci, gpu_flops, regen_full, x_to_kv_ratio=ratio
+        )
+        # Weight streaming shares the device-side uplink (only when weights
+        # come from flash) and the GPU's host link (always).
+        t_pci += shared_weights / b_pci
+        t_ssd += shared_weights / b_ssd
+        t_gpu_link = 0.0
+        if b_host is not None:
+            t_gpu_link = (
+                alpha * ratio * s_kv + weight_bytes_per_layer
+            ) / b_host
+        predicted = max(t_pci, t_ssd, t_gpu, t_gpu_link)
+        if best is None or predicted < best.predicted_seconds - 1e-12:
+            best = CacheSchedule(
+                alpha=alpha,
+                analytic_alpha=analytic,
+                predicted_seconds=predicted,
+                t_pci=t_pci,
+                t_ssd=t_ssd,
+                t_gpu=t_gpu,
+            )
+    assert best is not None
+    return best

@@ -1,0 +1,37 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause while still being
+able to distinguish configuration mistakes from simulation-engine faults.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid or inconsistent configuration value was supplied."""
+
+
+class CapacityError(ReproError):
+    """A placement request exceeded a device's modeled capacity.
+
+    Raised, for example, when a model's KV cache cannot fit in host DRAM for
+    a ``FLEX(DRAM)`` configuration (the paper reports these cases as
+    ``CPU OOM`` in Figures 10-12).
+    """
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation kernel reached an inconsistent state."""
+
+
+class SchedulingError(ReproError):
+    """A scheduler (X-cache, writeback, partitioner) received invalid work."""
+
+
+class NumericsError(ReproError):
+    """A functional kernel was driven with shapes or dtypes it cannot accept."""

@@ -1,0 +1,12 @@
+"""Experiment harnesses: one module per paper table/figure.
+
+Each module exposes ``run(fast: bool = True) -> list[Table]`` producing the
+rows/series the paper reports, and can be executed directly
+(``python -m repro.experiments.fig10_throughput``).  ``fast`` trims contexts
+and repetition so the pytest benchmarks finish quickly; ``--full`` via
+:mod:`repro.experiments.runner` uses paper-scale parameters.
+"""
+
+from repro.experiments.harness import Table, format_tables, normalize
+
+__all__ = ["Table", "format_tables", "normalize"]

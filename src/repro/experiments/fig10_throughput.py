@@ -1,0 +1,66 @@
+"""Figure 10: the headline decoding-throughput comparison.
+
+Seven systems across OPT-30B/66B/175B and 32K/64K/128K contexts at batch
+16, normalized to ``FLEX(SSD)``.  The paper's shape targets:
+
+* ``FLEX(16 PCIe 3.0 SSDs)`` lands at 0.64-0.94x of FLEX(SSD);
+* ``DS+UVM(DRAM)`` is >4x slower than FLEX(DRAM);
+* HILOS(4) beats FLEX(DRAM) by 1.10-1.36x; HILOS(16) by 1.88-2.49x;
+* where FLEX(DRAM) OOMs, HILOS(16) reaches 5.3-7.9x over FLEX(SSD).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.registry import SYSTEM_BUILDERS, build_inference_system
+from repro.experiments.harness import Table
+from repro.models import get_model
+
+BATCH = 16
+
+FAST_POINTS = [("OPT-66B", 32768), ("OPT-66B", 65536)]
+FULL_POINTS = [
+    (model, seq)
+    for model in ("OPT-30B", "OPT-66B", "OPT-175B")
+    for seq in (32768, 65536, 131072)
+]
+
+SYSTEMS = list(SYSTEM_BUILDERS)
+
+
+def run(fast: bool = True, systems: list[str] | None = None) -> list[Table]:
+    """Throughput (absolute and normalized) for every (model, context)."""
+    points = FAST_POINTS if fast else FULL_POINTS
+    systems = systems or SYSTEMS
+    table = Table(
+        title="Fig 10 decoding throughput (batch 16)",
+        columns=["model", "seq_len", "system", "batch", "tokens_per_s", "norm_vs_flex_ssd"],
+        notes="0 tokens/s with batch 0 marks the paper's CPU OOM cases",
+    )
+    for model_name, seq_len in points:
+        model = get_model(model_name)
+        baseline_tput = None
+        for label in systems:
+            system = build_inference_system(label, model)
+            result = system.measure(BATCH, seq_len, n_steps=1, warmup_steps=1)
+            if label == "FLEX(SSD)":
+                baseline_tput = result.tokens_per_second
+            norm = (
+                result.tokens_per_second / baseline_tput
+                if baseline_tput
+                else 0.0
+            )
+            table.add_row(
+                model_name,
+                seq_len,
+                label,
+                result.effective_batch,
+                result.tokens_per_second,
+                norm,
+            )
+    return [table]
+
+
+if __name__ == "__main__":
+    from repro.experiments.harness import format_tables
+
+    print(format_tables(run(fast=True)))

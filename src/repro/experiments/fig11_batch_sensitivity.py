@@ -1,0 +1,91 @@
+"""Figure 11: batch-size sensitivity on OPT-66B.
+
+(a) Decoding throughput across batch sizes 1..16 at 32K/64K contexts:
+``FLEX(DRAM)`` is capacity-capped at batch 2 (then OOM), ``FLEX(SSD)``
+scales but stays KV-I/O-bound, HILOS scales through batch 16.
+
+(b) Per-layer execution breakdown at batch 1/4/16: FLEX(DRAM) is dominated
+by weight loading, FLEX(SSD) by KV-cache I/O, HILOS by neither.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.flexgen import FlexGenDRAM, FlexGenSSD
+from repro.core.config import HilosConfig
+from repro.core.runtime import HilosSystem
+from repro.experiments.harness import Table
+from repro.models import get_model
+from repro.sim.metrics import HOST_COMPUTE, LOAD_KV, LOAD_WEIGHT, PAPER_PHASES, STORE_KV
+
+MODEL = "OPT-66B"
+
+
+def _systems(model):
+    return [
+        ("FLEX(SSD)", FlexGenSSD(model)),
+        ("FLEX(DRAM)", FlexGenDRAM(model)),
+        ("HILOS (4 SmartSSDs)", HilosSystem(model, HilosConfig(n_devices=4))),
+        ("HILOS (16 SmartSSDs)", HilosSystem(model, HilosConfig(n_devices=16))),
+    ]
+
+
+def throughput_table(fast: bool = True) -> Table:
+    """Figure 11(a): tokens/sec across batch sizes."""
+    model = get_model(MODEL)
+    contexts = [32768] if fast else [32768, 65536]
+    batches = [1, 4, 16] if fast else [1, 2, 4, 8, 16]
+    table = Table(
+        title="Fig 11(a) batch-size sensitivity (OPT-66B)",
+        columns=["seq_len", "batch", "system", "effective_batch", "tokens_per_s"],
+        notes="effective_batch 0 marks CPU OOM",
+    )
+    for seq_len in contexts:
+        for batch in batches:
+            for label, system in _systems(model):
+                result = system.measure(batch, seq_len, n_steps=1, warmup_steps=1)
+                table.add_row(
+                    seq_len, batch, label, result.effective_batch, result.tokens_per_second
+                )
+    return table
+
+
+def breakdown_table(fast: bool = True) -> Table:
+    """Figure 11(b): per-layer execution breakdown at 32K."""
+    model = get_model(MODEL)
+    batches = [1, 16] if fast else [1, 4, 16]
+    table = Table(
+        title="Fig 11(b) per-layer execution breakdown (OPT-66B, 32K)",
+        columns=["system", "batch", "load_weight_pct", "load_kv_pct", "store_kv_pct", "host_compute_pct"],
+    )
+    model_systems = [
+        ("FLEX(SSD)", lambda: FlexGenSSD(model)),
+        ("FLEX(DRAM)", lambda: FlexGenDRAM(model)),
+        ("HILOS (16 SSDs)", lambda: HilosSystem(model, HilosConfig(n_devices=16))),
+    ]
+    for label, make in model_systems:
+        for batch in batches:
+            result = make().measure(batch, 32768, n_steps=1, warmup_steps=1)
+            if result.oom:
+                table.add_row(label, batch, 0.0, 0.0, 0.0, 0.0)
+                continue
+            f = result.breakdown.fractions(PAPER_PHASES)
+            table.add_row(
+                label,
+                batch,
+                100 * f[LOAD_WEIGHT],
+                100 * f[LOAD_KV],
+                100 * f[STORE_KV],
+                100 * f[HOST_COMPUTE],
+            )
+    return table
+
+
+def run(fast: bool = True) -> list[Table]:
+    """Both panels of Figure 11."""
+    return [throughput_table(fast), breakdown_table(fast)]
+
+
+if __name__ == "__main__":
+    from repro.experiments.harness import format_tables
+
+    print(format_tables(run(fast=True)))

@@ -1,0 +1,69 @@
+"""Figure 14: total execution time by output length.
+
+Prefill latency is fixed per request; decode latency scales with the output
+length.  Because HILOS accelerates decoding, longer outputs amortize the
+shared prefill cost and widen the end-to-end speedup (up to ~6x at 128
+output tokens in the paper).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.flexgen import FlexGenSSD
+from repro.core.config import HilosConfig
+from repro.core.runtime import HilosSystem
+from repro.experiments.harness import Table
+from repro.models import get_model
+
+BATCH = 16
+OUTPUT_LENGTHS = [16, 32, 64, 128]
+
+FAST_POINTS = [("OPT-30B", 16384)]
+FULL_POINTS = [
+    ("OPT-30B", 16384),
+    ("OPT-30B", 32768),
+    ("OPT-66B", 16384),
+    ("OPT-66B", 32768),
+]
+
+
+def run(fast: bool = True) -> list[Table]:
+    """Prefill/decode split and end-to-end speedup per output length."""
+    points = FAST_POINTS if fast else FULL_POINTS
+    table = Table(
+        title="Fig 14 total execution time by output length (batch 16)",
+        columns=[
+            "model",
+            "seq_len",
+            "output_len",
+            "system",
+            "prefill_s",
+            "decode_s",
+            "total_s",
+            "speedup",
+        ],
+    )
+    for model_name, seq_len in points:
+        model = get_model(model_name)
+        flex = FlexGenSSD(model).measure(BATCH, seq_len, n_steps=1, warmup_steps=1)
+        hilos = HilosSystem(model, HilosConfig(n_devices=16)).measure(
+            BATCH, seq_len, n_steps=1, warmup_steps=1
+        )
+        for output_len in OUTPUT_LENGTHS:
+            flex_total = flex.prefill_seconds + flex.step_seconds * output_len
+            hilos_total = hilos.prefill_seconds + hilos.step_seconds * output_len
+            table.add_row(
+                model_name, seq_len, output_len, "FLEX",
+                flex.prefill_seconds, flex.step_seconds * output_len, flex_total, 1.0,
+            )
+            table.add_row(
+                model_name, seq_len, output_len, "HILOS",
+                hilos.prefill_seconds, hilos.step_seconds * output_len, hilos_total,
+                flex_total / hilos_total,
+            )
+    return [table]
+
+
+if __name__ == "__main__":
+    from repro.experiments.harness import format_tables
+
+    print(format_tables(run(fast=True)))

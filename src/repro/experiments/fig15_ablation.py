@@ -1,0 +1,72 @@
+"""Figure 15: ablation of the three HILOS optimizations.
+
+Configurations (all normalized to ``FLEX(SSD)``):
+
+* ``ANS``       -- attention near storage alone (naive per-entry writeback);
+* ``ANS+WB``    -- plus delayed KV cache writeback (up to ~1.3x over ANS);
+* ``ANS+X``     -- plus cooperative X-cache (up to ~1.6x over ANS);
+* ``ANS+WB+X``  -- the full system.
+
+MoE models (GLaM-143B) see smaller relative gains -- their KV-to-weight
+ratio is lower -- while longer contexts and bigger batches amplify the
+benefits.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.flexgen import FlexGenSSD
+from repro.core.config import HilosConfig
+from repro.core.runtime import HilosSystem
+from repro.experiments.harness import Table
+from repro.models import get_model
+
+N_DEVICES = 16
+
+ABLATIONS = [
+    ("ANS", HilosConfig(n_devices=N_DEVICES, use_xcache=False, use_delayed_writeback=False)),
+    ("ANS+WB", HilosConfig(n_devices=N_DEVICES, use_xcache=False, use_delayed_writeback=True)),
+    ("ANS+X", HilosConfig(n_devices=N_DEVICES, use_xcache=True, use_delayed_writeback=False)),
+    ("ANS+WB+X", HilosConfig(n_devices=N_DEVICES, use_xcache=True, use_delayed_writeback=True)),
+]
+
+FAST_POINTS = [("OPT-30B", 16, 16384), ("OPT-30B", 16, 32768)]
+FULL_POINTS = [
+    (model, batch, seq)
+    for model in ("OPT-30B", "OPT-66B", "GLaM-143B")
+    for batch in (16, 32)
+    for seq in (16384, 32768, 65536)
+]
+
+
+def run(fast: bool = True) -> list[Table]:
+    """Normalized throughput for each ablation configuration."""
+    points = FAST_POINTS if fast else FULL_POINTS
+    table = Table(
+        title="Fig 15 ablation study (normalized to FLEX(SSD))",
+        columns=["model", "batch", "seq_len", "config", "tokens_per_s", "normalized"],
+    )
+    for model_name, batch, seq_len in points:
+        model = get_model(model_name)
+        flex = FlexGenSSD(model).measure(batch, seq_len, n_steps=1, warmup_steps=1)
+        table.add_row(
+            model_name, batch, seq_len, "FLEX(SSD)", flex.tokens_per_second, 1.0
+        )
+        for label, config in ABLATIONS:
+            result = HilosSystem(model, config).measure(
+                batch, seq_len, n_steps=1, warmup_steps=1
+            )
+            table.add_row(
+                model_name,
+                batch,
+                seq_len,
+                label,
+                result.tokens_per_second,
+                result.tokens_per_second / flex.tokens_per_second,
+            )
+    return [table]
+
+
+if __name__ == "__main__":
+    from repro.experiments.harness import format_tables
+
+    print(format_tables(run(fast=True)))

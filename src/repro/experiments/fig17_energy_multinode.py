@@ -1,0 +1,106 @@
+"""Figure 17: energy breakdown and the multi-node vLLM comparison.
+
+(a) Energy per generated token, attributed to CPU/DRAM/GPU/SSD and
+normalized to the per-model worst case: FLEX(SSD)'s low throughput makes it
+the least efficient despite cheap drives; HILOS's SmartSSDs draw more power
+but cut latency enough for up to ~85% total-energy savings.
+
+(b) OPT-175B against a 2-node / 8x A6000 vLLM deployment: the fleet holds
+the weights but starves for KV room, so HILOS wins by ~1.6-1.8x.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.energy import energy_breakdown
+from repro.baselines.flexgen import FlexGenDRAM, FlexGenSSD
+from repro.baselines.vllm import MultiNodeVLLM
+from repro.core.config import HilosConfig
+from repro.core.runtime import HilosSystem
+from repro.experiments.harness import Table
+from repro.models import get_model
+
+BATCH = 16
+
+
+def energy_table(fast: bool = True) -> Table:
+    """Figure 17(a): per-token energy breakdown."""
+    models = ["OPT-30B"] if fast else ["OPT-30B", "OPT-66B", "OPT-175B"]
+    seq_len = 16384
+    table = Table(
+        title="Fig 17(a) energy per token (J), by component",
+        columns=["model", "system", "cpu_j", "dram_j", "gpu_j", "ssd_j", "total_j", "norm"],
+        notes="norm is relative to the per-model maximum (the paper's normalized energy)",
+    )
+    for model_name in models:
+        model = get_model(model_name)
+        entries = [
+            ("FLEX(SSD)", FlexGenSSD(model), dict(n_conventional_ssds=4)),
+            ("FLEX(DRAM)", FlexGenDRAM(model), dict(n_conventional_ssds=4)),
+            ("HILOS (4 SSDs)", HilosSystem(model, HilosConfig(n_devices=4)), dict(n_smartssds=4, d_group=model.d_group)),
+            ("HILOS (8 SSDs)", HilosSystem(model, HilosConfig(n_devices=8)), dict(n_smartssds=8, d_group=model.d_group)),
+            ("HILOS (16 SSDs)", HilosSystem(model, HilosConfig(n_devices=16)), dict(n_smartssds=16, d_group=model.d_group)),
+        ]
+        rows = []
+        for label, system, kwargs in entries:
+            result = system.measure(BATCH, seq_len, n_steps=1, warmup_steps=1)
+            if result.oom:
+                continue
+            energy = energy_breakdown(result, **kwargs)
+            rows.append((label, energy))
+        if not rows:
+            continue
+        max_total = max(energy.total_j for _, energy in rows)
+        for label, energy in rows:
+            table.add_row(
+                model_name,
+                label,
+                energy.cpu_j,
+                energy.dram_j,
+                energy.gpu_j,
+                energy.ssd_j,
+                energy.total_j,
+                energy.total_j / max_total,
+            )
+    return table
+
+
+def multinode_table(fast: bool = True) -> Table:
+    """Figure 17(b): HILOS vs the distributed vLLM baseline on OPT-175B."""
+    model = get_model("OPT-175B")
+    contexts = [16384] if fast else [16384, 32768]
+    table = Table(
+        title="Fig 17(b) multi-node comparison (OPT-175B)",
+        columns=["seq_len", "system", "batch", "tokens_per_s", "hilos_speedup"],
+    )
+    for seq_len in contexts:
+        entries = [
+            ("FLEX(SSD)", FlexGenSSD(model)),
+            ("FLEX(DRAM)", FlexGenDRAM(model)),
+            ("vLLM (8xA6000)", MultiNodeVLLM(model)),
+            ("HILOS (16 SSDs)", HilosSystem(model, HilosConfig(n_devices=16))),
+        ]
+        results = {}
+        for label, system in entries:
+            results[label] = system.measure(BATCH, seq_len, n_steps=1, warmup_steps=1)
+        hilos_tput = results["HILOS (16 SSDs)"].tokens_per_second
+        for label, result in results.items():
+            speedup = (
+                hilos_tput / result.tokens_per_second
+                if result.tokens_per_second > 0
+                else float("inf")
+            )
+            table.add_row(
+                seq_len, label, result.effective_batch, result.tokens_per_second, speedup
+            )
+    return table
+
+
+def run(fast: bool = True) -> list[Table]:
+    """Both panels of Figure 17."""
+    return [energy_table(fast), multinode_table(fast)]
+
+
+if __name__ == "__main__":
+    from repro.experiments.harness import format_tables
+
+    print(format_tables(run(fast=True)))

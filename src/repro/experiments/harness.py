@@ -1,0 +1,91 @@
+"""Result tables and formatting shared by all experiment harnesses."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class Table:
+    """A paper-style result table: title, column headers, value rows."""
+
+    title: str
+    columns: list[str]
+    rows: list[list] = field(default_factory=list)
+    notes: str = ""
+
+    def add_row(self, *values) -> None:
+        """Append one row; must match the column count."""
+        if len(values) != len(self.columns):
+            raise ConfigurationError(
+                f"table {self.title!r}: row has {len(values)} values, "
+                f"expected {len(self.columns)}"
+            )
+        self.rows.append(list(values))
+
+    def column(self, name: str) -> list:
+        """All values of one column."""
+        try:
+            index = self.columns.index(name)
+        except ValueError:
+            raise ConfigurationError(
+                f"table {self.title!r} has no column {name!r}"
+            ) from None
+        return [row[index] for row in self.rows]
+
+    def to_dicts(self) -> list[dict]:
+        """Rows as column-keyed dictionaries."""
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def format(self) -> str:
+        """Aligned plain-text rendering."""
+        def render(value) -> str:
+            if isinstance(value, float):
+                if value == 0:
+                    return "0"
+                if abs(value) >= 1000 or abs(value) < 0.001:
+                    return f"{value:.3e}"
+                return f"{value:.3f}"
+            return str(value)
+
+        cells = [[render(v) for v in row] for row in self.rows]
+        widths = [
+            max(len(self.columns[i]), *(len(row[i]) for row in cells))
+            if cells
+            else len(self.columns[i])
+            for i in range(len(self.columns))
+        ]
+        lines = [f"== {self.title} =="]
+        header = "  ".join(c.ljust(w) for c, w in zip(self.columns, widths))
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in cells:
+            lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+        if self.notes:
+            lines.append(f"note: {self.notes}")
+        return "\n".join(lines)
+
+
+def format_tables(tables: list[Table]) -> str:
+    """Render several tables separated by blank lines."""
+    return "\n\n".join(table.format() for table in tables)
+
+
+def normalize(values: list[float], baseline: float) -> list[float]:
+    """Values relative to a baseline (the paper normalizes to FLEX(SSD))."""
+    if baseline <= 0:
+        raise ConfigurationError("baseline must be positive for normalization")
+    return [v / baseline for v in values]
+
+
+def geometric_mean(values: list[float]) -> float:
+    """Geometric mean of positive values."""
+    positive = [v for v in values if v > 0]
+    if not positive:
+        return 0.0
+    product = 1.0
+    for v in positive:
+        product *= v
+    return product ** (1.0 / len(positive))

@@ -1,0 +1,80 @@
+"""Command-line entry point: regenerate any (or every) table and figure.
+
+Usage::
+
+    python -m repro.experiments.runner --list
+    python -m repro.experiments.runner fig10 fig15
+    python -m repro.experiments.runner --all --full
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import (
+    discussion_future_csd,
+    estimator_correlation,
+    fig02_motivation,
+    fig04_ans_breakdown,
+    fig10_throughput,
+    fig11_batch_sensitivity,
+    fig12_model_arch,
+    fig13_spill_alpha,
+    fig14_output_length,
+    fig15_ablation,
+    fig16_cost_endurance,
+    fig17_energy_multinode,
+    fig18_accuracy,
+    table3_resources,
+)
+from repro.experiments.harness import format_tables
+
+EXPERIMENTS = {
+    "fig2": fig02_motivation,
+    "fig4": fig04_ans_breakdown,
+    "fig10": fig10_throughput,
+    "fig11": fig11_batch_sensitivity,
+    "fig12": fig12_model_arch,
+    "fig13": fig13_spill_alpha,
+    "fig14": fig14_output_length,
+    "fig15": fig15_ablation,
+    "fig16": fig16_cost_endurance,
+    "fig17": fig17_energy_multinode,
+    "fig18": fig18_accuracy,
+    "table3": table3_resources,
+    "estimator": estimator_correlation,
+    "future-csd": discussion_future_csd,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the requested experiments and print their tables."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("experiments", nargs="*", help="experiment names (see --list)")
+    parser.add_argument("--all", action="store_true", help="run every experiment")
+    parser.add_argument("--full", action="store_true", help="paper-scale parameters")
+    parser.add_argument("--list", action="store_true", help="list experiment names")
+    args = parser.parse_args(argv)
+    if args.list:
+        for name, module in EXPERIMENTS.items():
+            doc = (module.__doc__ or "").strip().splitlines()[0]
+            print(f"{name:10s} {doc}")
+        return 0
+    names = list(EXPERIMENTS) if args.all else args.experiments
+    if not names:
+        parser.error("no experiments requested (use --all or --list)")
+    for name in names:
+        if name not in EXPERIMENTS:
+            parser.error(f"unknown experiment {name!r} (use --list)")
+        started = time.time()
+        tables = EXPERIMENTS[name].run(fast=not args.full)
+        elapsed = time.time() - started
+        print(format_tables(tables))
+        print(f"\n[{name} completed in {elapsed:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,77 @@
+"""Table 3: resource utilization, peak performance, and power per build.
+
+The resource/power rows come from the anchored Table 3 models; the peak
+GFLOPS column is *predicted* by the DRAM-roofline block-timing model and
+printed next to the paper's measured value to show the calibration error.
+Also reports the Section 6.2 deployment figures (16 accelerators ~ 258 W,
+296.05 MHz clock) and the softmax-dominance trend of Section 7.2.
+"""
+
+from __future__ import annotations
+
+from repro.accelerator.config import AcceleratorConfig
+from repro.accelerator.pipeline import peak_gflops
+from repro.accelerator.power import accelerator_power_w, deployment_power_w
+from repro.accelerator.resources import estimate_resources, max_feasible_d_group
+from repro.accelerator.units import softmax_fraction
+from repro.experiments.harness import Table
+
+PAPER_PEAK_GFLOPS = {1: 11.9, 4: 46.8, 5: 56.3}
+
+
+def resource_table() -> Table:
+    """The Table 3 rows: utilization, peak perf (model vs paper), power."""
+    table = Table(
+        title="Table 3 resource utilization and achieved performance",
+        columns=[
+            "d_group",
+            "LUT_pct",
+            "FF_pct",
+            "BRAM_pct",
+            "URAM_pct",
+            "DSP_pct",
+            "peak_gflops_model",
+            "peak_gflops_paper",
+            "power_w",
+            "softmax_frac",
+        ],
+    )
+    for d_group in (1, 4, 5):
+        config = AcceleratorConfig(d_group=d_group)
+        res = estimate_resources(config)
+        table.add_row(
+            d_group,
+            res.lut,
+            res.ff,
+            res.bram,
+            res.uram,
+            res.dsp,
+            peak_gflops(config),
+            PAPER_PEAK_GFLOPS[d_group],
+            accelerator_power_w(config),
+            softmax_fraction(config),
+        )
+    return table
+
+
+def deployment_table() -> Table:
+    """Section 6.2 deployment-level figures."""
+    table = Table(
+        title="Deployment figures (Section 6.2)",
+        columns=["metric", "value"],
+    )
+    table.add_row("clock_mhz", AcceleratorConfig().clock_hz / 1e6)
+    table.add_row("full_16_device_power_w", deployment_power_w(16, d_group=5))
+    table.add_row("max_feasible_d_group", max_feasible_d_group())
+    return table
+
+
+def run(fast: bool = True) -> list[Table]:
+    """Table 3 plus the deployment summary."""
+    return [resource_table(), deployment_table()]
+
+
+if __name__ == "__main__":
+    from repro.experiments.harness import format_tables
+
+    print(format_tables(run(fast=True)))

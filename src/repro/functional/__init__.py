@@ -1,0 +1,53 @@
+"""Functional (numerical) kernels and the lossless end-to-end decode engine.
+
+This package implements the math the HILOS accelerator performs, in NumPy:
+
+* :mod:`repro.functional.softmax` -- the reference three-pass softmax and the
+  paper's two-pass streaming softmax (Algorithm 1).
+* :mod:`repro.functional.attention` -- reference MHA/GQA attention.
+* :mod:`repro.functional.blocked` -- block-tiled attention with online
+  transpose, emulating the accelerator dataflow of Figure 7.
+* :mod:`repro.functional.sparse` -- lossy top-k sparse attention
+  (InstAttention-style baseline for Figure 18c).
+* :mod:`repro.functional.rope` -- rotary position embeddings, exercised by
+  the X-cache recompute path.
+* :mod:`repro.functional.kvstore` -- page-layout KV/X cache stores with
+  write-amplification accounting.
+* :mod:`repro.functional.writeback` -- the functional delayed-writeback
+  buffer with host-side partial QK^T (Section 4.3).
+* :mod:`repro.functional.engine` -- a tiny end-to-end decoder that runs each
+  execution plan (baseline / ANS / +X-cache / +writeback) and produces
+  numerically equivalent outputs, demonstrating losslessness.
+"""
+
+from repro.functional.attention import (
+    grouped_query_attention,
+    multihead_decode_attention,
+    reference_attention,
+)
+from repro.functional.blocked import blocked_attention, transpose_in_blocks
+from repro.functional.engine import ExecutionPlan, FunctionalDecoder
+from repro.functional.rope import apply_rope
+from repro.functional.softmax import (
+    StreamingSoftmaxState,
+    reference_softmax,
+    three_pass_softmax,
+    two_pass_softmax,
+)
+from repro.functional.sparse import topk_sparse_attention
+
+__all__ = [
+    "reference_attention",
+    "grouped_query_attention",
+    "multihead_decode_attention",
+    "blocked_attention",
+    "transpose_in_blocks",
+    "ExecutionPlan",
+    "FunctionalDecoder",
+    "apply_rope",
+    "StreamingSoftmaxState",
+    "reference_softmax",
+    "three_pass_softmax",
+    "two_pass_softmax",
+    "topk_sparse_attention",
+]

@@ -1,0 +1,114 @@
+"""Reference attention kernels (MHA and GQA).
+
+These are the oracles that every optimized path -- the blocked accelerator
+emulation, the X-cache recompute path, and the delayed-writeback composition
+-- must match.  They compute in float64 via :func:`reference_softmax` so the
+comparison tolerance is dominated by the FP16 storage quantization of the
+system under test, not by the oracle itself.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import NumericsError
+from repro.functional.softmax import MASK_VALUE, reference_softmax
+
+
+def reference_attention(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    scale: float | None = None,
+    mask: np.ndarray | None = None,
+) -> np.ndarray:
+    """Exact scaled-dot-product attention for one head.
+
+    Parameters
+    ----------
+    q:
+        Queries of shape ``(n_q, d)``.
+    k, v:
+        Keys and values of shape ``(s, d)``.
+    scale:
+        Score scale; defaults to ``1/sqrt(d)`` (Equation 2).
+    mask:
+        Optional boolean of shape broadcastable to ``(n_q, s)``; ``False``
+        positions are masked with the paper's ``-1e4`` constant.
+    """
+    q = np.asarray(q, dtype=np.float64)
+    k = np.asarray(k, dtype=np.float64)
+    v = np.asarray(v, dtype=np.float64)
+    if q.ndim != 2 or k.ndim != 2 or v.ndim != 2:
+        raise NumericsError("reference_attention expects 2-D q, k, v")
+    if k.shape != v.shape:
+        raise NumericsError(f"k/v shape mismatch: {k.shape} vs {v.shape}")
+    if q.shape[1] != k.shape[1]:
+        raise NumericsError(f"q/k head-dim mismatch: {q.shape[1]} vs {k.shape[1]}")
+    if scale is None:
+        scale = 1.0 / np.sqrt(q.shape[1])
+    scores = (q @ k.T) * scale
+    if mask is not None:
+        scores = np.where(mask, scores, MASK_VALUE)
+    probs = reference_softmax(scores, axis=-1)
+    return probs @ v
+
+
+def grouped_query_attention(
+    q_group: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    scale: float | None = None,
+) -> np.ndarray:
+    """GQA for one KV head: ``d_group`` query heads share one K/V cache.
+
+    ``q_group`` has shape ``(d_group, d)``.  Functionally this is ordinary
+    attention with several query rows; the hardware distinction (broadcasting
+    the K/V buffers to ``d_group x 128`` MAC lanes so shared KV data is read
+    once, Section 4.4) is a performance property modeled in
+    :mod:`repro.accelerator`.
+    """
+    return reference_attention(q_group, k, v, scale=scale)
+
+
+def multihead_decode_attention(
+    q: np.ndarray,
+    k_cache: np.ndarray,
+    v_cache: np.ndarray,
+    n_query_heads: int | None = None,
+) -> np.ndarray:
+    """One decode step of multi-head (or grouped-query) attention.
+
+    Parameters
+    ----------
+    q:
+        Queries of shape ``(batch, n_heads, d)`` -- one new token per
+        sequence.
+    k_cache, v_cache:
+        Caches of shape ``(batch, n_kv_heads, s, d)``.
+    n_query_heads:
+        Defaults to ``q.shape[1]``; must be a multiple of ``n_kv_heads``.
+
+    Returns
+    -------
+    Attention outputs of shape ``(batch, n_heads, d)``.
+    """
+    q = np.asarray(q, dtype=np.float64)
+    batch, n_heads, head_dim = q.shape
+    if n_query_heads is None:
+        n_query_heads = n_heads
+    n_kv_heads = k_cache.shape[1]
+    if n_heads % n_kv_heads != 0:
+        raise NumericsError(
+            f"n_heads ({n_heads}) must be a multiple of n_kv_heads ({n_kv_heads})"
+        )
+    d_group = n_heads // n_kv_heads
+    out = np.empty((batch, n_heads, head_dim), dtype=np.float64)
+    for b in range(batch):
+        for kv_head in range(n_kv_heads):
+            q_rows = q[b, kv_head * d_group : (kv_head + 1) * d_group, :]
+            result = grouped_query_attention(
+                q_rows, k_cache[b, kv_head], v_cache[b, kv_head]
+            )
+            out[b, kv_head * d_group : (kv_head + 1) * d_group, :] = result
+    return out

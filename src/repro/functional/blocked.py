@@ -1,0 +1,180 @@
+"""Block-tiled attention emulating the HILOS accelerator dataflow (Fig. 7).
+
+The hardware processes the KV cache in blocks of 128 tokens through four
+pipelined units: the **query-key product unit** (with an on-chip 128x128
+online transpose of each key block), the **softmax statistics aggregation
+unit** (first pass of Algorithm 1), the **softmax normalization unit**
+(second pass), and the **score-value product unit**.  This module executes
+the same computation per-block in NumPy, including:
+
+* FP16 storage with FP32 intermediate accumulation (Section 5.4);
+* masking with the hardware constant ``-1e4``;
+* injected *precomputed scalars from the host* -- the partial ``QK^T``
+  scores of buffered-but-unspilled KV entries under delayed writeback
+  (Section 4.3) -- which join the softmax stream exactly as the hardware
+  MASK/score path does;
+* native GQA: ``d_group`` query rows share each key/value block read.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import NumericsError
+from repro.functional.softmax import DEFAULT_BLOCK, MASK_VALUE, StreamingSoftmaxState
+
+
+def transpose_in_blocks(matrix: np.ndarray, block: int = DEFAULT_BLOCK) -> np.ndarray:
+    """Transpose via 128x128 local block transposes (the online-transpose unit).
+
+    The hardware loads a square block of the row-major key matrix into K-Buf,
+    transposes it locally into K^T-Buf, and streams it to the MAC lanes; a
+    global transpose is never materialized (Section 4.4).  Functionally the
+    result equals ``matrix.T``; doing it block-wise here keeps the emulation
+    structurally faithful and testable.
+    """
+    rows, cols = matrix.shape
+    out = np.empty((cols, rows), dtype=matrix.dtype)
+    for r in range(0, rows, block):
+        for c in range(0, cols, block):
+            tile = matrix[r : r + block, c : c + block]
+            out[c : c + block, r : r + block] = tile.T
+    return out
+
+
+def blocked_attention(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    block_size: int = DEFAULT_BLOCK,
+    scale: float | None = None,
+    valid_len: int | None = None,
+    extra_scores: np.ndarray | None = None,
+    extra_values: np.ndarray | None = None,
+    quantize_storage: bool = True,
+) -> np.ndarray:
+    """Accelerator-faithful attention for one KV head.
+
+    Parameters
+    ----------
+    q:
+        ``(n_q, d)`` query rows; ``n_q = d_group`` for GQA (the K/V blocks
+        are broadcast to all query rows, mirroring the hardware).
+    k, v:
+        ``(s, d)`` stored cache (FP16 on flash; quantized here when
+        ``quantize_storage``).
+    block_size:
+        Tokens per hardware block (128 on the shipped design).
+    valid_len:
+        Number of valid tokens; positions beyond it (zero padding for AXI
+        burst alignment, Section 5.4) are masked with ``-1e4``.
+    extra_scores:
+        ``(n_q, n_new)`` raw (unscaled) dot products ``q . k_new`` computed
+        by the host CPU for delayed-writeback entries; scaled and appended
+        to the softmax stream here.
+    extra_values:
+        ``(n_new, d)`` the corresponding new value vectors shipped from the
+        host buffer.
+
+    Returns
+    -------
+    ``(n_q, d)`` float32 attention outputs.
+    """
+    q32 = np.asarray(q, dtype=np.float32)
+    if q32.ndim != 2:
+        raise NumericsError("blocked_attention expects q of shape (n_q, d)")
+    if quantize_storage:
+        k = np.asarray(k, dtype=np.float16)
+        v = np.asarray(v, dtype=np.float16)
+    k32 = np.asarray(k, dtype=np.float32)
+    v32 = np.asarray(v, dtype=np.float32)
+    seq_len, head_dim = k32.shape
+    if q32.shape[1] != head_dim:
+        raise NumericsError(f"q dim {q32.shape[1]} != k dim {head_dim}")
+    if (extra_scores is None) != (extra_values is None):
+        raise NumericsError("extra_scores and extra_values must be given together")
+    if scale is None:
+        scale = 1.0 / float(np.sqrt(head_dim))
+    if valid_len is None:
+        valid_len = seq_len
+    if not 0 <= valid_len <= seq_len:
+        raise NumericsError(f"valid_len {valid_len} outside [0, {seq_len}]")
+
+    n_q = q32.shape[0]
+    n_blocks = -(-seq_len // block_size) if seq_len else 0
+
+    # ---- pass 1: QK^T per block + streaming statistics --------------------------
+    # score_buffer emulates the QK^T staging in FPGA DRAM between passes.
+    score_buffer: list[np.ndarray] = []
+    state = StreamingSoftmaxState((n_q,))
+    for b in range(n_blocks):
+        start = b * block_size
+        stop = min(start + block_size, seq_len)
+        k_block = k32[start:stop]
+        # Online transpose: local block transpose instead of a global K^T.
+        kt_block = transpose_in_blocks(k_block, block=block_size)
+        scores = (q32 @ kt_block) * np.float32(scale)  # (n_q, block)
+        # MASK module: padding positions forced to -1e4 before statistics.
+        if stop > valid_len:
+            pad_from = max(0, valid_len - start)
+            scores[:, pad_from:] = np.float32(MASK_VALUE)
+        score_buffer.append(scores)
+        state.observe_block(scores)
+    if extra_scores is not None:
+        host_scores = np.asarray(extra_scores, dtype=np.float32) * np.float32(scale)
+        if host_scores.shape[0] != n_q:
+            raise NumericsError(
+                f"extra_scores rows {host_scores.shape[0]} != n_q {n_q}"
+            )
+        score_buffer.append(host_scores)
+        state.observe_block(host_scores)
+
+    if not score_buffer:
+        raise NumericsError("attention over an empty context")
+
+    # ---- pass 2: normalize per block and accumulate score.V ----------------------
+    gmax = state.running_max[:, None]
+    denom = state.running_sum[:, None]
+    out = np.zeros((n_q, head_dim), dtype=np.float32)
+    for b in range(n_blocks):
+        start = b * block_size
+        stop = min(start + block_size, seq_len)
+        probs = np.exp(score_buffer[b] - gmax) / denom
+        out += probs @ v32[start:stop]
+    if extra_values is not None:
+        probs = np.exp(score_buffer[-1] - gmax) / denom
+        extra_v32 = np.asarray(extra_values, dtype=np.float32)
+        if extra_v32.shape[0] != probs.shape[1]:
+            raise NumericsError(
+                f"extra_values rows {extra_v32.shape[0]} != "
+                f"extra score columns {probs.shape[1]}"
+            )
+        out += probs @ extra_v32
+    return out
+
+
+def blocked_multihead_decode(
+    q: np.ndarray,
+    k_cache: np.ndarray,
+    v_cache: np.ndarray,
+    block_size: int = DEFAULT_BLOCK,
+) -> np.ndarray:
+    """Decode-step attention over all batch elements and heads, blocked.
+
+    Shapes match :func:`repro.functional.attention.multihead_decode_attention`:
+    ``q (batch, n_heads, d)``, caches ``(batch, n_kv_heads, s, d)``; returns
+    float32 ``(batch, n_heads, d)``.
+    """
+    batch, n_heads, head_dim = q.shape
+    n_kv_heads = k_cache.shape[1]
+    if n_heads % n_kv_heads != 0:
+        raise NumericsError("n_heads must be a multiple of n_kv_heads")
+    d_group = n_heads // n_kv_heads
+    out = np.empty((batch, n_heads, head_dim), dtype=np.float32)
+    for b in range(batch):
+        for kv in range(n_kv_heads):
+            rows = slice(kv * d_group, (kv + 1) * d_group)
+            out[b, rows, :] = blocked_attention(
+                q[b, rows, :], k_cache[b, kv], v_cache[b, kv], block_size=block_size
+            )
+    return out

@@ -1,0 +1,448 @@
+"""End-to-end functional decode engine for losslessness verification.
+
+The paper's correctness claim (Section 7.1, Figure 18c) is that HILOS's
+accelerator and its optimizations are *numerically lossless*: attention near
+storage, the cooperative X-cache, and delayed KV writeback all compute the
+same attention as a dense FlashAttention baseline, unlike sparse-retrieval
+schemes.  This module makes that claim executable.
+
+:class:`FunctionalDecoder` runs a miniature randomly initialized decoder-only
+transformer through prefill and decoding under a configurable
+:class:`ExecutionPlan`:
+
+* ``baseline``   -- dense reference attention, direct per-token KV commits;
+* ``ans``        -- the blocked accelerator kernel (Figure 7 dataflow);
+* ``+x_cache``   -- an :math:`\\alpha` fraction of the batch served by
+  recomputing K/V from stored pre-projection activations ``X``;
+* ``+writeback`` -- staged KV entries with host-side partial ``QK^T``
+  scalars and periodic page-aligned spills.
+
+All plans quantize cached tensors to FP16 at the same boundaries, so their
+outputs agree to within FP32 summation-order noise; the integration tests
+assert this across plans, models (MHA/GQA/RoPE), and sequence lengths.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.errors import ConfigurationError, NumericsError
+from repro.functional.attention import reference_attention
+from repro.functional.blocked import blocked_attention
+from repro.functional.kvstore import PagedStore
+from repro.functional.rope import apply_rope
+from repro.functional.writeback import DelayedWritebackBuffer
+from repro.models.config import ModelConfig
+
+
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """How attention and cache management are executed.
+
+    Attributes
+    ----------
+    use_ans:
+        Compute attention with the blocked accelerator kernel instead of the
+        dense reference kernel.
+    x_cache_fraction:
+        Fraction of the batch served via the cooperative X-cache (quantized
+        to whole batch elements; the timing model handles the byte-exact
+        batch x head partition).
+    delayed_writeback:
+        Stage new KV/X rows in host memory instead of committing each one.
+    spill_interval:
+        Decode steps between spills when ``delayed_writeback`` is on.
+    block_size:
+        Accelerator block length (tokens); 128 in hardware, smaller in tests.
+    """
+
+    name: str = "baseline"
+    use_ans: bool = False
+    x_cache_fraction: float = 0.0
+    delayed_writeback: bool = False
+    spill_interval: int = 16
+    block_size: int = 128
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.x_cache_fraction <= 1.0:
+            raise ConfigurationError("x_cache_fraction must be within [0, 1]")
+        if self.spill_interval < 1:
+            raise ConfigurationError("spill_interval must be >= 1")
+
+    @staticmethod
+    def baseline(block_size: int = 128) -> "ExecutionPlan":
+        """Dense reference attention with naive per-token writes."""
+        return ExecutionPlan(name="baseline", block_size=block_size)
+
+    @staticmethod
+    def ans(block_size: int = 128) -> "ExecutionPlan":
+        """Attention near storage only (Section 4.1)."""
+        return ExecutionPlan(name="ans", use_ans=True, block_size=block_size)
+
+    @staticmethod
+    def hilos(
+        alpha: float = 0.5, spill_interval: int = 16, block_size: int = 128
+    ) -> "ExecutionPlan":
+        """The full system: ANS + X-cache + delayed writeback."""
+        return ExecutionPlan(
+            name="hilos",
+            use_ans=True,
+            x_cache_fraction=alpha,
+            delayed_writeback=True,
+            spill_interval=spill_interval,
+            block_size=block_size,
+        )
+
+    def with_(self, **kwargs) -> "ExecutionPlan":
+        """A modified copy (ablation helper)."""
+        return replace(self, **kwargs)
+
+
+class FunctionalDecoder:
+    """A tiny decoder-only transformer with pluggable cache execution plans."""
+
+    def __init__(self, model: ModelConfig, plan: ExecutionPlan, seed: int = 0) -> None:
+        self.model = model
+        self.plan = plan
+        rng = np.random.default_rng(seed)
+        scale = 1.0 / math.sqrt(model.hidden)
+        self.layers = []
+        for layer_index in range(model.n_layers):
+            layer = {
+                "wq": self._init(rng, (model.hidden, model.n_heads * model.head_dim), scale),
+                "wk": self._init(rng, (model.hidden, model.kv_proj_dim), scale),
+                "wv": self._init(rng, (model.hidden, model.kv_proj_dim), scale),
+                "wo": self._init(rng, (model.n_heads * model.head_dim, model.hidden), scale),
+            }
+            is_moe_layer = (
+                model.is_moe
+                and layer_index % model.moe_every == model.moe_every - 1
+            )
+            if is_moe_layer:
+                # A mixture-of-experts MLP with top-k routing (Table 2's
+                # MoE models activate two experts per token).
+                layer["router"] = self._init(rng, (model.hidden, model.n_experts), scale)
+                layer["experts"] = [
+                    (
+                        self._init(rng, (model.hidden, model.intermediate), scale),
+                        self._init(rng, (model.intermediate, model.hidden), scale),
+                    )
+                    for _ in range(model.n_experts)
+                ]
+            else:
+                layer["w1"] = self._init(rng, (model.hidden, model.intermediate), scale)
+                layer["w2"] = self._init(rng, (model.intermediate, model.hidden), scale)
+            self.layers.append(layer)
+        self.kv_store = PagedStore(name="kv_store")
+        self.x_store = PagedStore(name="x_store")
+        self.kv_writeback = DelayedWritebackBuffer(self.kv_store, plan.spill_interval)
+        self.x_writeback = DelayedWritebackBuffer(self.x_store, plan.spill_interval)
+        self.context_len = 0
+        self.batch_size: int | None = None
+        self._n_x_managed = 0
+
+    @staticmethod
+    def _init(rng: np.random.Generator, shape: tuple[int, int], scale: float) -> np.ndarray:
+        """FP16-stored weights, as on the real system."""
+        return (rng.standard_normal(shape) * scale).astype(np.float16)
+
+    # --- helpers ---------------------------------------------------------------------
+
+    def _quantize_activation(self, x: np.ndarray) -> np.ndarray:
+        """FP16 quantization at a cache boundary (storage precision)."""
+        return np.asarray(x, dtype=np.float16)
+
+    def _project(self, x16: np.ndarray, weight: np.ndarray) -> np.ndarray:
+        """FP32 GEMM on FP16 inputs (the hardware's accumulate precision)."""
+        return x16.astype(np.float32) @ weight.astype(np.float32)
+
+    def _split_heads(self, x: np.ndarray, n_heads: int) -> np.ndarray:
+        """``(..., n_heads*d) -> (..., n_heads, d)``."""
+        return x.reshape(*x.shape[:-1], n_heads, self.model.head_dim)
+
+    def _is_x_managed(self, batch_index: int) -> bool:
+        return batch_index < self._n_x_managed
+
+    def _positions(self, length: int, offset: int = 0) -> np.ndarray:
+        return np.arange(offset, offset + length)
+
+    def _rope(self, x: np.ndarray, positions: np.ndarray) -> np.ndarray:
+        """Apply RoPE per head when the model uses it; identity otherwise.
+
+        ``x`` has shape ``(..., n_heads, d)`` with the sequence axis at -3
+        (or absent for a single token, handled by the caller).
+        """
+        if not self.model.uses_rope:
+            return x
+        # Move heads before sequence so apply_rope sees (..., s, d).
+        moved = np.moveaxis(x, -2, 0)  # (n_heads, ..., s, d) with s at -2
+        rotated = apply_rope(moved, positions)
+        return np.moveaxis(rotated, 0, -2)
+
+    # --- prefill -----------------------------------------------------------------------
+
+    def prefill(self, x: np.ndarray) -> np.ndarray:
+        """Run the prompt through every layer, populating the caches.
+
+        ``x`` is the embedded prompt of shape ``(batch, s, hidden)``.
+        Returns the final hidden states.
+        """
+        if x.ndim != 3 or x.shape[2] != self.model.hidden:
+            raise NumericsError(
+                f"prefill expects (batch, s, {self.model.hidden}), got {x.shape}"
+            )
+        batch, seq_len, _ = x.shape
+        self.batch_size = batch
+        self._n_x_managed = math.ceil(self.plan.x_cache_fraction * batch)
+        self.context_len = seq_len
+        positions = self._positions(seq_len)
+        hidden = np.asarray(x, dtype=np.float32)
+        for layer_index, layer in enumerate(self.layers):
+            hidden = self._prefill_layer(layer_index, layer, hidden, positions)
+        return hidden
+
+    def _prefill_layer(
+        self,
+        layer_index: int,
+        layer: dict,
+        hidden: np.ndarray,
+        positions: np.ndarray,
+    ) -> np.ndarray:
+        model = self.model
+        batch, seq_len, _ = hidden.shape
+        x16 = self._quantize_activation(hidden)
+        q = self._split_heads(self._project(x16, layer["wq"]), model.n_heads)
+        k = self._split_heads(self._project(x16, layer["wk"]), model.n_kv_heads)
+        v = self._split_heads(self._project(x16, layer["wv"]), model.n_kv_heads)
+        q = self._rope(q, positions)
+        k = self._rope(k, positions)
+        k16 = np.asarray(k, dtype=np.float16)
+        v16 = np.asarray(v, dtype=np.float16)
+        causal = np.tril(np.ones((seq_len, seq_len), dtype=bool))
+        attn = np.empty((batch, seq_len, model.n_heads, model.head_dim), dtype=np.float32)
+        for b in range(batch):
+            for head in range(model.n_heads):
+                kv_head = head // model.d_group
+                attn[b, :, head, :] = reference_attention(
+                    q[b, :, head, :],
+                    k16[b, :, kv_head, :],
+                    v16[b, :, kv_head, :],
+                    mask=causal,
+                )
+            # Persist caches in the prefill partitioning (Section 4.1).
+            if self._is_x_managed(b):
+                self.x_store.append(("x", layer_index, b), x16[b])
+            else:
+                for kv_head in range(model.n_kv_heads):
+                    self.kv_store.append(("k", layer_index, b, kv_head), k16[b, :, kv_head, :])
+                    self.kv_store.append(("v", layer_index, b, kv_head), v16[b, :, kv_head, :])
+        attn_flat = attn.reshape(batch, seq_len, model.n_heads * model.head_dim)
+        hidden = hidden + attn_flat @ layer["wo"].astype(np.float32)
+        hidden = hidden + self._mlp(hidden, layer)
+        return hidden
+
+    def _mlp(self, hidden: np.ndarray, layer: dict) -> np.ndarray:
+        """ReLU MLP (dense or mixture-of-experts) in FP32 on FP16 inputs."""
+        h16 = self._quantize_activation(hidden).astype(np.float32)
+        if "experts" in layer:
+            return self._moe_mlp(h16, layer).reshape(hidden.shape)
+        inner = np.maximum(h16 @ layer["w1"].astype(np.float32), 0.0)
+        return inner @ layer["w2"].astype(np.float32)
+
+    def _moe_mlp(self, h16: np.ndarray, layer: dict) -> np.ndarray:
+        """Top-k expert routing with softmax-renormalized gates.
+
+        Routing is a function of the FP16-quantized activations, so it is
+        identical across execution plans -- MoE models stay lossless under
+        ANS, X-cache, and delayed writeback just like dense ones.
+        """
+        from repro.functional.softmax import reference_softmax
+
+        rows = h16.reshape(-1, self.model.hidden)
+        logits = rows @ layer["router"].astype(np.float32)
+        top_k = min(self.model.active_experts, self.model.n_experts)
+        out = np.zeros_like(rows)
+        chosen = np.argsort(logits, axis=1)[:, -top_k:]
+        for row_index in range(rows.shape[0]):
+            experts = chosen[row_index]
+            gates = reference_softmax(logits[row_index, experts]).astype(np.float32)
+            for gate, expert_index in zip(gates, experts):
+                w1, w2 = layer["experts"][expert_index]
+                inner = np.maximum(rows[row_index] @ w1.astype(np.float32), 0.0)
+                out[row_index] += gate * (inner @ w2.astype(np.float32))
+        return out
+
+    # --- decoding ------------------------------------------------------------------------
+
+    def decode_step(self, x: np.ndarray) -> np.ndarray:
+        """One decode step for the whole batch.
+
+        ``x`` is the embedded current token, shape ``(batch, hidden)``.
+        Returns the final hidden state of shape ``(batch, hidden)``.
+        """
+        if self.batch_size is None:
+            raise NumericsError("decode_step called before prefill")
+        if x.shape != (self.batch_size, self.model.hidden):
+            raise NumericsError(
+                f"decode_step expects ({self.batch_size}, {self.model.hidden}), got {x.shape}"
+            )
+        hidden = np.asarray(x, dtype=np.float32)
+        position = self.context_len
+        for layer_index, layer in enumerate(self.layers):
+            hidden = self._decode_layer(layer_index, layer, hidden, position)
+        self.context_len += 1
+        if self.plan.delayed_writeback:
+            self.kv_writeback.end_step()
+            self.x_writeback.end_step()
+        return hidden
+
+    def _decode_layer(
+        self,
+        layer_index: int,
+        layer: dict,
+        hidden: np.ndarray,
+        position: int,
+    ) -> np.ndarray:
+        model = self.model
+        batch = hidden.shape[0]
+        x16 = self._quantize_activation(hidden)
+        q = self._split_heads(self._project(x16, layer["wq"]), model.n_heads)
+        k = self._split_heads(self._project(x16, layer["wk"]), model.n_kv_heads)
+        v = self._split_heads(self._project(x16, layer["wv"]), model.n_kv_heads)
+        pos = np.array([position])
+        q = self._rope(q[:, None, :, :], pos)[:, 0, :, :]
+        k = self._rope(k[:, None, :, :], pos)[:, 0, :, :]
+        k16 = np.asarray(k, dtype=np.float16)
+        v16 = np.asarray(v, dtype=np.float16)
+        attn = np.empty((batch, model.n_heads, model.head_dim), dtype=np.float32)
+        for b in range(batch):
+            if self._is_x_managed(b):
+                self._stage_or_store_x(layer_index, b, x16[b])
+                attn[b] = self._attend_x_cache(layer_index, layer, b, q[b])
+            else:
+                self._stage_or_store_kv(layer_index, b, k16[b], v16[b])
+                attn[b] = self._attend_nsp(layer_index, b, q[b])
+        attn_flat = attn.reshape(batch, model.n_heads * model.head_dim)
+        hidden = hidden + attn_flat @ layer["wo"].astype(np.float32)
+        hidden = hidden + self._mlp(hidden, layer)
+        return hidden
+
+    # --- cache-update paths ---------------------------------------------------------------
+
+    def _stage_or_store_kv(
+        self, layer_index: int, b: int, k_row: np.ndarray, v_row: np.ndarray
+    ) -> None:
+        """Commit or stage the new token's K/V for a storage-managed element."""
+        for kv_head in range(self.model.n_kv_heads):
+            k_key = ("k", layer_index, b, kv_head)
+            v_key = ("v", layer_index, b, kv_head)
+            if self.plan.delayed_writeback:
+                self.kv_writeback.stage(k_key, k_row[kv_head])
+                self.kv_writeback.stage(v_key, v_row[kv_head])
+            else:
+                # Naive approach (Figure 6a): sub-page write on the critical path.
+                self.kv_store.append(k_key, k_row[kv_head][None, :], per_row_commit=True)
+                self.kv_store.append(v_key, v_row[kv_head][None, :], per_row_commit=True)
+
+    def _stage_or_store_x(self, layer_index: int, b: int, x_row: np.ndarray) -> None:
+        """Commit or stage the new token's activation for an X-managed element."""
+        key = ("x", layer_index, b)
+        if self.plan.delayed_writeback:
+            self.x_writeback.stage(key, x_row)
+        else:
+            self.x_store.append(key, x_row[None, :], per_row_commit=True)
+
+    # --- attention paths --------------------------------------------------------------------
+
+    def _attend_nsp(self, layer_index: int, b: int, q_b: np.ndarray) -> np.ndarray:
+        """Attention for a storage-managed batch element (the NSP path)."""
+        model = self.model
+        out = np.empty((model.n_heads, model.head_dim), dtype=np.float32)
+        for kv_head in range(model.n_kv_heads):
+            rows = slice(kv_head * model.d_group, (kv_head + 1) * model.d_group)
+            q_rows = np.asarray(q_b[rows], dtype=np.float32)
+            k_key = ("k", layer_index, b, kv_head)
+            v_key = ("v", layer_index, b, kv_head)
+            k_stored = self.kv_store.read(k_key) if k_key in self.kv_store else None
+            extra_scores = None
+            extra_values = None
+            if self.plan.delayed_writeback:
+                # Host precomputes partial QK^T over the staged entries and
+                # ships scalars + new V rows to the device (Figure 6b).
+                extra_scores = self.kv_writeback.partial_scores(k_key, q_rows)
+                staged_v = self.kv_writeback.staged_rows(v_key)
+                extra_values = None if staged_v is None else staged_v
+            if k_stored is None:
+                # Everything is still staged (early steps with short prefill).
+                k_all = self.kv_writeback.staged_rows(k_key)
+                v_all = self.kv_writeback.staged_rows(v_key)
+                out[rows] = self._run_attention(q_rows, k_all, v_all)
+                continue
+            v_stored = self.kv_store.read(v_key)
+            if self.plan.use_ans:
+                out[rows] = blocked_attention(
+                    q_rows,
+                    k_stored,
+                    v_stored,
+                    block_size=self.plan.block_size,
+                    extra_scores=extra_scores,
+                    extra_values=extra_values,
+                )
+            else:
+                k_all, v_all = k_stored, v_stored
+                if extra_values is not None:
+                    staged_k = self.kv_writeback.staged_rows(k_key)
+                    k_all = np.concatenate([k_stored, staged_k], axis=0)
+                    v_all = np.concatenate([v_stored, extra_values], axis=0)
+                out[rows] = self._run_attention(q_rows, k_all, v_all)
+        return out
+
+    def _attend_x_cache(
+        self, layer_index: int, layer: dict, b: int, q_b: np.ndarray
+    ) -> np.ndarray:
+        """Attention for an X-managed batch element (GPU recompute path).
+
+        Reads the stored activations ``X``, regenerates K/V with the layer's
+        projections (re-applying RoPE at the original positions), quantizes
+        them to the same FP16 the KV path stores, and runs attention on the
+        host GPU.
+        """
+        model = self.model
+        key = ("x", layer_index, b)
+        parts = []
+        if key in self.x_store:
+            parts.append(self.x_store.read(key))
+        if self.plan.delayed_writeback:
+            staged = self.x_writeback.staged_rows(key)
+            if staged is not None:
+                parts.append(staged)
+        x_hist = np.concatenate(parts, axis=0)
+        positions = self._positions(x_hist.shape[0])
+        k_hist = self._split_heads(self._project(x_hist, layer["wk"]), model.n_kv_heads)
+        v_hist = self._split_heads(self._project(x_hist, layer["wv"]), model.n_kv_heads)
+        k_hist = self._rope(k_hist, positions)
+        k16 = np.asarray(k_hist, dtype=np.float16)
+        v16 = np.asarray(v_hist, dtype=np.float16)
+        out = np.empty((model.n_heads, model.head_dim), dtype=np.float32)
+        for kv_head in range(model.n_kv_heads):
+            rows = slice(kv_head * model.d_group, (kv_head + 1) * model.d_group)
+            q_rows = np.asarray(q_b[rows], dtype=np.float32)
+            out[rows] = self._run_attention(
+                q_rows, k16[:, kv_head, :], v16[:, kv_head, :]
+            )
+        return out
+
+    def _run_attention(
+        self, q_rows: np.ndarray, k: np.ndarray | None, v: np.ndarray | None
+    ) -> np.ndarray:
+        """Dense attention with the plan's kernel (reference or blocked)."""
+        if k is None or v is None:
+            raise NumericsError("attention requires a non-empty context")
+        if self.plan.use_ans:
+            return blocked_attention(q_rows, k, v, block_size=self.plan.block_size)
+        return np.asarray(
+            reference_attention(q_rows, k, v), dtype=np.float32
+        )

@@ -1,0 +1,129 @@
+"""Page-layout cache stores with write-amplification accounting.
+
+The paper's Section 4.3 observation is layout-driven: prefill writes the KV
+cache **row-wise** (``b x h x s x d``) in large contiguous runs that exceed
+the SSD's 4 KiB page, while decoding appends tiny ``1 x d`` vectors (~256
+bytes per head) whose naive per-entry commits are amplified to a full page
+each.  :class:`PagedStore` keeps that accounting (logical vs physical bytes)
+alongside the actual tensor data, so the same object backs both the
+numerical equivalence tests and the endurance analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable
+
+import numpy as np
+
+from repro.errors import NumericsError
+from repro.units import KiB, ceil_div
+
+#: Default NAND page size (Section 4.3).
+PAGE_BYTES = 4 * KiB
+
+
+@dataclass
+class StoreCounters:
+    """Byte-level accounting of a store's I/O history."""
+
+    logical_bytes_written: float = 0.0
+    physical_bytes_written: float = 0.0
+    logical_bytes_read: float = 0.0
+    write_ops: int = 0
+    read_ops: int = 0
+
+    @property
+    def write_amplification(self) -> float:
+        """Physical over logical write bytes (1.0 when nothing written)."""
+        if self.logical_bytes_written <= 0:
+            return 1.0
+        return self.physical_bytes_written / self.logical_bytes_written
+
+
+@dataclass
+class _Region:
+    """Rows stored under one key (one ``(layer, batch, head)`` row-run)."""
+
+    chunks: list[np.ndarray] = field(default_factory=list)
+
+    def materialize(self) -> np.ndarray:
+        if not self.chunks:
+            raise NumericsError("read from an empty store region")
+        if len(self.chunks) > 1:
+            merged = np.concatenate(self.chunks, axis=0)
+            self.chunks = [merged]
+        return self.chunks[0]
+
+
+class PagedStore:
+    """A page-granular tensor store (the functional stand-in for flash).
+
+    Keys are arbitrary hashables -- the engine uses ``(layer, batch, head,
+    tensor_name)`` -- and each key holds a run of rows appended along axis 0
+    (the sequence dimension), which is exactly the paper's row-wise layout.
+    """
+
+    def __init__(self, page_bytes: int = PAGE_BYTES, name: str = "store") -> None:
+        if page_bytes <= 0:
+            raise NumericsError("page size must be positive")
+        self.page_bytes = page_bytes
+        self.name = name
+        self.counters = StoreCounters()
+        self._regions: dict[Hashable, _Region] = {}
+
+    # --- writes ------------------------------------------------------------------
+
+    def append(
+        self,
+        key: Hashable,
+        rows: np.ndarray,
+        per_row_commit: bool = False,
+    ) -> None:
+        """Append ``rows`` (shape ``(n, ...)``) to the run stored under ``key``.
+
+        ``per_row_commit=True`` models the naive writeback: every row is a
+        separate sub-page write that programs a full page.  ``False`` models
+        one contiguous write (prefill rows or a delayed-writeback spill),
+        which rounds up to the page size once.
+        """
+        rows = np.asarray(rows)
+        if rows.ndim < 1 or rows.shape[0] == 0:
+            raise NumericsError("append requires at least one row")
+        row_bytes = rows.nbytes / rows.shape[0]
+        self.counters.logical_bytes_written += rows.nbytes
+        if per_row_commit:
+            per_op = ceil_div(int(row_bytes), self.page_bytes) * self.page_bytes
+            self.counters.physical_bytes_written += per_op * rows.shape[0]
+            self.counters.write_ops += rows.shape[0]
+        else:
+            physical = ceil_div(int(rows.nbytes), self.page_bytes) * self.page_bytes
+            self.counters.physical_bytes_written += physical
+            self.counters.write_ops += 1
+        self._regions.setdefault(key, _Region()).chunks.append(rows.copy())
+
+    # --- reads ----------------------------------------------------------------------
+
+    def read(self, key: Hashable) -> np.ndarray:
+        """Read the full row-run stored under ``key`` (sequential flash read)."""
+        if key not in self._regions:
+            raise NumericsError(f"{self.name}: no data stored under key {key!r}")
+        data = self._regions[key].materialize()
+        self.counters.logical_bytes_read += data.nbytes
+        self.counters.read_ops += 1
+        return data
+
+    def rows_stored(self, key: Hashable) -> int:
+        """Number of rows currently stored under ``key`` (0 if absent)."""
+        region = self._regions.get(key)
+        if region is None:
+            return 0
+        return sum(chunk.shape[0] for chunk in region.chunks)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._regions
+
+    @property
+    def write_amplification(self) -> float:
+        """Convenience mirror of the counter's write amplification."""
+        return self.counters.write_amplification

@@ -1,0 +1,60 @@
+"""Rotary position embeddings (RoPE).
+
+Needed by the cooperative X-cache recompute path: models such as Qwen2.5 and
+Mixtral apply RoPE to queries and keys *after* the QKV projection, so keys
+regenerated from the cached pre-projection activations ``X`` must be
+re-rotated with their original positions.  The paper notes the recompute
+overhead is negligible thanks to position caching (Section 6.4); here we
+care about the *correctness* property, verified against cached keys in the
+functional engine.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import NumericsError
+
+
+def rope_frequencies(head_dim: int, base: float = 10000.0) -> np.ndarray:
+    """Inverse frequencies for each rotary dimension pair."""
+    if head_dim % 2 != 0:
+        raise NumericsError(f"RoPE requires an even head dim, got {head_dim}")
+    exponent = np.arange(0, head_dim, 2, dtype=np.float64) / head_dim
+    return base**-exponent
+
+
+def apply_rope(
+    x: np.ndarray,
+    positions: np.ndarray,
+    base: float = 10000.0,
+) -> np.ndarray:
+    """Rotate vectors by their position-dependent angles.
+
+    Parameters
+    ----------
+    x:
+        Array of shape ``(..., s, d)`` with ``d`` even; rotated pairwise over
+        the last axis.
+    positions:
+        Integer positions of shape ``(s,)`` (absolute indices into the
+        context, so recomputed keys get the same rotation they originally
+        received).
+    """
+    x = np.asarray(x, dtype=np.float64)
+    positions = np.asarray(positions, dtype=np.float64)
+    if x.shape[-2] != positions.shape[0]:
+        raise NumericsError(
+            f"positions length {positions.shape[0]} does not match "
+            f"sequence length {x.shape[-2]}"
+        )
+    freqs = rope_frequencies(x.shape[-1], base=base)
+    angles = positions[:, None] * freqs[None, :]  # (s, d/2)
+    cos = np.cos(angles)
+    sin = np.sin(angles)
+    x_even = x[..., 0::2]
+    x_odd = x[..., 1::2]
+    out = np.empty_like(x)
+    out[..., 0::2] = x_even * cos - x_odd * sin
+    out[..., 1::2] = x_even * sin + x_odd * cos
+    return out

@@ -1,0 +1,99 @@
+"""Functional delayed KV cache writeback (Section 4.3).
+
+Instead of committing each newly generated KV vector to storage (a sub-page
+write on the critical path), the writeback manager stages entries in host
+memory.  Until they are spilled, the host CPU precomputes the partial
+``QK^T`` dot products against the staged keys and ships only those scalars
+(plus the staged values) to the accelerator, which folds them into the
+softmax stream -- see :func:`repro.functional.blocked.blocked_attention`'s
+``extra_scores``/``extra_values`` parameters.
+
+Every ``spill_interval`` decode steps the staged entries are flushed to the
+:class:`~repro.functional.kvstore.PagedStore` as one contiguous page-aligned
+write, which is what removes the write amplification.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+import numpy as np
+
+from repro.errors import SchedulingError
+from repro.functional.kvstore import PagedStore
+
+
+class DelayedWritebackBuffer:
+    """Host-memory staging of new KV (or X) rows with periodic spills."""
+
+    def __init__(self, store: PagedStore, spill_interval: int) -> None:
+        if spill_interval < 1:
+            raise SchedulingError(f"spill interval must be >= 1, got {spill_interval}")
+        self.store = store
+        self.spill_interval = spill_interval
+        self._staged: dict[Hashable, list[np.ndarray]] = {}
+        self._steps_since_spill = 0
+        self.total_spills = 0
+
+    # --- staging -----------------------------------------------------------------
+
+    def stage(self, key: Hashable, row: np.ndarray) -> None:
+        """Buffer one new row (a ``1 x d`` KV vector) in host memory."""
+        row = np.asarray(row)
+        if row.ndim != 1:
+            raise SchedulingError(f"staged rows must be 1-D, got shape {row.shape}")
+        self._staged.setdefault(key, []).append(row.copy())
+
+    def staged_rows(self, key: Hashable) -> np.ndarray | None:
+        """The staged rows for ``key`` as an ``(n, d)`` array, or ``None``."""
+        rows = self._staged.get(key)
+        if not rows:
+            return None
+        return np.stack(rows, axis=0)
+
+    def staged_count(self, key: Hashable) -> int:
+        """Number of rows currently staged under ``key``."""
+        return len(self._staged.get(key, ()))
+
+    def staged_bytes(self) -> int:
+        """Total bytes currently held in the host staging buffers."""
+        return sum(
+            sum(row.nbytes for row in rows) for rows in self._staged.values()
+        )
+
+    # --- host-side partial QK^T (step 2 of Figure 6b) -------------------------------
+
+    def partial_scores(self, key: Hashable, q: np.ndarray) -> np.ndarray | None:
+        """Raw dot products of ``q`` (``(n_q, d)``) against staged keys.
+
+        Returns ``(n_q, n_staged)`` FP32 scores (unscaled -- the accelerator
+        applies the ``1/sqrt(d)`` factor in its score path), or ``None`` if
+        nothing is staged.
+        """
+        staged = self.staged_rows(key)
+        if staged is None:
+            return None
+        q32 = np.asarray(q, dtype=np.float32)
+        return q32 @ np.asarray(staged, dtype=np.float32).T
+
+    # --- spilling --------------------------------------------------------------------
+
+    def end_step(self) -> bool:
+        """Advance the step counter; spill if the interval elapsed.
+
+        Returns ``True`` when a spill happened this step.
+        """
+        self._steps_since_spill += 1
+        if self._steps_since_spill >= self.spill_interval:
+            self.spill_all()
+            return True
+        return False
+
+    def spill_all(self) -> None:
+        """Flush every staged run to storage as contiguous page-sized writes."""
+        for key, rows in self._staged.items():
+            if rows:
+                self.store.append(key, np.stack(rows, axis=0), per_row_commit=False)
+        self._staged.clear()
+        self._steps_since_spill = 0
+        self.total_spills += 1

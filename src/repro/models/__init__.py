@@ -1,0 +1,15 @@
+"""LLM model configurations and memory-footprint models (paper Table 2, Fig. 2a)."""
+
+from repro.models.config import AttentionKind, ModelConfig
+from repro.models.footprint import FootprintBreakdown, memory_footprint
+from repro.models.registry import MODELS, get_model, list_models
+
+__all__ = [
+    "AttentionKind",
+    "ModelConfig",
+    "FootprintBreakdown",
+    "memory_footprint",
+    "MODELS",
+    "get_model",
+    "list_models",
+]

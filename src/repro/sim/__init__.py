@@ -1,0 +1,33 @@
+"""Discrete-event hardware simulation substrate.
+
+This package provides the simulation kernel (:mod:`repro.sim.engine`),
+bandwidth-shared channels (:mod:`repro.sim.channel`), device models for
+GPUs/CPUs/DRAM/SSDs/SmartSSDs (:mod:`repro.sim.devices`,
+:mod:`repro.sim.flash`), the PCIe topology builder reproducing Figure 3 of
+the paper (:mod:`repro.sim.topology`), and phase-tagged time accounting
+(:mod:`repro.sim.metrics`).
+"""
+
+from repro.sim.channel import Channel, ComputeResource, Path
+from repro.sim.engine import AllOf, Event, Process, Simulator
+from repro.sim.flash import SSD, SmartSSD, SSDSpec
+from repro.sim.metrics import Breakdown, PhaseRecorder
+from repro.sim.topology import HardwareConfig, SystemModel, build_system
+
+__all__ = [
+    "AllOf",
+    "Event",
+    "Process",
+    "Simulator",
+    "Channel",
+    "ComputeResource",
+    "Path",
+    "SSD",
+    "SmartSSD",
+    "SSDSpec",
+    "Breakdown",
+    "PhaseRecorder",
+    "HardwareConfig",
+    "SystemModel",
+    "build_system",
+]

@@ -1,0 +1,244 @@
+"""Bandwidth-shared channels and compute resources.
+
+Channels model any rate-limited resource: a PCIe link, an SSD's flash read
+path, a DRAM bus, or a compute unit's FLOP throughput.  Two queueing
+disciplines are provided:
+
+``shared``
+    Processor-sharing (progressive filling): all in-flight requests advance
+    simultaneously, each receiving an equal share of capacity.  This is the
+    right model for PCIe links and memory buses where DMA engines interleave
+    transfers.
+
+``fifo``
+    Store-and-forward serialization: requests complete one after another at
+    full capacity.  This models a compute unit executing one kernel at a
+    time.
+
+Both disciplines keep byte/FLOP accounting per tag so experiment harnesses
+can produce the paper's stacked breakdown charts (Figures 4b, 11b).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.sim.engine import Event, Simulator
+
+#: Completion slack for floating-point remaining-work comparisons.
+_EPSILON = 1e-9
+
+
+class _Flow:
+    """One in-flight request on a shared-discipline channel."""
+
+    __slots__ = ("remaining", "event", "tag")
+
+    def __init__(self, remaining: float, event: Event, tag: str) -> None:
+        self.remaining = remaining
+        self.event = event
+        self.tag = tag
+
+
+class Channel:
+    """A rate-limited resource with per-tag accounting.
+
+    Parameters
+    ----------
+    sim:
+        The owning simulator.
+    capacity:
+        Units of work per second (bytes/s for links, FLOP/s for compute).
+    name:
+        Human-readable identifier used in error messages and metrics.
+    discipline:
+        ``"shared"`` (processor sharing) or ``"fifo"`` (serialized).
+    latency:
+        Fixed per-request latency in seconds added before service begins
+        (models submission/completion overheads such as NVMe round trips).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        capacity: float,
+        name: str = "channel",
+        discipline: str = "shared",
+        latency: float = 0.0,
+    ) -> None:
+        if capacity <= 0:
+            raise ConfigurationError(f"channel {name!r} capacity must be positive")
+        if discipline not in ("shared", "fifo"):
+            raise ConfigurationError(f"channel {name!r}: unknown discipline {discipline!r}")
+        if latency < 0:
+            raise ConfigurationError(f"channel {name!r}: latency must be non-negative")
+        self.sim = sim
+        self.capacity = float(capacity)
+        self.name = name
+        self.discipline = discipline
+        self.latency = float(latency)
+        # shared-discipline state
+        self._flows: list[_Flow] = []
+        self._last_update = 0.0
+        self._epoch = 0
+        # fifo-discipline state
+        self._ready_at = 0.0
+        # accounting
+        self._busy_time = 0.0
+        self.total_work = 0.0
+        self.work_by_tag: dict[str, float] = {}
+
+    # --- public API ---------------------------------------------------------
+
+    def request(self, amount: float, tag: str = "untagged") -> Event:
+        """Ask for ``amount`` units of service; returns a completion event."""
+        if amount < 0:
+            raise SimulationError(f"channel {self.name!r}: negative request {amount}")
+        event = Event(self.sim, name=f"{self.name}:{tag}")
+        if amount == 0:
+            self.sim.schedule(self.latency, lambda: event.succeed())
+            return event
+        self.total_work += amount
+        self.work_by_tag[tag] = self.work_by_tag.get(tag, 0.0) + amount
+        if self.discipline == "fifo":
+            self._request_fifo(amount, event)
+        else:
+            self._request_shared(amount, event, tag)
+        return event
+
+    def service_time(self, amount: float) -> float:
+        """Uncontended service time for ``amount`` units (excluding queueing)."""
+        return self.latency + amount / self.capacity
+
+    def utilization(self, elapsed: float | None = None) -> float:
+        """Fraction of time the channel has been busy so far."""
+        self._advance()
+        horizon = self.sim.now if elapsed is None else elapsed
+        if horizon <= 0:
+            return 0.0
+        return min(1.0, self._busy_time / horizon)
+
+    @property
+    def busy_seconds(self) -> float:
+        """Cumulative busy time (advanced to the current simulation time)."""
+        self._advance()
+        return self._busy_time
+
+    @property
+    def in_flight(self) -> int:
+        """Number of currently active shared-discipline flows."""
+        return len(self._flows)
+
+    # --- fifo discipline ------------------------------------------------------
+
+    def _request_fifo(self, amount: float, event: Event) -> None:
+        start = max(self.sim.now + self.latency, self._ready_at)
+        duration = amount / self.capacity
+        finish = start + duration
+        self._ready_at = finish
+        self._busy_time += duration
+        self.sim.schedule(finish - self.sim.now, lambda: event.succeed())
+
+    # --- shared discipline ------------------------------------------------------
+
+    def _request_shared(self, amount: float, event: Event, tag: str) -> None:
+        if self.latency > 0:
+            self.sim.schedule(self.latency, lambda: self._add_flow(amount, event, tag))
+        else:
+            self._add_flow(amount, event, tag)
+
+    def _add_flow(self, amount: float, event: Event, tag: str) -> None:
+        self._advance()
+        self._flows.append(_Flow(amount, event, tag))
+        self._reschedule()
+
+    def _advance(self) -> None:
+        """Account progress of all active flows up to the current time."""
+        now = self.sim.now
+        elapsed = now - self._last_update
+        self._last_update = now
+        if elapsed <= 0 or not self._flows:
+            return
+        rate = self.capacity / len(self._flows)
+        for flow in self._flows:
+            flow.remaining -= rate * elapsed
+        self._busy_time += elapsed
+
+    def _reschedule(self) -> None:
+        """Schedule the next completion; invalidates any stale timer."""
+        self._epoch += 1
+        if not self._flows:
+            return
+        rate = self.capacity / len(self._flows)
+        min_remaining = min(flow.remaining for flow in self._flows)
+        delay = max(0.0, min_remaining / rate)
+        epoch = self._epoch
+        self.sim.schedule(delay, lambda: self._on_timer(epoch))
+
+    def _on_timer(self, epoch: int) -> None:
+        if epoch != self._epoch:
+            return  # superseded by a later arrival/departure
+        self._advance()
+        finished = [flow for flow in self._flows if flow.remaining <= _EPSILON]
+        if not finished:
+            # Numerical slack: nudge the earliest flow across the line.
+            earliest = min(self._flows, key=lambda flow: flow.remaining)
+            earliest.remaining = 0.0
+            finished = [earliest]
+        self._flows = [flow for flow in self._flows if flow not in finished]
+        self._reschedule()
+        for flow in finished:
+            flow.event.succeed()
+
+
+class ComputeResource(Channel):
+    """A FLOP-rate resource (GPU SMs, CPU cores, FPGA MAC array).
+
+    Compute units execute kernels one at a time, so the default discipline
+    is FIFO; capacity is expressed in FLOP/s.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        flops: float,
+        name: str = "compute",
+        discipline: str = "fifo",
+        latency: float = 0.0,
+    ) -> None:
+        super().__init__(sim, flops, name=name, discipline=discipline, latency=latency)
+
+    def execute(self, flop_count: float, tag: str = "compute") -> Event:
+        """Run a kernel of ``flop_count`` floating-point operations."""
+        return self.request(flop_count, tag)
+
+
+class Path:
+    """A multi-hop route through several channels.
+
+    A transfer over a path reserves every hop concurrently for the full byte
+    count and completes when the slowest hop finishes.  This flow-level
+    approximation captures the bottleneck-link behaviour that drives the
+    paper's analysis (the shared host interconnect in Figure 3) without
+    modeling per-packet pipelining.
+    """
+
+    def __init__(self, channels: Iterable[Channel], name: str = "path") -> None:
+        self.channels = [channel for channel in channels if channel is not None]
+        self.name = name
+        if not self.channels:
+            raise ConfigurationError(f"path {name!r} must contain at least one channel")
+
+    def transfer(self, amount: float, tag: str = "untagged") -> Event:
+        """Move ``amount`` bytes across every hop; completes on the slowest."""
+        sim = self.channels[0].sim
+        return sim.all_of([channel.request(amount, tag) for channel in self.channels])
+
+    def bottleneck_bandwidth(self) -> float:
+        """Uncontended end-to-end bandwidth (minimum hop capacity)."""
+        return min(channel.capacity for channel in self.channels)
+
+    def service_time(self, amount: float) -> float:
+        """Uncontended end-to-end time for ``amount`` bytes."""
+        return max(channel.service_time(amount) for channel in self.channels)

@@ -1,0 +1,214 @@
+"""Minimal discrete-event simulation kernel.
+
+The kernel follows the classic process-interaction style (as popularized by
+SimPy, which is not available offline): *processes* are Python generators
+that ``yield`` :class:`Event` objects and are resumed when those events
+trigger.  The :class:`Simulator` owns virtual time and an event heap.
+
+Only the features the library needs are implemented -- timeouts, process
+completion events, and all-of conjunction -- which keeps the kernel small
+enough to reason about and to property-test (see
+``tests/sim/test_engine.py``).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable
+
+from repro.errors import SimulationError
+
+#: Type alias for the generator shape driven by :class:`Process`.
+ProcessGenerator = Generator["Event", Any, Any]
+
+
+class Event:
+    """A one-shot occurrence in simulated time.
+
+    Events start untriggered; :meth:`succeed` fires them exactly once, after
+    which their :attr:`value` is frozen and every registered callback runs
+    immediately (still at the current simulation time).
+    """
+
+    __slots__ = ("sim", "name", "_callbacks", "_triggered", "_value")
+
+    def __init__(self, sim: "Simulator", name: str = "") -> None:
+        self.sim = sim
+        self.name = name
+        self._callbacks: list[Callable[[Event], None]] = []
+        self._triggered = False
+        self._value: Any = None
+
+    @property
+    def triggered(self) -> bool:
+        """Whether the event has already fired."""
+        return self._triggered
+
+    @property
+    def value(self) -> Any:
+        """The value the event fired with (``None`` until triggered)."""
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Fire the event, waking every waiter. Firing twice is an error."""
+        if self._triggered:
+            raise SimulationError(f"event {self.name!r} triggered twice")
+        self._triggered = True
+        self._value = value
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+        return self
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Register ``callback``; runs immediately if already triggered."""
+        if self._triggered:
+            callback(self)
+        else:
+            self._callbacks.append(callback)
+
+
+class Timeout(Event):
+    """An event that fires after a fixed simulated delay."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(sim, name=f"timeout({delay:g})")
+        sim.schedule(delay, lambda: self.succeed(value))
+
+
+class AllOf(Event):
+    """Conjunction event: fires when every constituent event has fired.
+
+    The value is the list of constituent values in input order.  An empty
+    input fires immediately with an empty list.
+    """
+
+    __slots__ = ("_pending", "_values")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
+        super().__init__(sim, name="all_of")
+        events = list(events)
+        self._pending = len(events)
+        self._values: list[Any] = [None] * len(events)
+        if not events:
+            sim.schedule(0.0, lambda: self.succeed([]))
+            return
+        for index, event in enumerate(events):
+            event.add_callback(self._make_callback(index))
+
+    def _make_callback(self, index: int) -> Callable[[Event], None]:
+        def on_trigger(event: Event) -> None:
+            self._values[index] = event.value
+            self._pending -= 1
+            if self._pending == 0:
+                self.succeed(list(self._values))
+
+        return on_trigger
+
+
+class Process(Event):
+    """Drives a generator coroutine; is itself an event for its completion.
+
+    The generator yields :class:`Event` instances.  When a yielded event
+    triggers, the process is resumed with the event's value.  When the
+    generator returns, the process event fires with the return value.
+    """
+
+    __slots__ = ("_generator",)
+
+    def __init__(self, sim: "Simulator", generator: ProcessGenerator, name: str = "") -> None:
+        super().__init__(sim, name=name or getattr(generator, "__name__", "process"))
+        self._generator = generator
+        sim.schedule(0.0, lambda: self._step(None))
+
+    def _step(self, send_value: Any) -> None:
+        try:
+            target = self._generator.send(send_value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {type(target).__name__}; "
+                "processes must yield Event instances"
+            )
+        target.add_callback(lambda event: self._step(event.value))
+
+
+class Simulator:
+    """Owns virtual time and the scheduled-callback heap."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._sequence = 0
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of scheduled callbacks executed so far (for diagnostics)."""
+        return self._processed
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` after ``delay`` simulated seconds."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        self._sequence += 1
+        heapq.heappush(self._heap, (self._now + delay, self._sequence, callback))
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires after ``delay`` seconds."""
+        return Timeout(self, delay, value)
+
+    def event(self, name: str = "") -> Event:
+        """Create a bare, manually-triggered event."""
+        return Event(self, name)
+
+    def process(self, generator: ProcessGenerator, name: str = "") -> Process:
+        """Register a generator as a running process."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Create an event that fires once all ``events`` have fired."""
+        return AllOf(self, events)
+
+    def run(self, until: Event | float | None = None) -> Any:
+        """Advance the simulation.
+
+        ``until`` may be an :class:`Event` (run until it triggers and return
+        its value), a time (run until the heap is exhausted or that time is
+        reached), or ``None`` (drain the heap).
+        """
+        if isinstance(until, Event):
+            stop_event = until
+            while not stop_event.triggered:
+                if not self._heap:
+                    raise SimulationError(
+                        "simulation ran out of events before the awaited "
+                        f"event {stop_event.name!r} triggered (deadlock?)"
+                    )
+                self._pop_and_run()
+            return stop_event.value
+        horizon = float("inf") if until is None else float(until)
+        while self._heap and self._heap[0][0] <= horizon:
+            self._pop_and_run()
+        if until is not None and horizon > self._now:
+            self._now = horizon
+        return None
+
+    def _pop_and_run(self) -> None:
+        time, _, callback = heapq.heappop(self._heap)
+        if time < self._now - 1e-12:
+            raise SimulationError("event heap produced a time in the past")
+        self._now = max(self._now, time)
+        self._processed += 1
+        callback()

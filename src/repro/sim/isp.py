@@ -1,0 +1,73 @@
+"""The envisioned in-storage-processing (ISP) device of Section 7.1.
+
+HILOS ships on NSP SmartSSDs, whose internal path matches a conventional
+drive's external one.  The discussion section sketches a future ISP drive
+(Figure 18b) whose compute sits behind the SSD controller itself:
+
+* 16 TB of NAND over eight 2,000 MT/s channels -- 16 GB/s internal;
+* a single-package LPDDR5X (four 16 GB channels) -- 68 GB/s device DRAM;
+* a PCIe 4.0 x4 external interface -- ~8 GB/s to the host.
+
+The paper argues one such device matches the four SmartSSDs of the
+prototype (4 x ~3 GB/s internal, 4 x 3.2 GB/s host-facing, ~52 GB/s
+aggregate DDR4).  This module provides the spec and a topology builder so
+the claim is testable end-to-end (see
+``repro.experiments.discussion_future_csd``).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.sim.flash import SSDSpec
+from repro.sim.topology import HardwareConfig
+from repro.units import GB, TB, pcie_bandwidth
+
+#: The envisioned ISP drive's NAND array: 16 TB over eight flash channels.
+ISP_FLASH = SSDSpec(
+    name="ISP-flash",
+    capacity_bytes=16 * TB,
+    read_bandwidth=16 * GB,
+    write_bandwidth=6.4 * GB,
+)
+
+#: Aggregated LPDDR5X bandwidth (four 16 GB channels).
+ISP_DRAM_BANDWIDTH = 68 * GB
+
+#: External PCIe 4.0 x4 interface.
+ISP_HOST_LINK_BANDWIDTH = pcie_bandwidth(4, 4, efficiency=0.85)
+
+
+def isp_hardware_config(
+    n_devices: int = 1,
+    gpu: str = "A100",
+    host_pcie_bandwidth: float = 25 * GB,
+) -> HardwareConfig:
+    """A host populated with envisioned ISP devices instead of SmartSSDs.
+
+    The ISP is modeled through the same NSP device abstraction: flash feeds
+    an on-device accelerator through device DRAM, and only attention inputs
+    and outputs cross the external link -- the architectural property both
+    device generations share.
+    """
+    if n_devices < 1:
+        raise ConfigurationError("need at least one ISP device")
+    return HardwareConfig(
+        gpu=gpu,
+        n_conventional_ssds=0,
+        n_smartssds=n_devices,
+        smartssd_flash_spec=ISP_FLASH,
+        smartssd_dram_bandwidth=ISP_DRAM_BANDWIDTH,
+        smartssd_host_link_bandwidth=ISP_HOST_LINK_BANDWIDTH,
+        host_pcie_bandwidth=host_pcie_bandwidth,
+    )
+
+
+def bandwidth_equivalence_summary() -> dict[str, tuple[float, float]]:
+    """(one ISP, four SmartSSDs) bandwidth pairs for the §7.1 argument."""
+    from repro.sim.flash import SMARTSSD_FLASH, SmartSSD
+
+    return {
+        "internal_flash": (ISP_FLASH.read_bandwidth, 4 * SMARTSSD_FLASH.read_bandwidth),
+        "host_interface": (ISP_HOST_LINK_BANDWIDTH, 4 * SmartSSD.HOST_LINK_BANDWIDTH),
+        "device_dram": (ISP_DRAM_BANDWIDTH, 4 * SmartSSD.FPGA_DRAM_BANDWIDTH),
+    }

@@ -1,0 +1,97 @@
+"""Unit helpers shared across the library.
+
+All byte quantities inside :mod:`repro` are plain ``int``/``float`` byte
+counts, all times are seconds, and all bandwidths are bytes per second.
+These helpers exist so module code reads like the paper's prose
+(``4 * GiB``, ``6.9 * GB_PER_S``) instead of raw exponents, and so that
+the two different "giga" conventions (binary for memory capacities,
+decimal for storage/bandwidth datasheets) are explicit at every use site.
+"""
+
+from __future__ import annotations
+
+# --- binary (memory-style) sizes -------------------------------------------
+KiB = 1024
+MiB = 1024 * KiB
+GiB = 1024 * MiB
+TiB = 1024 * GiB
+
+# --- decimal (storage/bandwidth datasheet-style) sizes ----------------------
+KB = 1000
+MB = 1000 * KB
+GB = 1000 * MB
+TB = 1000 * GB
+
+# --- bandwidths --------------------------------------------------------------
+MB_PER_S = MB
+GB_PER_S = GB
+
+# --- compute -----------------------------------------------------------------
+GFLOPS = 1e9
+TFLOPS = 1e12
+
+# --- frequency ---------------------------------------------------------------
+MHZ = 1e6
+GHZ = 1e9
+
+# --- time --------------------------------------------------------------------
+US = 1e-6
+MS = 1e-3
+
+#: Bytes per element for the precisions used in the paper (FP16 storage,
+#: FP32 accumulation).
+BYTES_FP16 = 2
+BYTES_FP32 = 4
+
+
+def bytes_to_gib(n_bytes: float) -> float:
+    """Convert a byte count to binary gibibytes (GiB)."""
+    return n_bytes / GiB
+
+
+def bytes_to_tb(n_bytes: float) -> float:
+    """Convert a byte count to decimal terabytes (TB)."""
+    return n_bytes / TB
+
+
+def bytes_to_gb(n_bytes: float) -> float:
+    """Convert a byte count to decimal gigabytes (GB)."""
+    return n_bytes / GB
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Integer ceiling division; used for page and block round-ups."""
+    if b <= 0:
+        raise ValueError(f"ceil_div divisor must be positive, got {b}")
+    return -(-a // b)
+
+
+def round_up(value: int, multiple: int) -> int:
+    """Round ``value`` up to the nearest ``multiple`` (page/burst alignment)."""
+    return ceil_div(value, multiple) * multiple
+
+
+def pcie_lane_bandwidth(generation: int) -> float:
+    """Effective per-lane bandwidth (bytes/s) for a PCIe generation.
+
+    Values are the usable per-lane data rates after encoding overhead:
+    PCIe 3.0 ~0.985 GB/s, PCIe 4.0 ~1.969 GB/s, PCIe 5.0 ~3.938 GB/s.
+    """
+    per_lane = {3: 0.985 * GB, 4: 1.969 * GB, 5: 3.938 * GB}
+    if generation not in per_lane:
+        raise ValueError(f"unsupported PCIe generation: {generation}")
+    return per_lane[generation]
+
+
+def pcie_bandwidth(generation: int, lanes: int, efficiency: float = 1.0) -> float:
+    """Aggregate bandwidth (bytes/s) of a ``lanes``-wide PCIe link.
+
+    ``efficiency`` models protocol/DMA overheads observed on real systems
+    (the paper profiles effective ``B_PCI`` rather than using datasheet
+    numbers, see Section 4.2).
+    """
+    if lanes <= 0:
+        raise ValueError(f"lane count must be positive, got {lanes}")
+    if not 0.0 < efficiency <= 1.0:
+        raise ValueError(f"efficiency must be in (0, 1], got {efficiency}")
+    return pcie_lane_bandwidth(generation) * lanes * efficiency

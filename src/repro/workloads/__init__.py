@@ -1,0 +1,18 @@
+"""Workload definitions: request classes, synthetic data, retrieval tasks."""
+
+from repro.workloads.requests import LONG, MEDIUM, SHORT, REQUEST_CLASSES, RequestClass
+from repro.workloads.retrieval import RetrievalTask, make_retrieval_suite, score_f1
+from repro.workloads.synthetic import SyntheticWorkload, make_embeddings
+
+__all__ = [
+    "RequestClass",
+    "REQUEST_CLASSES",
+    "SHORT",
+    "MEDIUM",
+    "LONG",
+    "RetrievalTask",
+    "make_retrieval_suite",
+    "score_f1",
+    "SyntheticWorkload",
+    "make_embeddings",
+]

@@ -1,0 +1,39 @@
+"""Offline-inference request classes (Section 6.6's Azure-derived mix).
+
+The endurance analysis buckets requests by prompt/output length following
+the Azure LLM inference statistics the paper cites: Short (I:256/O:100),
+Medium (I:1K/O:350), and Long (I:8K/O:350).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class RequestClass:
+    """One request shape: prompt length and generated-output length."""
+
+    name: str
+    input_tokens: int
+    output_tokens: int
+
+    def __post_init__(self) -> None:
+        if self.input_tokens < 1 or self.output_tokens < 1:
+            raise ConfigurationError("request lengths must be positive")
+
+    @property
+    def total_tokens(self) -> int:
+        """Final context length after generation completes."""
+        return self.input_tokens + self.output_tokens
+
+
+SHORT = RequestClass("Short", input_tokens=256, output_tokens=100)
+MEDIUM = RequestClass("Medium", input_tokens=1024, output_tokens=350)
+LONG = RequestClass("Long", input_tokens=8192, output_tokens=350)
+
+REQUEST_CLASSES: dict[str, RequestClass] = {
+    req.name: req for req in (SHORT, MEDIUM, LONG)
+}

@@ -1,0 +1,57 @@
+"""Seeded synthetic workload generation.
+
+The timing experiments need only shapes (batch, context, output length), but
+the functional experiments need actual activations.  These helpers produce
+deterministic embedding streams so every run of an experiment or test sees
+identical numerics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class SyntheticWorkload:
+    """A reproducible offline-inference batch."""
+
+    batch_size: int
+    prompt_tokens: int
+    output_tokens: int
+    hidden: int
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if min(self.batch_size, self.prompt_tokens, self.output_tokens, self.hidden) < 1:
+            raise ConfigurationError("workload dimensions must be positive")
+
+    def prompt_embeddings(self) -> np.ndarray:
+        """The embedded prompt, shape ``(batch, prompt_tokens, hidden)``."""
+        rng = np.random.default_rng(self.seed)
+        return rng.standard_normal(
+            (self.batch_size, self.prompt_tokens, self.hidden)
+        ).astype(np.float32) * 0.5
+
+    def step_embeddings(self) -> list[np.ndarray]:
+        """Per-decode-step token embeddings, each ``(batch, hidden)``."""
+        rng = np.random.default_rng(self.seed + 1)
+        return [
+            rng.standard_normal((self.batch_size, self.hidden)).astype(np.float32) * 0.5
+            for _ in range(self.output_tokens)
+        ]
+
+
+def make_embeddings(
+    n_tokens: int, dim: int, seed: int = 0, scale: float = 1.0
+) -> np.ndarray:
+    """Unit-ish random embeddings of shape ``(n_tokens, dim)``."""
+    if n_tokens < 1 or dim < 1:
+        raise ConfigurationError("embedding dimensions must be positive")
+    rng = np.random.default_rng(seed)
+    vectors = rng.standard_normal((n_tokens, dim))
+    vectors /= np.linalg.norm(vectors, axis=1, keepdims=True)
+    return vectors * scale

@@ -1,0 +1,69 @@
+"""Tests for the kernel-throughput estimator (Figure 12a / Section 5.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.accelerator.config import AcceleratorConfig
+from repro.accelerator.estimator import (
+    PerformanceEstimator,
+    effective_device_bandwidth,
+    kernel_throughput,
+    ssd_feed_throughput,
+)
+from repro.errors import ConfigurationError
+from repro.units import GB
+
+
+class TestKernelThroughput:
+    def test_all_kernels_exceed_ssd_feed(self):
+        """Figure 12(a): every kernel outpaces the ~3 GB/s P2P read."""
+        for d_group in (1, 4, 5):
+            config = AcceleratorConfig(d_group=d_group)
+            assert kernel_throughput(config) > ssd_feed_throughput()
+
+    def test_kernels_land_in_figure12a_band(self):
+        for d_group in (1, 4, 5):
+            rate = kernel_throughput(AcceleratorConfig(d_group=d_group))
+            assert 4.0 * GB < rate < 7.0 * GB
+
+    def test_gqa_slightly_slower_than_mha(self):
+        """Figure 12(a): GQA kernels are somewhat below the MHA kernel."""
+        mha = kernel_throughput(AcceleratorConfig(d_group=1))
+        gqa4 = kernel_throughput(AcceleratorConfig(d_group=4))
+        gqa5 = kernel_throughput(AcceleratorConfig(d_group=5))
+        assert mha > gqa4 > gqa5
+        assert gqa5 > 0.7 * mha
+
+    def test_device_bandwidth_is_feed_limited(self):
+        """The end-to-end device rate is the flash feed, by design."""
+        config = AcceleratorConfig(d_group=1)
+        assert effective_device_bandwidth(config) == pytest.approx(3.0 * GB)
+
+
+class TestEstimator:
+    def test_latency_grows_with_sequence(self):
+        estimator = PerformanceEstimator(AcceleratorConfig())
+        points = estimator.sweep([4096, 8192, 16384, 32768])
+        latencies = [p.latency_seconds for p in points]
+        assert latencies == sorted(latencies)
+
+    def test_throughput_approaches_sustained_rate(self):
+        config = AcceleratorConfig(d_group=1)
+        estimator = PerformanceEstimator(config)
+        long_point = estimator.estimate(1 << 18)
+        from repro.accelerator.pipeline import block_timing
+
+        sustained = block_timing(config, include_ingest=True).kv_bandwidth
+        assert long_point.throughput == pytest.approx(sustained, rel=0.05)
+
+    def test_tiles_scale_bytes_and_latency(self):
+        estimator = PerformanceEstimator(AcceleratorConfig())
+        one = estimator.estimate(8192, n_tiles=1)
+        four = estimator.estimate(8192, n_tiles=4)
+        assert four.kv_bytes == 4 * one.kv_bytes
+        assert four.latency_seconds == pytest.approx(4 * one.latency_seconds)
+
+    def test_invalid_sequence_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PerformanceEstimator(AcceleratorConfig()).estimate(0)

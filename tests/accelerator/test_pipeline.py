@@ -1,0 +1,120 @@
+"""Tests for the accelerator cycle/pipeline models against Table 3."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.accelerator.config import AcceleratorConfig
+from repro.accelerator.pipeline import block_timing, peak_gflops, sequence_latency
+from repro.accelerator.units import (
+    max_unit_cycles,
+    qk_unit_cycles,
+    softmax_fraction,
+    softmax_norm_cycles,
+    softmax_stats_cycles,
+    sv_unit_cycles,
+)
+from repro.errors import ConfigurationError
+
+
+class TestTable3Calibration:
+    """Peak performance must land within 3% of the measured Table 3 rows."""
+
+    @pytest.mark.parametrize("d_group, paper", [(1, 11.9), (4, 46.8), (5, 56.3)])
+    def test_peak_gflops(self, d_group, paper):
+        config = AcceleratorConfig(d_group=d_group)
+        assert peak_gflops(config) == pytest.approx(paper, rel=0.03)
+
+    def test_peak_is_dram_bound(self):
+        """Section 4.4: the temporal design is sized to saturate DRAM."""
+        for d_group in (1, 4, 5):
+            assert block_timing(AcceleratorConfig(d_group=d_group)).dram_bound
+
+
+class TestUnitCycles:
+    def test_gemv_units_take_head_dim_cycles(self):
+        config = AcceleratorConfig(d_group=1, head_dim=128)
+        assert qk_unit_cycles(config) >= 128
+        assert sv_unit_cycles(config) >= 128
+
+    def test_softmax_scales_with_group(self):
+        small = softmax_stats_cycles(AcceleratorConfig(d_group=1))
+        large = softmax_stats_cycles(AcceleratorConfig(d_group=5))
+        assert large > 4 * small * 0.9
+
+    def test_exp_unroll_halves_softmax(self):
+        serial = softmax_norm_cycles(AcceleratorConfig(d_group=4, exp_unroll=1))
+        unrolled = softmax_norm_cycles(AcceleratorConfig(d_group=4, exp_unroll=2))
+        assert unrolled < serial
+        assert unrolled >= serial / 2
+
+    def test_softmax_dominates_at_large_groups(self):
+        """Section 7.2: softmax accounts for >50% of time as d_group grows."""
+        assert softmax_fraction(AcceleratorConfig(d_group=1)) < 0.5
+        assert softmax_fraction(AcceleratorConfig(d_group=5)) > 0.5
+
+    def test_max_unit_is_the_pipeline_rate(self):
+        config = AcceleratorConfig(d_group=5)
+        units = [
+            qk_unit_cycles(config),
+            softmax_stats_cycles(config),
+            softmax_norm_cycles(config),
+            sv_unit_cycles(config),
+        ]
+        assert max_unit_cycles(config) == max(units)
+
+
+class TestBlockTiming:
+    def test_ingest_slows_the_sustained_rate(self):
+        config = AcceleratorConfig(d_group=1)
+        peak = block_timing(config, include_ingest=False)
+        sustained = block_timing(config, include_ingest=True)
+        assert sustained.block_seconds > peak.block_seconds
+        assert sustained.kv_bandwidth < peak.kv_bandwidth
+
+    def test_kv_bytes_per_block(self):
+        config = AcceleratorConfig(head_dim=128, block_tokens=128)
+        assert config.kv_bytes_per_block() == 2 * 128 * 128 * 2
+
+    def test_flops_per_block(self):
+        config = AcceleratorConfig(d_group=4, head_dim=128, block_tokens=128)
+        assert config.flops_per_block() == 4 * 4 * 128 * 128
+
+
+class TestSequenceLatency:
+    def test_latency_scales_linearly_in_blocks(self):
+        config = AcceleratorConfig(d_group=1)
+        one = sequence_latency(config, 128)
+        eight = sequence_latency(config, 8 * 128)
+        fill = config.pipeline_fill_cycles / config.clock_hz
+        assert eight - fill == pytest.approx(8 * (one - fill), rel=1e-9)
+
+    def test_tiles_multiply_latency(self):
+        config = AcceleratorConfig(d_group=1)
+        assert sequence_latency(config, 4096, n_tiles=3) == pytest.approx(
+            3 * sequence_latency(config, 4096, n_tiles=1)
+        )
+
+    @settings(max_examples=25, deadline=None)
+    @given(seq=st.integers(min_value=1, max_value=1 << 17))
+    def test_blocks_cover_sequence(self, seq):
+        config = AcceleratorConfig()
+        blocks = config.blocks_for_sequence(seq)
+        assert blocks * config.block_tokens >= seq
+        assert (blocks - 1) * config.block_tokens < seq
+
+
+class TestValidation:
+    def test_bad_group(self):
+        with pytest.raises(ConfigurationError):
+            AcceleratorConfig(d_group=0)
+
+    def test_bad_clock(self):
+        with pytest.raises(ConfigurationError):
+            AcceleratorConfig(clock_hz=0)
+
+    def test_negative_sequence(self):
+        with pytest.raises(ConfigurationError):
+            AcceleratorConfig().blocks_for_sequence(-1)

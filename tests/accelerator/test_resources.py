@@ -1,0 +1,85 @@
+"""Tests for the FPGA resource and power models (Table 3 anchors)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.accelerator.config import AcceleratorConfig
+from repro.accelerator.power import MEASURED_POWER_W, accelerator_power_w, deployment_power_w
+from repro.accelerator.resources import (
+    MEASURED_UTILIZATION,
+    dsp_count_for_throughput_scale,
+    estimate_resources,
+    max_feasible_d_group,
+)
+from repro.errors import ConfigurationError
+
+
+class TestAnchoredRows:
+    @pytest.mark.parametrize("d_group", [1, 4, 5])
+    def test_measured_rows_exact(self, d_group):
+        result = estimate_resources(d_group)
+        assert result.measured
+        assert result.as_dict() == MEASURED_UTILIZATION[d_group]
+
+    @pytest.mark.parametrize("d_group", [1, 4, 5])
+    def test_measured_power_exact(self, d_group):
+        assert accelerator_power_w(d_group) == MEASURED_POWER_W[d_group]
+
+    def test_accepts_config_objects(self):
+        config = AcceleratorConfig(d_group=4)
+        assert estimate_resources(config).lut == pytest.approx(56.60)
+        assert accelerator_power_w(config) == pytest.approx(15.39)
+
+
+class TestInterpolation:
+    def test_interpolated_rows_monotonic_in_group(self):
+        luts = [estimate_resources(g).lut for g in range(1, 8)]
+        assert all(b >= a - 1e-9 for a, b in zip(luts, luts[1:]))
+
+    def test_unmeasured_flagged(self):
+        assert not estimate_resources(3).measured
+
+    def test_limiting_resource_is_lut_at_scale(self):
+        assert estimate_resources(8).limiting_resource == "LUT"
+
+    def test_power_interpolation_between_anchors(self):
+        power = accelerator_power_w(3)
+        assert MEASURED_POWER_W[1] < power < MEASURED_POWER_W[5]
+
+
+class TestFeasibility:
+    def test_shipped_builds_feasible(self):
+        for d_group in (1, 4, 5):
+            assert estimate_resources(d_group).feasible
+
+    def test_feasibility_limit_exists(self):
+        limit = max_feasible_d_group()
+        assert 5 <= limit < 20
+        assert not estimate_resources(limit + 1).feasible
+
+    def test_bad_group_rejected(self):
+        with pytest.raises(ConfigurationError):
+            estimate_resources(0)
+        with pytest.raises(ConfigurationError):
+            accelerator_power_w(0)
+
+
+class TestDeployment:
+    def test_16_device_deployment_about_258w(self):
+        """Section 6.2: a full 16-accelerator deployment ~ 258 W."""
+        assert deployment_power_w(16, d_group=5) == pytest.approx(258.0, rel=0.01)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            deployment_power_w(-1)
+
+
+class TestDiscussionScaling:
+    def test_pcie5_scale_up_exceeds_2000_dsps(self):
+        """Section 7.2: 4x throughput would need >2,000 DSPs."""
+        assert dsp_count_for_throughput_scale(4.0) > 2000
+
+    def test_bad_scale(self):
+        with pytest.raises(ConfigurationError):
+            dsp_count_for_throughput_scale(0.0)

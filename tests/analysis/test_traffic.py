@@ -1,0 +1,83 @@
+"""Tests for the interconnect traffic models (Equation 3)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.traffic import (
+    ans_step_traffic,
+    ans_traffic_reduction_ratio,
+    baseline_step_traffic,
+    x_to_kv_size_ratio,
+    xcache_step_traffic,
+)
+from repro.errors import ConfigurationError
+from repro.models import get_model
+
+
+@pytest.fixture(scope="module")
+def opt66b():
+    return get_model("OPT-66B")
+
+
+class TestEquation3:
+    @settings(max_examples=40, deadline=None)
+    @given(seq=st.integers(min_value=1, max_value=1 << 20))
+    def test_closed_form(self, seq):
+        assert ans_traffic_reduction_ratio(seq) == pytest.approx((seq + 1) / 2)
+
+    def test_byte_formulas_reproduce_the_ratio(self, opt66b):
+        """Baseline 4sh + 4h versus ANS 2h + 6h -> (s+1)/2 for MHA."""
+        for seq in (1, 1024, 131072):
+            base = baseline_step_traffic(opt66b, 1, seq)
+            ans = ans_step_traffic(opt66b, 1, seq)
+            measured = base.interconnect_total / ans.interconnect_total
+            assert measured == pytest.approx(ans_traffic_reduction_ratio(seq))
+
+    def test_baseline_interconnect_is_4sh_plus_4h(self, opt66b):
+        base = baseline_step_traffic(opt66b, 1, 1000)
+        h = opt66b.hidden
+        assert base.interconnect_total == pytest.approx(4 * 1000 * h + 4 * h)
+
+    def test_ans_interconnect_is_8h(self, opt66b):
+        ans = ans_step_traffic(opt66b, 1, 1000)
+        assert ans.interconnect_total == pytest.approx(8 * opt66b.hidden)
+
+    def test_invalid_sequence(self):
+        with pytest.raises(ConfigurationError):
+            ans_traffic_reduction_ratio(0)
+
+
+class TestXCacheTraffic:
+    def test_alpha_zero_equals_ans(self, opt66b):
+        ans = ans_step_traffic(opt66b, 4, 4096)
+        xc = xcache_step_traffic(opt66b, 4, 4096, alpha=0.0)
+        assert xc.interconnect_total == ans.interconnect_total
+        assert xc.storage_read == ans.storage_read
+
+    def test_alpha_one_halves_storage_reads_for_mha(self, opt66b):
+        ans = ans_step_traffic(opt66b, 4, 4096)
+        xc = xcache_step_traffic(opt66b, 4, 4096, alpha=1.0)
+        assert xc.storage_read == pytest.approx(ans.storage_read / 2)
+
+    @settings(max_examples=25, deadline=None)
+    @given(alpha=st.floats(min_value=0.0, max_value=1.0))
+    def test_storage_reads_decrease_with_alpha(self, opt66b, alpha):
+        lower = xcache_step_traffic(opt66b, 4, 4096, alpha=alpha)
+        zero = xcache_step_traffic(opt66b, 4, 4096, alpha=0.0)
+        assert lower.storage_read <= zero.storage_read + 1e-9
+
+    def test_invalid_alpha(self, opt66b):
+        with pytest.raises(ConfigurationError):
+            xcache_step_traffic(opt66b, 1, 1024, alpha=1.2)
+
+
+class TestXRatio:
+    def test_mha_is_half(self, opt66b):
+        assert x_to_kv_size_ratio(opt66b) == pytest.approx(0.5)
+
+    def test_gqa_above_one(self):
+        """Qwen2.5-32B: X (5120) > K+V (2 x 1024) per token."""
+        assert x_to_kv_size_ratio(get_model("Qwen2.5-32B")) == pytest.approx(2.5)

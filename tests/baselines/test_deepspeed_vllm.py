@@ -1,0 +1,85 @@
+"""Tests for the DeepSpeed+UVM and multi-node vLLM baselines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.deepspeed import DeepSpeedUVM
+from repro.baselines.flexgen import FlexGenDRAM
+from repro.baselines.vllm import ClusterConfig, MultiNodeVLLM
+from repro.models import get_model
+from repro.models.registry import tiny_model
+
+
+@pytest.fixture(scope="module")
+def opt66b():
+    return get_model("OPT-66B")
+
+
+class TestDeepSpeedUVM:
+    def test_much_slower_than_flex_dram(self, opt66b):
+        """Section 6.3: UVM overheads cost >4x versus FLEX(DRAM)."""
+        ds = DeepSpeedUVM(opt66b).measure(16, 32768, n_steps=1, warmup_steps=1)
+        flex = FlexGenDRAM(opt66b).measure(16, 32768, n_steps=1, warmup_steps=1)
+        assert flex.tokens_per_second / ds.tokens_per_second > 4.0
+
+    def test_same_capacity_limits_as_flex_dram(self, opt66b):
+        ds = DeepSpeedUVM(opt66b).measure(16, 32768, n_steps=1, warmup_steps=1)
+        assert ds.effective_batch == 2
+
+    def test_kv_paging_dominates(self, opt66b):
+        ds = DeepSpeedUVM(opt66b).measure(16, 32768, n_steps=1, warmup_steps=1)
+        assert ds.breakdown.fractions()["load_kv"] > 0.4
+
+
+class TestVLLMCapacity:
+    def test_175b_weights_fit_the_fleet(self):
+        vllm = MultiNodeVLLM(get_model("OPT-175B"))
+        assert vllm.fits_weights()
+
+    def test_oversized_model_oom(self):
+        huge = tiny_model(name="huge", n_layers=96, hidden=16384, intermediate=65536, n_heads=128)
+        vllm = MultiNodeVLLM(huge)
+        assert not vllm.fits_weights()
+        result = vllm.measure(16, 16384)
+        assert result.oom
+
+    def test_175b_long_context_needs_swap(self):
+        """384 GB of HBM minus 350 GB of weights cannot hold a 77 GB/sequence
+        KV cache: batch collapses to 1 with block swapping."""
+        vllm = MultiNodeVLLM(get_model("OPT-175B"))
+        assert vllm.max_gpu_resident_batch(16384) == 0
+        result = vllm.measure(16, 16384)
+        assert result.effective_batch == 1
+
+    def test_small_model_runs_resident(self):
+        """OPT-30B leaves ~317 GB of fleet HBM for KV: batch 14 at 16K."""
+        vllm = MultiNodeVLLM(get_model("OPT-30B"))
+        assert vllm.max_gpu_resident_batch(16384) >= 8
+
+
+class TestVLLMPerformance:
+    def test_hilos_beats_vllm_on_175b(self):
+        """Figure 17(b): HILOS wins by ~1.6-1.8x despite the GPU fleet."""
+        from repro.core.config import HilosConfig
+        from repro.core.runtime import HilosSystem
+
+        model = get_model("OPT-175B")
+        vllm = MultiNodeVLLM(model).measure(16, 16384)
+        hilos = HilosSystem(model, HilosConfig(n_devices=16)).measure(
+            16, 16384, n_steps=1, warmup_steps=1
+        )
+        ratio = hilos.tokens_per_second / vllm.tokens_per_second
+        assert 1.2 < ratio < 2.2
+
+    def test_step_time_grows_with_context(self):
+        vllm = MultiNodeVLLM(get_model("OPT-175B"))
+        short, _ = vllm.step_seconds(1, 16384)
+        long, _ = vllm.step_seconds(1, 32768)
+        assert long > short
+
+    def test_cluster_defaults_match_section_6_6(self):
+        cluster = ClusterConfig()
+        assert cluster.total_gpus == 8
+        assert cluster.gpu == "A6000"
+        assert cluster.gpu_spec.memory_bytes == pytest.approx(48 * 1024**3)

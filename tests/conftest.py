@@ -1,0 +1,49 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models.registry import tiny_model
+from repro.sim.engine import Simulator
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    """A fresh simulator."""
+    return Simulator()
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A seeded NumPy generator for deterministic numerics."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def tiny_mha():
+    """A miniature MHA model config for functional tests."""
+    return tiny_model(n_layers=2, hidden=32, intermediate=64, n_heads=4)
+
+
+@pytest.fixture
+def tiny_gqa():
+    """A miniature GQA model config (d_group = 2)."""
+    return tiny_model(
+        name="tiny-gqa", n_layers=2, hidden=32, intermediate=64, n_heads=4, n_kv_heads=2
+    )
+
+
+@pytest.fixture
+def tiny_rope():
+    """A miniature RoPE model config (exercises X-cache re-rotation)."""
+    return tiny_model(
+        name="tiny-rope",
+        n_layers=2,
+        hidden=32,
+        intermediate=64,
+        n_heads=4,
+        n_kv_heads=2,
+        uses_rope=True,
+    )

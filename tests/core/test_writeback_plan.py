@@ -1,0 +1,96 @@
+"""Tests for the timing-side delayed-writeback plan (Section 4.3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.writeback import (
+    DIRECT_IO_LATENCY_S,
+    plan_writeback,
+    writeback_write_amplification,
+)
+from repro.errors import ConfigurationError
+from repro.models import get_model
+from repro.units import KiB
+
+
+class TestSpillGranule:
+    def test_c16_fills_exactly_one_page_for_128_dim_heads(self):
+        """The paper's headline alignment: 16 x 256 B = 4 KiB."""
+        model = get_model("OPT-66B")
+        plan = plan_writeback(model, batch_size=16, spill_interval=16)
+        assert plan.spill_granule_bytes == 4 * KiB
+        assert writeback_write_amplification(model, 16) == pytest.approx(1.0)
+
+    def test_small_interval_amplifies(self):
+        model = get_model("OPT-66B")
+        assert writeback_write_amplification(model, 2) == pytest.approx(8.0)
+
+    def test_large_intervals_stay_aligned(self):
+        model = get_model("OPT-66B")
+        assert writeback_write_amplification(model, 32) == pytest.approx(1.0)
+
+
+class TestNaivePlan:
+    def test_interval_one_is_the_naive_path(self):
+        model = get_model("OPT-66B")
+        plan = plan_writeback(model, batch_size=16, spill_interval=1)
+        assert plan.stage_bytes_per_step == 0.0
+        assert plan.cpu_partial_flops_per_step == 0.0
+        assert plan.spill_granule_bytes == model.kv_entry_bytes_per_head()
+        # One direct-I/O op per (batch, KV head), serialized on the host.
+        assert plan.naive_commit_seconds == pytest.approx(
+            16 * model.n_kv_heads * DIRECT_IO_LATENCY_S
+        )
+        assert plan.per_layer_overhead_seconds() == 0.0
+
+    def test_naive_ops_scale_with_nsp_fraction(self):
+        model = get_model("OPT-66B")
+        full = plan_writeback(model, 16, 1, nsp_fraction=1.0)
+        half = plan_writeback(model, 16, 1, nsp_fraction=0.5)
+        assert half.naive_commit_seconds == pytest.approx(full.naive_commit_seconds / 2)
+
+
+class TestDelayedPlan:
+    def test_host_to_device_includes_scores_and_staged_values(self):
+        model = get_model("OPT-66B")
+        plan = plan_writeback(model, batch_size=4, spill_interval=16)
+        query_only = plan_writeback(model, batch_size=4, spill_interval=2)
+        assert plan.host_to_device_bytes_per_step > query_only.host_to_device_bytes_per_step
+
+    def test_mean_staged_entries(self):
+        model = get_model("OPT-66B")
+        assert plan_writeback(model, 1, 16).mean_staged_entries == pytest.approx(7.5)
+
+    def test_spill_bytes_cover_interval(self):
+        model = get_model("OPT-66B")
+        plan = plan_writeback(model, batch_size=8, spill_interval=16)
+        assert plan.spill_bytes == pytest.approx(16 * plan.stage_bytes_per_step)
+
+    def test_overhead_u_shape_minimized_near_16(self):
+        """Figure 13: c=16 beats both tiny and large spill intervals."""
+        model = get_model("OPT-30B")
+        overhead = {
+            c: plan_writeback(model, 16, c).per_layer_overhead_seconds()
+            for c in (2, 4, 8, 16, 32, 64)
+        }
+        assert overhead[16] < overhead[2]
+        assert overhead[16] < overhead[64]
+        assert min(overhead, key=overhead.get) in (8, 16)
+
+    def test_buffer_peak_scales_with_layers(self):
+        model = get_model("OPT-66B")
+        plan = plan_writeback(model, 16, 16)
+        assert plan.host_buffer_peak_bytes == pytest.approx(
+            plan.stage_bytes_per_step * 16 * model.n_layers
+        )
+
+
+class TestValidation:
+    def test_bad_interval(self):
+        with pytest.raises(ConfigurationError):
+            plan_writeback(get_model("OPT-66B"), 16, 0)
+
+    def test_bad_fraction(self):
+        with pytest.raises(ConfigurationError):
+            plan_writeback(get_model("OPT-66B"), 16, 16, nsp_fraction=1.5)

@@ -1,0 +1,97 @@
+"""Tests for the cooperative X-cache scheduler (Section 4.2)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.xcache import (
+    ALPHA_CANDIDATES,
+    optimal_alpha,
+    predict_effective_time,
+    select_alpha,
+)
+from repro.errors import ConfigurationError
+from repro.models import get_model
+from repro.units import GB
+
+
+class TestClosedForm:
+    def test_paper_operating_point(self):
+        """B_SSD/B_PCI = 3 (16 SmartSSDs) -> alpha* = 0.5 exactly."""
+        assert optimal_alpha(48 * GB, 16 * GB) == pytest.approx(0.5)
+
+    def test_reduces_to_paper_formula_for_mha(self):
+        """alpha* = 2 B_PCI / (B_SSD + B_PCI) at r = 0.5."""
+        for b_ssd, b_pci in [(48.0, 16.0), (24.0, 16.0), (100.0, 10.0)]:
+            expected = 2 * b_pci / (b_ssd + b_pci)
+            assert optimal_alpha(b_ssd, b_pci) == pytest.approx(min(1.0, expected))
+
+    def test_clamped_to_one_when_pci_rich(self):
+        assert optimal_alpha(10.0, 100.0) == 1.0
+
+    def test_gqa_ratio_shifts_down(self):
+        """X bigger than KV (r > 1) -> caching X is less attractive."""
+        mha = optimal_alpha(48.0, 16.0, x_to_kv_ratio=0.5)
+        gqa = optimal_alpha(48.0, 16.0, x_to_kv_ratio=2.5)
+        assert gqa < mha
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            optimal_alpha(0.0, 16.0)
+        with pytest.raises(ConfigurationError):
+            optimal_alpha(48.0, 16.0, x_to_kv_ratio=0.0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        b_ssd=st.floats(min_value=1.0, max_value=200.0),
+        b_pci=st.floats(min_value=1.0, max_value=200.0),
+    )
+    def test_alpha_balances_pipelines(self, b_ssd, b_pci):
+        """At the unclamped optimum, T_PCI == T_SSD (ignoring T_GPU)."""
+        alpha = optimal_alpha(b_ssd, b_pci)
+        if 0.0 < alpha < 1.0:
+            t_pci, t_ssd, _ = predict_effective_time(
+                alpha, 1.0, b_ssd, b_pci, gpu_flops=1e30, regen_flops_full=0.0
+            )
+            assert t_pci == pytest.approx(t_ssd, rel=1e-6)
+
+
+class TestGridSelection:
+    def test_selects_half_at_paper_point(self):
+        """With 16 devices on the A100, the grid optimum is alpha = 0.5."""
+        schedule = select_alpha(
+            get_model("OPT-66B"),
+            batch_size=16,
+            seq_len=32768,
+            b_ssd=48 * GB,
+            b_pci=16 * GB,
+            gpu_flops=287e12,
+        )
+        assert schedule.alpha == pytest.approx(0.5)
+        assert schedule.analytic_alpha == pytest.approx(0.5)
+
+    def test_grid_choice_never_worse_than_analytic_neighbors(self):
+        model = get_model("OPT-66B")
+        schedule = select_alpha(model, 16, 32768, 48 * GB, 16 * GB, 287e12)
+        for candidate in ALPHA_CANDIDATES:
+            other = select_alpha(
+                model, 16, 32768, 48 * GB, 16 * GB, 287e12, candidates=(candidate,)
+            )
+            assert schedule.predicted_seconds <= other.predicted_seconds + 1e-12
+
+    def test_slow_gpu_pushes_alpha_down(self):
+        model = get_model("OPT-66B")
+        fast = select_alpha(model, 16, 32768, 48 * GB, 16 * GB, 287e12)
+        slow = select_alpha(model, 16, 32768, 48 * GB, 16 * GB, 20e12)
+        assert slow.alpha <= fast.alpha
+        assert slow.bottleneck in ("gpu", "ssd")
+
+    def test_zero_candidate_grid_rejected(self):
+        with pytest.raises(ConfigurationError):
+            select_alpha(get_model("OPT-66B"), 16, 1024, 48.0, 16.0, 1e12, candidates=())
+
+    def test_bottleneck_label(self):
+        schedule = select_alpha(get_model("OPT-66B"), 16, 32768, 48 * GB, 16 * GB, 287e12)
+        assert schedule.bottleneck in ("pci", "ssd", "gpu")

@@ -1,0 +1,65 @@
+"""Tests for the experiment table harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.harness import Table, format_tables, geometric_mean, normalize
+
+
+class TestTable:
+    def test_add_row_and_column(self):
+        table = Table("t", ["a", "b"])
+        table.add_row(1, 2.0)
+        table.add_row(3, 4.0)
+        assert table.column("b") == [2.0, 4.0]
+
+    def test_row_width_validated(self):
+        table = Table("t", ["a", "b"])
+        with pytest.raises(ConfigurationError):
+            table.add_row(1)
+
+    def test_unknown_column(self):
+        table = Table("t", ["a"])
+        with pytest.raises(ConfigurationError):
+            table.column("z")
+
+    def test_to_dicts(self):
+        table = Table("t", ["a", "b"])
+        table.add_row(1, 2)
+        assert table.to_dicts() == [{"a": 1, "b": 2}]
+
+    def test_format_contains_title_headers_and_notes(self):
+        table = Table("My Title", ["col_x", "col_y"], notes="hello")
+        table.add_row(1, 0.123456)
+        text = table.format()
+        assert "My Title" in text
+        assert "col_x" in text
+        assert "0.123" in text
+        assert "note: hello" in text
+
+    def test_format_scientific_for_extremes(self):
+        table = Table("t", ["v"])
+        table.add_row(1.23e9)
+        assert "e+09" in table.format()
+
+    def test_format_tables_joins(self):
+        a, b = Table("A", ["x"]), Table("B", ["y"])
+        combined = format_tables([a, b])
+        assert "== A ==" in combined and "== B ==" in combined
+
+
+class TestHelpers:
+    def test_normalize(self):
+        assert normalize([2.0, 4.0], 2.0) == [1.0, 2.0]
+
+    def test_normalize_bad_baseline(self):
+        with pytest.raises(ConfigurationError):
+            normalize([1.0], 0.0)
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_geometric_mean_empty(self):
+        assert geometric_mean([]) == 0.0

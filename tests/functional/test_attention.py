@@ -1,0 +1,123 @@
+"""Tests for reference attention kernels (MHA / GQA)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import NumericsError
+from repro.functional.attention import (
+    grouped_query_attention,
+    multihead_decode_attention,
+    reference_attention,
+)
+from repro.functional.softmax import reference_softmax
+
+
+class TestReferenceAttention:
+    def test_matches_manual_computation(self, rng):
+        q = rng.standard_normal((2, 8))
+        k = rng.standard_normal((5, 8))
+        v = rng.standard_normal((5, 8))
+        expected = reference_softmax((q @ k.T) / np.sqrt(8)) @ v
+        np.testing.assert_allclose(reference_attention(q, k, v), expected, rtol=1e-12)
+
+    def test_single_key_returns_its_value(self, rng):
+        q = rng.standard_normal((3, 4))
+        k = rng.standard_normal((1, 4))
+        v = rng.standard_normal((1, 4))
+        np.testing.assert_allclose(
+            reference_attention(q, k, v), np.repeat(v, 3, axis=0), rtol=1e-12
+        )
+
+    def test_output_is_convex_combination_of_values(self, rng):
+        q = rng.standard_normal((1, 16))
+        k = rng.standard_normal((32, 16))
+        v = rng.standard_normal((32, 16))
+        out = reference_attention(q, k, v)[0]
+        assert np.all(out <= v.max(axis=0) + 1e-12)
+        assert np.all(out >= v.min(axis=0) - 1e-12)
+
+    def test_strong_needle_dominates(self, rng):
+        k = rng.standard_normal((64, 16))
+        v = rng.standard_normal((64, 16))
+        q = (k[7] * 100.0)[None, :]
+        np.testing.assert_allclose(reference_attention(q, k, v)[0], v[7], atol=1e-3)
+
+    def test_mask_excludes_positions(self, rng):
+        q = rng.standard_normal((1, 8))
+        k = rng.standard_normal((10, 8))
+        v = rng.standard_normal((10, 8))
+        mask = np.ones((1, 10), dtype=bool)
+        mask[0, 5:] = False
+        masked = reference_attention(q, k, v, mask=mask)
+        truncated = reference_attention(q, k[:5], v[:5])
+        np.testing.assert_allclose(masked, truncated, rtol=1e-6)
+
+    def test_custom_scale(self, rng):
+        q = rng.standard_normal((1, 8))
+        k = rng.standard_normal((4, 8))
+        v = rng.standard_normal((4, 8))
+        expected = reference_softmax(q @ k.T * 0.25) @ v
+        np.testing.assert_allclose(
+            reference_attention(q, k, v, scale=0.25), expected, rtol=1e-12
+        )
+
+    def test_shape_validation(self, rng):
+        with pytest.raises(NumericsError):
+            reference_attention(rng.standard_normal(8), rng.standard_normal((4, 8)), rng.standard_normal((4, 8)))
+        with pytest.raises(NumericsError):
+            reference_attention(
+                rng.standard_normal((1, 8)),
+                rng.standard_normal((4, 8)),
+                rng.standard_normal((5, 8)),
+            )
+        with pytest.raises(NumericsError):
+            reference_attention(
+                rng.standard_normal((1, 6)),
+                rng.standard_normal((4, 8)),
+                rng.standard_normal((4, 8)),
+            )
+
+
+class TestGQA:
+    def test_group_rows_are_independent_queries(self, rng):
+        q_group = rng.standard_normal((4, 8))
+        k = rng.standard_normal((16, 8))
+        v = rng.standard_normal((16, 8))
+        grouped = grouped_query_attention(q_group, k, v)
+        for row in range(4):
+            np.testing.assert_allclose(
+                grouped[row], reference_attention(q_group[row : row + 1], k, v)[0]
+            )
+
+
+class TestMultiheadDecode:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        batch=st.integers(min_value=1, max_value=3),
+        n_kv=st.sampled_from([1, 2, 4]),
+        d_group=st.sampled_from([1, 2, 3]),
+        seq=st.integers(min_value=1, max_value=32),
+    )
+    def test_matches_per_head_reference(self, batch, n_kv, d_group, seq):
+        rng = np.random.default_rng(99)
+        n_heads = n_kv * d_group
+        d = 8
+        q = rng.standard_normal((batch, n_heads, d))
+        k = rng.standard_normal((batch, n_kv, seq, d))
+        v = rng.standard_normal((batch, n_kv, seq, d))
+        out = multihead_decode_attention(q, k, v)
+        for b in range(batch):
+            for head in range(n_heads):
+                kv = head // d_group
+                expected = reference_attention(q[b, head : head + 1], k[b, kv], v[b, kv])
+                np.testing.assert_allclose(out[b, head], expected[0], rtol=1e-10)
+
+    def test_head_mismatch_rejected(self, rng):
+        q = rng.standard_normal((1, 3, 8))
+        k = rng.standard_normal((1, 2, 4, 8))
+        with pytest.raises(NumericsError):
+            multihead_decode_attention(q, k, k)

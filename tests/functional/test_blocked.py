@@ -1,0 +1,160 @@
+"""Tests for the blocked accelerator-emulation attention kernel."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import NumericsError
+from repro.functional.attention import reference_attention
+from repro.functional.blocked import (
+    blocked_attention,
+    blocked_multihead_decode,
+    transpose_in_blocks,
+)
+
+
+class TestOnlineTranspose:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        rows=st.integers(min_value=1, max_value=300),
+        cols=st.integers(min_value=1, max_value=64),
+        block=st.sampled_from([1, 7, 64, 128]),
+    )
+    def test_equals_global_transpose(self, rows, cols, block):
+        rng = np.random.default_rng(rows * 1000 + cols)
+        matrix = rng.standard_normal((rows, cols)).astype(np.float32)
+        np.testing.assert_array_equal(transpose_in_blocks(matrix, block=block), matrix.T)
+
+
+class TestBlockedAttention:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        n_q=st.integers(min_value=1, max_value=5),
+        seq=st.integers(min_value=1, max_value=400),
+        block=st.sampled_from([16, 128, 333]),
+    )
+    def test_matches_reference(self, n_q, seq, block):
+        rng = np.random.default_rng(seq * 31 + n_q)
+        d = 32
+        q = rng.standard_normal((n_q, d)).astype(np.float32)
+        k = rng.standard_normal((seq, d)).astype(np.float16)
+        v = rng.standard_normal((seq, d)).astype(np.float16)
+        out = blocked_attention(q, k, v, block_size=block)
+        expected = reference_attention(q, k, v)
+        np.testing.assert_allclose(out, expected, rtol=2e-3, atol=2e-3)
+
+    def test_fp16_quantization_applied_to_storage(self, rng):
+        q = rng.standard_normal((1, 8)).astype(np.float32)
+        k = rng.standard_normal((16, 8)) * 1e-9  # denormal in fp16 -> flushes
+        v = rng.standard_normal((16, 8))
+        quantized = blocked_attention(q, k, v, quantize_storage=True)
+        exact = blocked_attention(q, k.astype(np.float32), v.astype(np.float32), quantize_storage=False)
+        # fp16 flushing the tiny keys changes scores; outputs legitimately differ
+        # from the unquantized path only through the quantization.
+        reference_q = reference_attention(q, k.astype(np.float16), v.astype(np.float16))
+        np.testing.assert_allclose(quantized, reference_q, rtol=2e-3, atol=2e-3)
+        assert exact.shape == quantized.shape
+
+    def test_padding_mask_ignores_tail(self, rng):
+        d = 16
+        q = rng.standard_normal((2, d)).astype(np.float32)
+        k = rng.standard_normal((100, d)).astype(np.float16)
+        v = rng.standard_normal((100, d)).astype(np.float16)
+        # Zero-pad to the AXI burst multiple and mask with valid_len.
+        k_padded = np.concatenate([k, np.zeros((28, d), np.float16)])
+        v_padded = np.concatenate([v, np.zeros((28, d), np.float16)])
+        padded = blocked_attention(q, k_padded, v_padded, block_size=32, valid_len=100)
+        unpadded = blocked_attention(q, k, v, block_size=32)
+        np.testing.assert_allclose(padded, unpadded, rtol=1e-4, atol=1e-5)
+
+    def test_extra_scores_equal_appending_keys(self, rng):
+        """The delayed-writeback path: host-provided partial QK^T plus new V
+        rows must equal attention over the concatenated cache."""
+        d = 16
+        q = rng.standard_normal((3, d)).astype(np.float32)
+        k_old = rng.standard_normal((64, d)).astype(np.float16)
+        v_old = rng.standard_normal((64, d)).astype(np.float16)
+        k_new = rng.standard_normal((5, d)).astype(np.float16)
+        v_new = rng.standard_normal((5, d)).astype(np.float16)
+        host_scores = q @ k_new.astype(np.float32).T  # raw, unscaled
+        split = blocked_attention(
+            q, k_old, v_old, block_size=32, extra_scores=host_scores, extra_values=v_new
+        )
+        merged = blocked_attention(
+            q,
+            np.concatenate([k_old, k_new]),
+            np.concatenate([v_old, v_new]),
+            block_size=32,
+        )
+        np.testing.assert_allclose(split, merged, rtol=1e-4, atol=1e-5)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seq=st.integers(min_value=8, max_value=128),
+        n_new=st.integers(min_value=1, max_value=15),
+    )
+    def test_extra_scores_property(self, seq, n_new):
+        rng = np.random.default_rng(seq * 7 + n_new)
+        d = 8
+        q = rng.standard_normal((2, d)).astype(np.float32)
+        k = rng.standard_normal((seq + n_new, d)).astype(np.float16)
+        v = rng.standard_normal((seq + n_new, d)).astype(np.float16)
+        host_scores = q @ k[seq:].astype(np.float32).T
+        split = blocked_attention(
+            q, k[:seq], v[:seq], block_size=16,
+            extra_scores=host_scores, extra_values=v[seq:],
+        )
+        merged = blocked_attention(q, k, v, block_size=16)
+        np.testing.assert_allclose(split, merged, rtol=1e-3, atol=1e-4)
+
+    def test_gqa_group_shares_cache(self, rng):
+        d = 16
+        q_group = rng.standard_normal((4, d)).astype(np.float32)
+        k = rng.standard_normal((64, d)).astype(np.float16)
+        v = rng.standard_normal((64, d)).astype(np.float16)
+        grouped = blocked_attention(q_group, k, v, block_size=32)
+        for row in range(4):
+            single = blocked_attention(q_group[row : row + 1], k, v, block_size=32)
+            np.testing.assert_allclose(grouped[row], single[0], rtol=1e-5)
+
+
+class TestValidation:
+    def test_empty_context_rejected(self, rng):
+        q = rng.standard_normal((1, 8)).astype(np.float32)
+        with pytest.raises(NumericsError):
+            blocked_attention(q, np.zeros((0, 8)), np.zeros((0, 8)))
+
+    def test_extras_must_come_together(self, rng):
+        q = rng.standard_normal((1, 8)).astype(np.float32)
+        k = rng.standard_normal((8, 8))
+        with pytest.raises(NumericsError):
+            blocked_attention(q, k, k, extra_scores=np.ones((1, 2)))
+
+    def test_extra_shape_mismatch(self, rng):
+        q = rng.standard_normal((2, 8)).astype(np.float32)
+        k = rng.standard_normal((8, 8))
+        with pytest.raises(NumericsError):
+            blocked_attention(
+                q, k, k, extra_scores=np.ones((1, 2)), extra_values=np.ones((2, 8))
+            )
+
+    def test_bad_valid_len(self, rng):
+        q = rng.standard_normal((1, 8)).astype(np.float32)
+        k = rng.standard_normal((8, 8))
+        with pytest.raises(NumericsError):
+            blocked_attention(q, k, k, valid_len=9)
+
+
+class TestMultiheadBlockedDecode:
+    def test_matches_reference_decode(self, rng):
+        from repro.functional.attention import multihead_decode_attention
+
+        q = rng.standard_normal((2, 4, 8))
+        k = rng.standard_normal((2, 2, 40, 8)).astype(np.float16)
+        v = rng.standard_normal((2, 2, 40, 8)).astype(np.float16)
+        blocked = blocked_multihead_decode(q, k, v, block_size=16)
+        reference = multihead_decode_attention(q, k, v)
+        np.testing.assert_allclose(blocked, reference, rtol=2e-3, atol=2e-3)

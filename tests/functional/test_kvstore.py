@@ -1,0 +1,101 @@
+"""Tests for the page-layout cache store."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import NumericsError
+from repro.functional.kvstore import PAGE_BYTES, PagedStore
+
+
+class TestRoundTrip:
+    def test_append_read(self, rng):
+        store = PagedStore()
+        rows = rng.standard_normal((4, 16)).astype(np.float16)
+        store.append("k", rows)
+        np.testing.assert_array_equal(store.read("k"), rows)
+
+    def test_multiple_appends_concatenate_in_order(self, rng):
+        store = PagedStore()
+        a = rng.standard_normal((2, 8)).astype(np.float16)
+        b = rng.standard_normal((3, 8)).astype(np.float16)
+        store.append("k", a)
+        store.append("k", b)
+        np.testing.assert_array_equal(store.read("k"), np.concatenate([a, b]))
+
+    def test_append_copies_input(self, rng):
+        store = PagedStore()
+        rows = rng.standard_normal((2, 8)).astype(np.float16)
+        store.append("k", rows)
+        rows[:] = 0
+        assert not np.all(store.read("k") == 0)
+
+    def test_rows_stored_counts(self, rng):
+        store = PagedStore()
+        assert store.rows_stored("k") == 0
+        store.append("k", rng.standard_normal((2, 8)))
+        store.append("k", rng.standard_normal((5, 8)))
+        assert store.rows_stored("k") == 7
+
+    def test_missing_key(self):
+        store = PagedStore()
+        assert "k" not in store
+        with pytest.raises(NumericsError):
+            store.read("k")
+
+    def test_empty_append_rejected(self):
+        store = PagedStore()
+        with pytest.raises(NumericsError):
+            store.append("k", np.zeros((0, 8)))
+
+
+class TestAccounting:
+    def test_contiguous_write_rounds_once(self):
+        store = PagedStore()
+        rows = np.zeros((20, 64), dtype=np.float16)  # 2560 bytes
+        store.append("k", rows)
+        assert store.counters.logical_bytes_written == 2560
+        assert store.counters.physical_bytes_written == PAGE_BYTES
+        assert store.counters.write_ops == 1
+
+    def test_per_row_commit_amplifies(self):
+        store = PagedStore()
+        rows = np.zeros((16, 64), dtype=np.float16)  # 128 bytes per row
+        store.append("k", rows, per_row_commit=True)
+        assert store.counters.physical_bytes_written == 16 * PAGE_BYTES
+        assert store.counters.write_ops == 16
+        assert store.write_amplification == pytest.approx(16 * PAGE_BYTES / 2048)
+
+    def test_read_accounting(self, rng):
+        store = PagedStore()
+        rows = rng.standard_normal((4, 32)).astype(np.float16)
+        store.append("k", rows)
+        store.read("k")
+        assert store.counters.logical_bytes_read == rows.nbytes
+        assert store.counters.read_ops == 1
+
+    def test_amplification_default_one(self):
+        assert PagedStore().write_amplification == 1.0
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        n_rows=st.integers(min_value=1, max_value=64),
+        row_elems=st.integers(min_value=1, max_value=512),
+    )
+    def test_per_row_never_cheaper_than_contiguous(self, n_rows, row_elems):
+        rows = np.zeros((n_rows, row_elems), dtype=np.float16)
+        per_row = PagedStore()
+        contiguous = PagedStore()
+        per_row.append("k", rows, per_row_commit=True)
+        contiguous.append("k", rows)
+        assert (
+            per_row.counters.physical_bytes_written
+            >= contiguous.counters.physical_bytes_written
+        )
+        assert (
+            per_row.counters.logical_bytes_written
+            == contiguous.counters.logical_bytes_written
+        )

@@ -1,0 +1,65 @@
+"""Tests for rotary position embeddings."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import NumericsError
+from repro.functional.rope import apply_rope, rope_frequencies
+
+
+class TestRope:
+    def test_position_zero_is_identity(self, rng):
+        x = rng.standard_normal((1, 4, 16))
+        out = apply_rope(x, np.array([0, 1, 2, 3]))
+        np.testing.assert_allclose(out[0, 0], x[0, 0], rtol=1e-12)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        seq=st.integers(min_value=1, max_value=32),
+        dim=st.sampled_from([2, 8, 64]),
+    )
+    def test_norm_preserved(self, seq, dim):
+        rng = np.random.default_rng(seq * dim)
+        x = rng.standard_normal((seq, dim))
+        out = apply_rope(x, np.arange(seq))
+        np.testing.assert_allclose(
+            np.linalg.norm(out, axis=-1), np.linalg.norm(x, axis=-1), rtol=1e-10
+        )
+
+    def test_relative_position_property(self, rng):
+        """RoPE dot products depend only on the position difference."""
+        d = 32
+        q = rng.standard_normal(d)
+        k = rng.standard_normal(d)
+        def score(pos_q, pos_k):
+            rq = apply_rope(q[None, :], np.array([pos_q]))[0]
+            rk = apply_rope(k[None, :], np.array([pos_k]))[0]
+            return float(rq @ rk)
+        assert score(5, 3) == pytest.approx(score(12, 10), rel=1e-9)
+        assert score(100, 90) == pytest.approx(score(10, 0), rel=1e-9)
+
+    def test_recompute_with_same_positions_is_identical(self, rng):
+        """The X-cache recompute path re-rotates keys with their original
+        positions; the result must be bitwise-stable."""
+        x = rng.standard_normal((8, 16))
+        positions = np.arange(8)
+        np.testing.assert_array_equal(
+            apply_rope(x, positions), apply_rope(x, positions)
+        )
+
+    def test_odd_dim_rejected(self, rng):
+        with pytest.raises(NumericsError):
+            apply_rope(rng.standard_normal((2, 3)), np.arange(2))
+
+    def test_position_length_mismatch(self, rng):
+        with pytest.raises(NumericsError):
+            apply_rope(rng.standard_normal((4, 8)), np.arange(3))
+
+    def test_frequencies_decay(self):
+        freqs = rope_frequencies(64)
+        assert freqs[0] == pytest.approx(1.0)
+        assert np.all(np.diff(freqs) < 0)

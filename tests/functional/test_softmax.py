@@ -1,0 +1,126 @@
+"""Tests for the two-pass softmax (Algorithm 1) against references."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.errors import NumericsError
+from repro.functional.softmax import (
+    MASK_VALUE,
+    StreamingSoftmaxState,
+    reference_softmax,
+    three_pass_softmax,
+    two_pass_softmax,
+)
+
+finite_rows = hnp.arrays(
+    dtype=np.float32,
+    shape=hnp.array_shapes(min_dims=1, max_dims=2, min_side=1, max_side=300),
+    elements=st.floats(min_value=-30.0, max_value=30.0, width=32),
+)
+
+
+class TestReferenceAgreement:
+    def test_simple_vector(self):
+        x = np.array([1.0, 2.0, 3.0])
+        np.testing.assert_allclose(two_pass_softmax(x), reference_softmax(x), rtol=1e-5)
+
+    def test_sums_to_one(self):
+        x = np.linspace(-5, 5, 257)
+        assert two_pass_softmax(x, block_size=64).sum() == pytest.approx(1.0, rel=1e-5)
+
+    @settings(max_examples=50, deadline=None)
+    @given(x=finite_rows)
+    def test_two_pass_matches_reference(self, x):
+        np.testing.assert_allclose(
+            two_pass_softmax(x, block_size=128),
+            reference_softmax(x),
+            rtol=2e-4,
+            atol=1e-6,
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        x=finite_rows,
+        block=st.sampled_from([1, 3, 16, 128, 1024]),
+    )
+    def test_block_size_does_not_change_result(self, x, block):
+        np.testing.assert_allclose(
+            two_pass_softmax(x, block_size=block),
+            two_pass_softmax(x, block_size=128),
+            rtol=2e-4,
+            atol=1e-6,
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(x=finite_rows)
+    def test_three_pass_matches_reference(self, x):
+        np.testing.assert_allclose(
+            three_pass_softmax(x), reference_softmax(x), rtol=2e-4, atol=1e-6
+        )
+
+
+class TestNumericalStability:
+    def test_large_magnitudes_do_not_overflow(self):
+        x = np.array([1e4, 1e4 - 1.0, -1e4], dtype=np.float32)
+        out = two_pass_softmax(x)
+        assert np.all(np.isfinite(out))
+        assert out.sum() == pytest.approx(1.0, rel=1e-4)
+
+    def test_constant_vector_is_uniform(self):
+        out = two_pass_softmax(np.full(200, 3.25), block_size=64)
+        np.testing.assert_allclose(out, 1.0 / 200, rtol=1e-5)
+
+
+class TestMasking:
+    def test_masked_positions_get_negligible_weight(self):
+        x = np.zeros(100, dtype=np.float32)
+        mask = np.ones(100, dtype=bool)
+        mask[50:] = False
+        out = two_pass_softmax(x, block_size=32, mask=mask)
+        assert out[:50].sum() == pytest.approx(1.0, abs=1e-4)
+        assert np.all(out[50:] < 1e-40)
+
+    def test_mask_value_matches_hardware_constant(self):
+        assert MASK_VALUE == -1.0e4
+
+
+class TestStreamingState:
+    def test_matches_global_statistics(self):
+        rng = np.random.default_rng(5)
+        x = rng.standard_normal((4, 300)).astype(np.float32) * 4
+        state = StreamingSoftmaxState((4,))
+        for start in range(0, 300, 64):
+            state.observe_block(x[:, start : start + 64])
+        np.testing.assert_allclose(state.running_max, x.max(axis=1), rtol=1e-6)
+        expected = np.exp(x - x.max(axis=1, keepdims=True)).sum(axis=1)
+        np.testing.assert_allclose(state.running_sum, expected, rtol=1e-4)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        x=hnp.arrays(
+            dtype=np.float32,
+            shape=st.integers(min_value=2, max_value=200),
+            elements=st.floats(min_value=-20, max_value=20, width=32),
+        ),
+        split=st.integers(min_value=1, max_value=199),
+    )
+    def test_update_is_order_insensitive_split(self, x, split):
+        """Folding in (A then B) equals the one-shot global statistics."""
+        split = min(split, len(x) - 1)
+        state = StreamingSoftmaxState(())
+        state.observe_block(x[:split])
+        state.observe_block(x[split:])
+        assert float(state.running_max) == pytest.approx(float(x.max()), rel=1e-6)
+        expected = float(np.exp(x - x.max()).sum())
+        assert float(state.running_sum) == pytest.approx(expected, rel=1e-4)
+
+
+class TestValidation:
+    def test_non_positive_block_rejected(self):
+        with pytest.raises(NumericsError):
+            two_pass_softmax(np.ones(4), block_size=0)

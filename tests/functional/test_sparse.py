@@ -1,0 +1,111 @@
+"""Tests for the lossy sparse attention comparators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import NumericsError
+from repro.functional.attention import reference_attention
+from repro.functional.sparse import (
+    approx_topk_sparse_attention,
+    retrieval_traffic_fraction,
+    topk_sparse_attention,
+)
+
+
+class TestTopkSparse:
+    def test_full_ratio_equals_exact(self, rng):
+        q = rng.standard_normal((2, 16))
+        k = rng.standard_normal((32, 16))
+        v = rng.standard_normal((32, 16))
+        np.testing.assert_allclose(
+            topk_sparse_attention(q, k, v, compression_ratio=1.0),
+            reference_attention(q, k, v),
+            rtol=1e-10,
+        )
+
+    def test_exact_topk_keeps_strong_needle(self, rng):
+        k = rng.standard_normal((256, 16))
+        v = rng.standard_normal((256, 16))
+        q = (k[13] * 50)[None, :]
+        out = topk_sparse_attention(q, k, v, compression_ratio=1.0 / 8.0)
+        np.testing.assert_allclose(out[0], v[13], atol=1e-3)
+
+    def test_output_differs_from_exact_for_flat_scores(self, rng):
+        q = rng.standard_normal((1, 16)) * 0.01
+        k = rng.standard_normal((128, 16))
+        v = rng.standard_normal((128, 16))
+        sparse = topk_sparse_attention(q, k, v, compression_ratio=1.0 / 8.0)
+        exact = reference_attention(q, k, v)
+        assert not np.allclose(sparse, exact, rtol=1e-3)
+
+    def test_always_keep_recent(self, rng):
+        q = rng.standard_normal((1, 8))
+        k = rng.standard_normal((64, 8))
+        v = rng.standard_normal((64, 8))
+        out = topk_sparse_attention(
+            q, k, v, compression_ratio=1.0 / 64.0, always_keep_recent=64
+        )
+        np.testing.assert_allclose(out, reference_attention(q, k, v), rtol=1e-8)
+
+    def test_invalid_ratio(self, rng):
+        q = rng.standard_normal((1, 8))
+        k = rng.standard_normal((8, 8))
+        with pytest.raises(NumericsError):
+            topk_sparse_attention(q, k, k, compression_ratio=0.0)
+        with pytest.raises(NumericsError):
+            topk_sparse_attention(q, k, k, compression_ratio=1.5)
+
+
+class TestApproxTopkSparse:
+    def test_can_miss_needles_the_exact_index_keeps(self):
+        """The lossy index occasionally drops needles -- the Figure 18(c)
+        degradation mechanism.  Over many queries some must be lost."""
+        rng = np.random.default_rng(7)
+        d, seq = 64, 1024
+        k = rng.standard_normal((seq, d))
+        k /= np.linalg.norm(k, axis=1, keepdims=True)
+        v = rng.standard_normal((seq, d))
+        positions = rng.choice(seq, size=64, replace=False)
+        noise = rng.standard_normal((64, d)) * 0.22
+        q = 40.0 * (k[positions] + noise)
+        exact = topk_sparse_attention(q, k, v, compression_ratio=1.0 / 8.0)
+        approx = approx_topk_sparse_attention(q, k, v, compression_ratio=1.0 / 8.0)
+        exact_hits = np.argmax(exact @ v.T, axis=1)
+        approx_hits = np.argmax(approx @ v.T, axis=1)
+        assert (exact_hits == positions).mean() >= (approx_hits == positions).mean()
+
+    def test_full_index_ratio_matches_exact_selection(self, rng):
+        q = rng.standard_normal((2, 16))
+        k = rng.standard_normal((64, 16))
+        v = rng.standard_normal((64, 16))
+        # A full-dimensional orthonormal index preserves all dot products.
+        approx = approx_topk_sparse_attention(
+            q, k, v, compression_ratio=0.25, index_dim_ratio=1.0
+        )
+        exact = topk_sparse_attention(q, k, v, compression_ratio=0.25)
+        np.testing.assert_allclose(approx, exact, rtol=1e-8)
+
+    def test_invalid_index_ratio(self, rng):
+        q = rng.standard_normal((1, 8))
+        k = rng.standard_normal((8, 8))
+        with pytest.raises(NumericsError):
+            approx_topk_sparse_attention(q, k, k, index_dim_ratio=0.0)
+
+    def test_deterministic_given_seed(self, rng):
+        q = rng.standard_normal((2, 16))
+        k = rng.standard_normal((64, 16))
+        v = rng.standard_normal((64, 16))
+        a = approx_topk_sparse_attention(q, k, v, seed=3)
+        b = approx_topk_sparse_attention(q, k, v, seed=3)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestTrafficFraction:
+    def test_matches_ratio(self):
+        assert retrieval_traffic_fraction(1.0 / 8.0) == pytest.approx(0.125)
+
+    def test_invalid(self):
+        with pytest.raises(NumericsError):
+            retrieval_traffic_fraction(0.0)

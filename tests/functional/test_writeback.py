@@ -1,0 +1,105 @@
+"""Tests for the functional delayed-writeback buffer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SchedulingError
+from repro.functional.attention import reference_attention
+from repro.functional.blocked import blocked_attention
+from repro.functional.kvstore import PagedStore
+from repro.functional.writeback import DelayedWritebackBuffer
+
+
+@pytest.fixture
+def buffer():
+    return DelayedWritebackBuffer(PagedStore(), spill_interval=4)
+
+
+class TestStaging:
+    def test_stage_and_collect(self, buffer, rng):
+        rows = [rng.standard_normal(8).astype(np.float16) for _ in range(3)]
+        for row in rows:
+            buffer.stage("k", row)
+        staged = buffer.staged_rows("k")
+        np.testing.assert_array_equal(staged, np.stack(rows))
+        assert buffer.staged_count("k") == 3
+
+    def test_empty_key_returns_none(self, buffer):
+        assert buffer.staged_rows("missing") is None
+        assert buffer.partial_scores("missing", np.ones((1, 8))) is None
+
+    def test_staged_bytes(self, buffer, rng):
+        buffer.stage("k", rng.standard_normal(8).astype(np.float16))
+        assert buffer.staged_bytes() == 16
+
+    def test_non_vector_rejected(self, buffer):
+        with pytest.raises(SchedulingError):
+            buffer.stage("k", np.ones((2, 2)))
+
+    def test_invalid_interval(self):
+        with pytest.raises(SchedulingError):
+            DelayedWritebackBuffer(PagedStore(), spill_interval=0)
+
+
+class TestPartialScores:
+    def test_matches_direct_dot_products(self, buffer, rng):
+        keys = [rng.standard_normal(8).astype(np.float16) for _ in range(4)]
+        for key in keys:
+            buffer.stage("k", key)
+        q = rng.standard_normal((2, 8)).astype(np.float32)
+        scores = buffer.partial_scores("k", q)
+        expected = q @ np.stack(keys).astype(np.float32).T
+        np.testing.assert_allclose(scores, expected, rtol=1e-6)
+
+
+class TestSpill:
+    def test_end_step_spills_on_interval(self, buffer, rng):
+        for step in range(4):
+            buffer.stage("k", rng.standard_normal(8).astype(np.float16))
+            spilled = buffer.end_step()
+            assert spilled == (step == 3)
+        assert buffer.staged_count("k") == 0
+        assert buffer.store.rows_stored("k") == 4
+        assert buffer.total_spills == 1
+
+    def test_spill_is_single_contiguous_write(self, buffer, rng):
+        for _ in range(4):
+            buffer.stage("k", rng.standard_normal(8).astype(np.float16))
+        buffer.spill_all()
+        assert buffer.store.counters.write_ops == 1
+
+    def test_spill_preserves_order(self, buffer):
+        rows = [np.full(8, i, dtype=np.float16) for i in range(4)]
+        for row in rows:
+            buffer.stage("k", row)
+        buffer.spill_all()
+        np.testing.assert_array_equal(buffer.store.read("k"), np.stack(rows))
+
+
+class TestEndToEndEquivalence:
+    def test_stored_plus_staged_equals_full_attention(self, rng):
+        """The Section 4.3 correctness invariant: attention over stored KV
+        with host partial scores + staged V equals dense attention."""
+        store = PagedStore()
+        buffer = DelayedWritebackBuffer(store, spill_interval=8)
+        d = 16
+        k_all = rng.standard_normal((40, d)).astype(np.float16)
+        v_all = rng.standard_normal((40, d)).astype(np.float16)
+        store.append("k", k_all[:32])
+        store.append("v", v_all[:32])
+        for i in range(32, 40):
+            buffer.stage("k", k_all[i])
+            buffer.stage("v", v_all[i])
+        q = rng.standard_normal((2, d)).astype(np.float32)
+        out = blocked_attention(
+            q,
+            store.read("k"),
+            store.read("v"),
+            block_size=16,
+            extra_scores=buffer.partial_scores("k", q),
+            extra_values=buffer.staged_rows("v"),
+        )
+        expected = reference_attention(q, k_all, v_all)
+        np.testing.assert_allclose(out, expected, rtol=2e-3, atol=2e-3)

@@ -1,0 +1,133 @@
+"""Tests for model configuration arithmetic (Table 2 derived sizes)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.models.config import AttentionKind, ModelConfig
+from repro.models.registry import MIXTRAL_8X7B, OPT_175B, OPT_30B, OPT_66B, QWEN25_32B, tiny_model
+
+
+class TestValidation:
+    def test_heads_must_divide(self):
+        with pytest.raises(ConfigurationError):
+            ModelConfig("bad", n_layers=1, hidden=64, intermediate=64, n_heads=3, n_kv_heads=2)
+
+    def test_hidden_must_divide_heads(self):
+        with pytest.raises(ConfigurationError):
+            ModelConfig("bad", n_layers=1, hidden=65, intermediate=64, n_heads=4, n_kv_heads=4)
+
+    def test_positive_dims(self):
+        with pytest.raises(ConfigurationError):
+            ModelConfig("bad", n_layers=0, hidden=64, intermediate=64, n_heads=4, n_kv_heads=4)
+
+
+class TestDerivedShapes:
+    def test_d_group(self):
+        assert QWEN25_32B.d_group == 5
+        assert MIXTRAL_8X7B.d_group == 4
+        assert OPT_66B.d_group == 1
+
+    def test_attention_kind(self):
+        assert OPT_66B.attention_kind is AttentionKind.MHA
+        assert QWEN25_32B.attention_kind is AttentionKind.GQA
+
+    def test_head_dim(self):
+        assert OPT_66B.head_dim == 128
+        assert OPT_175B.head_dim == 128
+        assert OPT_30B.head_dim == 112
+
+    def test_moe_layer_count(self):
+        from repro.models.registry import GLAM_143B
+
+        assert MIXTRAL_8X7B.n_moe_layers == 32
+        assert GLAM_143B.n_moe_layers == 16  # MoE every other layer
+
+
+class TestParameterCounts:
+    @pytest.mark.parametrize(
+        "config, advertised",
+        [(OPT_30B, 30e9), (OPT_66B, 66e9), (OPT_175B, 175e9), (QWEN25_32B, 32e9), (MIXTRAL_8X7B, 46.7e9)],
+    )
+    def test_param_count_matches_advertised(self, config, advertised):
+        assert config.param_count() == pytest.approx(advertised, rel=0.05)
+
+    def test_weight_bytes_are_two_per_param(self):
+        assert OPT_66B.weight_bytes() == 2 * OPT_66B.param_count()
+
+
+class TestKVSizes:
+    def test_mha_kv_per_token_is_4h(self):
+        """For MHA the paper's per-token K+V is 4h bytes (Section 4.1)."""
+        assert OPT_66B.kv_bytes_per_token_per_layer() == 4 * OPT_66B.hidden
+
+    def test_gqa_kv_smaller_than_hidden_pair(self):
+        assert QWEN25_32B.kv_bytes_per_token_per_layer() < 4 * QWEN25_32B.hidden
+
+    def test_kv_entry_is_256_bytes_for_128_dim_heads(self):
+        """Section 4.3: per-head KV entries are typically 256 bytes."""
+        assert OPT_66B.kv_entry_bytes_per_head() == 256
+        assert OPT_175B.kv_entry_bytes_per_head() == 256
+
+    def test_175b_kv_reaches_terabytes(self):
+        """Figure 2(a): ~9.9 TB at batch 16 x 128K."""
+        assert OPT_175B.kv_cache_bytes(16, 131072) == pytest.approx(9.9e12, rel=0.01)
+
+    def test_x_cache_is_half_of_kv_for_mha(self):
+        """Section 4.2: X is half the size of K+V for MHA models."""
+        assert OPT_66B.x_cache_bytes(4, 1024) * 2 == OPT_66B.kv_cache_bytes(4, 1024)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        batch=st.integers(min_value=1, max_value=64),
+        seq=st.integers(min_value=1, max_value=1 << 18),
+    )
+    def test_kv_bytes_scale_linearly(self, batch, seq):
+        per_unit = OPT_66B.kv_cache_bytes(1, 1)
+        assert OPT_66B.kv_cache_bytes(batch, seq) == batch * seq * per_unit
+
+
+class TestFlops:
+    def test_attention_flops_scale_with_context(self):
+        short = OPT_66B.attention_flops_per_layer(4, 1024)
+        long = OPT_66B.attention_flops_per_layer(4, 2048)
+        assert long == pytest.approx(2 * short)
+
+    def test_regen_flops_match_two_gemms(self):
+        """K and V regeneration: 2 GEMMs of (b.s, h) x (h, kv_proj)."""
+        flops = OPT_66B.kv_regen_flops_per_layer(2, 128)
+        expected = 2 * 2 * 2 * 128 * OPT_66B.hidden * OPT_66B.kv_proj_dim
+        assert flops == pytest.approx(expected)
+
+    def test_moe_mlp_uses_active_experts_only(self):
+        dense_like = MIXTRAL_8X7B.mlp_flops_per_layer(1, 0)
+        all_experts = (
+            MIXTRAL_8X7B.n_experts
+            * 2.0
+            * MIXTRAL_8X7B.mlp_params_per_expert()
+        )
+        assert dense_like < all_experts
+
+    def test_moe_weight_bytes_count_all_experts(self):
+        per_layer = MIXTRAL_8X7B.mlp_weight_bytes_per_layer(0)
+        assert per_layer == (
+            MIXTRAL_8X7B.n_experts
+            * MIXTRAL_8X7B.mlp_params_per_expert()
+            * MIXTRAL_8X7B.bytes_per_element
+        )
+
+    def test_kv_to_weight_ratio_lower_for_moe(self):
+        """Figure 12(b)'s driver: MoE models have more weights per KV byte."""
+        dense_ratio = OPT_30B.kv_to_weight_ratio(16, 32768)
+        moe_ratio = MIXTRAL_8X7B.kv_to_weight_ratio(16, 32768)
+        assert moe_ratio < dense_ratio
+
+
+class TestTinyModel:
+    def test_tiny_model_constructs(self):
+        tiny = tiny_model(n_heads=4, n_kv_heads=2)
+        assert tiny.d_group == 2
+        assert tiny.param_count() > 0

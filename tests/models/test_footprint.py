@@ -1,0 +1,42 @@
+"""Tests for the Figure 2(a) memory-footprint model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.models import get_model, memory_footprint
+from repro.units import GiB, TB
+
+
+class TestFootprint:
+    def test_kv_dominates_long_context(self):
+        """Figure 2(a): KV cache dwarfs everything at batch 16 x 128K."""
+        fp = memory_footprint(get_model("OPT-175B"), 16, 131072)
+        assert fp.fraction("kv_cache") > 0.9
+
+    def test_weights_dominate_short_context_small_batch(self):
+        fp = memory_footprint(get_model("OPT-175B"), 1, 8192)
+        assert fp.fraction("weights") > fp.fraction("kv_cache")
+
+    def test_total_exceeds_host_dram_at_scale(self):
+        """The motivation: the footprint exceeds 512 GiB host DRAM."""
+        fp = memory_footprint(get_model("OPT-175B"), 16, 32768)
+        assert fp.total_bytes > 512 * GiB
+
+    def test_175b_at_128k_reaches_many_terabytes(self):
+        fp = memory_footprint(get_model("OPT-175B"), 16, 131072)
+        assert fp.total_bytes > 8 * TB
+
+    def test_components_sum_to_total(self):
+        fp = memory_footprint(get_model("OPT-66B"), 4, 16384)
+        assert fp.weight_bytes + fp.kv_cache_bytes + fp.other_bytes == fp.total_bytes
+
+    def test_unknown_component_rejected(self):
+        fp = memory_footprint(get_model("OPT-66B"), 4, 16384)
+        with pytest.raises(KeyError):
+            fp.fraction("cache")
+
+    def test_others_grow_with_batch(self):
+        small = memory_footprint(get_model("OPT-66B"), 1, 16384)
+        large = memory_footprint(get_model("OPT-66B"), 16, 16384)
+        assert large.other_bytes > small.other_bytes

@@ -1,0 +1,48 @@
+"""Tests for the Table 2 model registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.models import MODELS, get_model, list_models
+
+
+TABLE2 = {
+    # name: (layers, hidden, intermediate, heads, kv_heads, d_group, experts)
+    "OPT-30B": (48, 7168, 28672, 64, 64, 1, 0),
+    "OPT-66B": (64, 9216, 36864, 72, 72, 1, 0),
+    "OPT-175B": (96, 12288, 49152, 96, 96, 1, 0),
+    "Qwen2.5-32B": (64, 5120, 27648, 40, 8, 5, 0),
+    "Mixtral-8x7B": (32, 4096, 14336, 32, 8, 4, 8),
+    "GLaM-143B": (32, 4096, 16384, 32, 32, 1, 64),
+}
+
+
+class TestTable2:
+    @pytest.mark.parametrize("name", list(TABLE2))
+    def test_shapes_match_paper(self, name):
+        layers, hidden, inter, heads, kv_heads, d_group, experts = TABLE2[name]
+        model = get_model(name)
+        assert model.n_layers == layers
+        assert model.hidden == hidden
+        assert model.intermediate == inter
+        assert model.n_heads == heads
+        assert model.n_kv_heads == kv_heads
+        assert model.d_group == d_group
+        assert model.n_experts == experts
+
+    def test_all_six_models_registered(self):
+        assert len(MODELS) == 6
+        assert list_models() == list(TABLE2)
+
+    def test_moe_models_use_two_active_experts(self):
+        """Section 6.1: MoE models evaluated with two active experts."""
+        assert get_model("Mixtral-8x7B").active_experts == 2
+        assert get_model("GLaM-143B").active_experts == 2
+
+
+class TestLookup:
+    def test_unknown_model_lists_known(self):
+        with pytest.raises(ConfigurationError, match="OPT-66B"):
+            get_model("GPT-5")

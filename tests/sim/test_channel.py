@@ -1,0 +1,181 @@
+"""Tests for processor-sharing and FIFO channels."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.sim.channel import Channel, ComputeResource, Path
+from repro.sim.engine import Simulator
+
+
+class TestSharedChannel:
+    def test_single_transfer_takes_amount_over_capacity(self, sim):
+        channel = Channel(sim, 10.0)
+        sim.run(channel.request(25.0))
+        assert sim.now == pytest.approx(2.5)
+
+    def test_two_equal_transfers_share_fairly(self, sim):
+        channel = Channel(sim, 10.0)
+        done = sim.all_of([channel.request(10.0), channel.request(10.0)])
+        sim.run(done)
+        # 20 units total at 10 units/s regardless of interleaving.
+        assert sim.now == pytest.approx(2.0)
+
+    def test_staggered_arrival_progressive_filling(self, sim):
+        channel = Channel(sim, 10.0)
+        finish_times = {}
+
+        def proc():
+            first = channel.request(10.0)
+            first.add_callback(lambda _e: finish_times.setdefault("first", sim.now))
+            yield sim.timeout(0.5)
+            second = channel.request(10.0)
+            second.add_callback(lambda _e: finish_times.setdefault("second", sim.now))
+            yield sim.all_of([first, second])
+
+        sim.run(sim.process(proc()))
+        # First: 5 units alone (0.5s), then shares; remaining 5 at 5/s -> 1.5s.
+        assert finish_times["first"] == pytest.approx(1.5)
+        # Second: 10 units, shares until 1.5 (5 done), then alone: 2.0s.
+        assert finish_times["second"] == pytest.approx(2.0)
+
+    def test_zero_amount_completes_after_latency_only(self, sim):
+        channel = Channel(sim, 10.0, latency=0.25)
+        sim.run(channel.request(0.0))
+        assert sim.now == pytest.approx(0.25)
+
+    def test_latency_delays_service(self, sim):
+        channel = Channel(sim, 10.0, latency=1.0)
+        sim.run(channel.request(10.0))
+        assert sim.now == pytest.approx(2.0)
+
+    def test_negative_request_rejected(self, sim):
+        channel = Channel(sim, 10.0)
+        with pytest.raises(Exception):
+            channel.request(-5.0)
+
+    def test_accounting_by_tag(self, sim):
+        channel = Channel(sim, 10.0)
+        channel.request(4.0, tag="a")
+        channel.request(6.0, tag="b")
+        channel.request(1.0, tag="a")
+        sim.run()
+        assert channel.work_by_tag == {"a": 5.0, "b": 6.0}
+        assert channel.total_work == pytest.approx(11.0)
+
+    def test_utilization_full_when_saturated(self, sim):
+        channel = Channel(sim, 10.0)
+        sim.run(channel.request(100.0))
+        assert channel.utilization() == pytest.approx(1.0)
+
+    def test_utilization_partial(self, sim):
+        channel = Channel(sim, 10.0)
+
+        def proc():
+            yield channel.request(10.0)  # busy 1s
+            yield sim.timeout(3.0)  # idle 3s
+
+        sim.run(sim.process(proc()))
+        assert channel.utilization() == pytest.approx(0.25)
+
+
+class TestSharedChannelProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        amounts=st.lists(
+            st.floats(min_value=0.1, max_value=50.0), min_size=1, max_size=8
+        ),
+        capacity=st.floats(min_value=0.5, max_value=20.0),
+    )
+    def test_total_time_equals_total_work_over_capacity(self, amounts, capacity):
+        """With all requests arriving at t=0, the channel is work-conserving:
+        the last completion is exactly total work / capacity."""
+        sim = Simulator()
+        channel = Channel(sim, capacity)
+        done = sim.all_of([channel.request(a) for a in amounts])
+        sim.run(done)
+        assert sim.now == pytest.approx(sum(amounts) / capacity, rel=1e-6)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        amounts=st.lists(
+            st.floats(min_value=0.1, max_value=50.0), min_size=2, max_size=8
+        )
+    )
+    def test_completion_order_matches_size_order(self, amounts):
+        """Equal sharing finishes smaller flows first."""
+        sim = Simulator()
+        channel = Channel(sim, 7.0)
+        finished = []
+        for index, amount in enumerate(amounts):
+            channel.request(amount).add_callback(
+                lambda _e, i=index: finished.append(i)
+            )
+        sim.run()
+        sizes = [amounts[i] for i in finished]
+        assert sizes == sorted(sizes)
+
+
+class TestFifoChannel:
+    def test_requests_serialize(self, sim):
+        channel = Channel(sim, 10.0, discipline="fifo")
+        times = []
+        channel.request(10.0).add_callback(lambda _e: times.append(sim.now))
+        channel.request(10.0).add_callback(lambda _e: times.append(sim.now))
+        sim.run()
+        assert times == [pytest.approx(1.0), pytest.approx(2.0)]
+
+    def test_fifo_idle_gap_resets_queue(self, sim):
+        channel = Channel(sim, 10.0, discipline="fifo")
+
+        def proc():
+            yield channel.request(10.0)
+            yield sim.timeout(5.0)
+            start = sim.now
+            yield channel.request(10.0)
+            assert sim.now - start == pytest.approx(1.0)
+
+        sim.run(sim.process(proc()))
+
+
+class TestComputeResource:
+    def test_execute_is_fifo(self, sim):
+        gpu = ComputeResource(sim, 100.0)
+        done = sim.all_of([gpu.execute(100.0), gpu.execute(100.0)])
+        sim.run(done)
+        assert sim.now == pytest.approx(2.0)
+
+
+class TestPath:
+    def test_bottleneck_governs(self, sim):
+        fast = Channel(sim, 100.0)
+        slow = Channel(sim, 10.0)
+        path = Path([fast, slow])
+        sim.run(path.transfer(10.0))
+        assert sim.now == pytest.approx(1.0)
+        assert path.bottleneck_bandwidth() == pytest.approx(10.0)
+
+    def test_empty_path_rejected(self, sim):
+        with pytest.raises(ConfigurationError):
+            Path([])
+
+    def test_service_time_is_max_hop(self, sim):
+        path = Path([Channel(sim, 100.0), Channel(sim, 10.0, latency=0.5)])
+        assert path.service_time(10.0) == pytest.approx(1.5)
+
+
+class TestValidation:
+    def test_zero_capacity_rejected(self, sim):
+        with pytest.raises(ConfigurationError):
+            Channel(sim, 0.0)
+
+    def test_unknown_discipline_rejected(self, sim):
+        with pytest.raises(ConfigurationError):
+            Channel(sim, 1.0, discipline="lifo")
+
+    def test_negative_latency_rejected(self, sim):
+        with pytest.raises(ConfigurationError):
+            Channel(sim, 1.0, latency=-0.1)

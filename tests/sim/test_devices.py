@@ -1,0 +1,101 @@
+"""Tests for GPU/CPU/DRAM device models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CapacityError, ConfigurationError
+from repro.sim.devices import (
+    A100_40GB,
+    CPU,
+    EPYC_7302,
+    GPU,
+    GPU_SPECS,
+    H100_80GB,
+    HostDRAM,
+    RTX_A6000,
+    XEON_6342,
+)
+from repro.units import GB, GiB, TFLOPS
+
+
+class TestSpecs:
+    def test_table1_gpus_registered(self):
+        assert set(GPU_SPECS) == {"A100", "H100", "A6000"}
+
+    def test_a100_shape(self):
+        assert A100_40GB.memory_bytes == 40 * GiB
+        assert A100_40GB.peak_fp16_flops == pytest.approx(312 * TFLOPS)
+        assert A100_40GB.price_usd == 7_000.0
+
+    def test_h100_price_matches_cost_analysis(self):
+        assert H100_80GB.price_usd == 30_000.0
+
+    def test_effective_flops_below_peak(self):
+        for spec in (A100_40GB, H100_80GB, RTX_A6000):
+            assert spec.effective_flops < spec.peak_fp16_flops
+
+    def test_cpu_specs(self):
+        assert XEON_6342.cores == 24
+        assert EPYC_7302.cores == 16
+        assert XEON_6342.effective_flops < XEON_6342.peak_fp32_flops
+
+
+class TestGPU:
+    def test_compute_bound_kernel(self, sim):
+        gpu = GPU(sim, A100_40GB)
+        flops = A100_40GB.effective_flops  # 1 second of compute
+        sim.run(gpu.run_kernel(flops, mem_bytes=1.0))
+        assert sim.now == pytest.approx(1.0, rel=1e-6)
+
+    def test_memory_bound_kernel(self, sim):
+        gpu = GPU(sim, A100_40GB)
+        sim.run(gpu.run_kernel(1.0, mem_bytes=A100_40GB.hbm_bandwidth))
+        assert sim.now == pytest.approx(1.0, rel=1e-6)
+
+    def test_kernel_without_memory(self, sim):
+        gpu = GPU(sim, A100_40GB)
+        sim.run(gpu.run_kernel(A100_40GB.effective_flops / 2))
+        assert sim.now == pytest.approx(0.5, rel=1e-6)
+
+
+class TestCPU:
+    def test_stream_bound_attention(self, sim):
+        cpu = CPU(sim, XEON_6342)
+        sim.run(cpu.run_kernel(1.0, mem_bytes=XEON_6342.stream_bandwidth * 2))
+        assert sim.now == pytest.approx(2.0, rel=1e-6)
+
+
+class TestHostDRAM:
+    def test_allocate_and_utilization(self, sim):
+        dram = HostDRAM(sim, 512 * GiB, 164 * GB)
+        dram.allocate(128 * GiB)
+        assert dram.utilization == pytest.approx(0.25)
+        assert dram.peak_allocated_bytes == 128 * GiB
+
+    def test_over_allocation_raises_with_context(self, sim):
+        dram = HostDRAM(sim, 512 * GiB, 164 * GB)
+        with pytest.raises(CapacityError, match="KV cache"):
+            dram.allocate(600 * GiB, what="KV cache")
+
+    def test_free_restores_headroom(self, sim):
+        dram = HostDRAM(sim, 512 * GiB, 164 * GB)
+        dram.allocate(512 * GiB)
+        dram.free(256 * GiB)
+        dram.allocate(128 * GiB)
+        assert dram.utilization == pytest.approx(0.75)
+
+    def test_peak_tracks_high_water_mark(self, sim):
+        dram = HostDRAM(sim, 512 * GiB, 164 * GB)
+        dram.allocate(100 * GiB)
+        dram.free(100 * GiB)
+        assert dram.peak_allocated_bytes == 100 * GiB
+
+    def test_zero_capacity_rejected(self, sim):
+        with pytest.raises(ConfigurationError):
+            HostDRAM(sim, 0, 164 * GB)
+
+    def test_access_moves_bytes_through_channel(self, sim):
+        dram = HostDRAM(sim, 512 * GiB, 164 * GB)
+        sim.run(dram.access(164 * GB))
+        assert sim.now == pytest.approx(1.0, rel=1e-6)

@@ -1,0 +1,174 @@
+"""Tests for the discrete-event simulation kernel."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.sim.engine import Event, Simulator
+
+
+class TestEvent:
+    def test_succeed_triggers_and_freezes_value(self, sim):
+        event = sim.event("e")
+        assert not event.triggered
+        event.succeed(42)
+        assert event.triggered
+        assert event.value == 42
+
+    def test_double_trigger_raises(self, sim):
+        event = sim.event("e")
+        event.succeed()
+        with pytest.raises(SimulationError):
+            event.succeed()
+
+    def test_callback_after_trigger_runs_immediately(self, sim):
+        event = sim.event("e")
+        event.succeed("v")
+        seen = []
+        event.add_callback(lambda ev: seen.append(ev.value))
+        assert seen == ["v"]
+
+    def test_callbacks_run_in_registration_order(self, sim):
+        event = sim.event("e")
+        order = []
+        event.add_callback(lambda ev: order.append(1))
+        event.add_callback(lambda ev: order.append(2))
+        event.succeed()
+        assert order == [1, 2]
+
+
+class TestTimeout:
+    def test_timeout_advances_clock(self, sim):
+        done = sim.timeout(2.5)
+        sim.run(done)
+        assert sim.now == pytest.approx(2.5)
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.timeout(-1.0)
+
+    def test_timeout_carries_value(self, sim):
+        done = sim.timeout(1.0, value="payload")
+        assert sim.run(done) == "payload"
+
+
+class TestProcess:
+    def test_process_return_value_becomes_event_value(self, sim):
+        def proc():
+            yield sim.timeout(1.0)
+            return "done"
+
+        assert sim.run(sim.process(proc())) == "done"
+
+    def test_sequential_timeouts_accumulate(self, sim):
+        times = []
+
+        def proc():
+            yield sim.timeout(1.0)
+            times.append(sim.now)
+            yield sim.timeout(2.0)
+            times.append(sim.now)
+
+        sim.run(sim.process(proc()))
+        assert times == [pytest.approx(1.0), pytest.approx(3.0)]
+
+    def test_process_receives_event_value(self, sim):
+        def proc():
+            value = yield sim.timeout(0.5, value=7)
+            return value * 2
+
+        assert sim.run(sim.process(proc())) == 14
+
+    def test_yielding_non_event_raises(self, sim):
+        def proc():
+            yield 3.0
+
+        with pytest.raises(SimulationError, match="must yield Event"):
+            sim.run(sim.process(proc()))
+
+    def test_nested_processes(self, sim):
+        def inner():
+            yield sim.timeout(1.0)
+            return "inner-done"
+
+        def outer():
+            result = yield sim.process(inner())
+            yield sim.timeout(1.0)
+            return result
+
+        assert sim.run(sim.process(outer())) == "inner-done"
+        assert sim.now == pytest.approx(2.0)
+
+
+class TestAllOf:
+    def test_waits_for_all_and_collects_values(self, sim):
+        e1 = sim.timeout(1.0, value="a")
+        e2 = sim.timeout(3.0, value="b")
+        combined = sim.all_of([e1, e2])
+        assert sim.run(combined) == ["a", "b"]
+        assert sim.now == pytest.approx(3.0)
+
+    def test_empty_all_of_fires_immediately(self, sim):
+        assert sim.run(sim.all_of([])) == []
+
+    def test_already_triggered_constituents(self, sim):
+        e1 = sim.event()
+        e1.succeed(1)
+        e2 = sim.timeout(1.0, value=2)
+        assert sim.run(sim.all_of([e1, e2])) == [1, 2]
+
+
+class TestRun:
+    def test_run_until_time_sets_clock(self, sim):
+        sim.timeout(10.0)
+        sim.run(until=4.0)
+        assert sim.now == pytest.approx(4.0)
+
+    def test_run_to_exhaustion(self, sim):
+        sim.timeout(1.0)
+        sim.timeout(5.0)
+        sim.run()
+        assert sim.now == pytest.approx(5.0)
+
+    def test_deadlock_detection(self, sim):
+        never = sim.event("never")
+        with pytest.raises(SimulationError, match="deadlock"):
+            sim.run(never)
+
+    def test_events_processed_counter(self, sim):
+        sim.timeout(1.0)
+        sim.timeout(2.0)
+        sim.run()
+        assert sim.events_processed == 2
+
+
+class TestTimeMonotonicity:
+    @settings(max_examples=30, deadline=None)
+    @given(delays=st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=20))
+    def test_observed_times_are_sorted(self, delays):
+        sim = Simulator()
+        observed = []
+        for delay in delays:
+            sim.timeout(delay).add_callback(lambda _e: observed.append(sim.now))
+        sim.run()
+        assert observed == sorted(observed)
+        assert sim.now == pytest.approx(max(delays))
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        delays=st.lists(
+            st.floats(min_value=0.01, max_value=10.0), min_size=1, max_size=10
+        )
+    )
+    def test_sequential_process_time_is_sum(self, delays):
+        sim = Simulator()
+
+        def proc():
+            for delay in delays:
+                yield sim.timeout(delay)
+
+        sim.run(sim.process(proc()))
+        assert sim.now == pytest.approx(sum(delays))

@@ -1,0 +1,117 @@
+"""Tests for the SSD/SmartSSD flash models."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CapacityError, ConfigurationError
+from repro.sim.engine import Simulator
+from repro.sim.flash import PM9A3, SMARTSSD_FLASH, SSD, SmartSSD, SSDSpec
+from repro.units import GB, KiB, TB
+
+
+@pytest.fixture
+def pm9a3(sim) -> SSD:
+    return SSD(sim, PM9A3)
+
+
+class TestSSDSpec:
+    def test_pm9a3_matches_table1(self):
+        assert PM9A3.capacity_bytes == pytest.approx(3.84 * TB)
+        assert PM9A3.read_bandwidth == pytest.approx(6.9 * GB)
+        assert PM9A3.write_bandwidth == pytest.approx(4.1 * GB)
+        assert PM9A3.page_bytes == 4 * KiB
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SSDSpec(name="bad", capacity_bytes=0, read_bandwidth=1, write_bandwidth=1)
+
+
+class TestReadWrite:
+    def test_read_takes_bandwidth_time(self, sim, pm9a3):
+        sim.run(pm9a3.read(6.9 * GB))
+        assert sim.now == pytest.approx(1.0 + PM9A3.io_latency, rel=1e-3)
+
+    def test_contiguous_write_rounds_up_once(self, sim, pm9a3):
+        sim.run(pm9a3.write(10 * KiB))
+        assert pm9a3.logical_bytes_written == pytest.approx(10 * KiB)
+        assert pm9a3.physical_bytes_written == pytest.approx(12 * KiB)
+
+    def test_sub_page_granule_amplifies(self, sim, pm9a3):
+        # 16 discrete 256-byte entries each program a whole 4 KiB page.
+        sim.run(pm9a3.write(16 * 256, granule=256))
+        assert pm9a3.physical_bytes_written == pytest.approx(16 * 4 * KiB)
+        assert pm9a3.write_amplification == pytest.approx(16.0)
+
+    def test_page_aligned_granule_has_unit_amplification(self, sim, pm9a3):
+        sim.run(pm9a3.write(64 * KiB, granule=4 * KiB))
+        assert pm9a3.write_amplification == pytest.approx(1.0)
+
+    def test_write_amplification_default_is_one(self, pm9a3):
+        assert pm9a3.write_amplification == 1.0
+
+    def test_zero_byte_write(self, sim, pm9a3):
+        sim.run(pm9a3.write(0.0))
+        assert pm9a3.physical_bytes_written == 0.0
+
+    def test_read_counter(self, sim, pm9a3):
+        sim.run(pm9a3.read(1 * GB))
+        assert pm9a3.logical_bytes_read == pytest.approx(1 * GB)
+
+
+class TestCapacity:
+    def test_allocation_tracks_and_overflows(self, pm9a3):
+        pm9a3.allocate(3.0 * TB)
+        assert pm9a3.stored_bytes == pytest.approx(3.0 * TB)
+        with pytest.raises(CapacityError):
+            pm9a3.allocate(1.0 * TB)
+
+    def test_free_releases(self, pm9a3):
+        pm9a3.allocate(1.0 * TB)
+        pm9a3.free(0.5 * TB)
+        assert pm9a3.stored_bytes == pytest.approx(0.5 * TB)
+
+    def test_free_never_negative(self, pm9a3):
+        pm9a3.free(1.0 * TB)
+        assert pm9a3.stored_bytes == 0.0
+
+
+class TestEndurance:
+    def test_endurance_consumed_fraction(self, sim, pm9a3):
+        sim.run(pm9a3.write(PM9A3.pbw_rating_bytes / 2))
+        assert pm9a3.endurance_consumed == pytest.approx(0.5, rel=1e-6)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n_entries=st.integers(min_value=1, max_value=64),
+        entry_bytes=st.integers(min_value=64, max_value=8192),
+    )
+    def test_per_entry_writes_never_cheaper_than_contiguous(self, n_entries, entry_bytes):
+        sim_a, sim_b = Simulator(), Simulator()
+        per_entry = SSD(sim_a, PM9A3)
+        contiguous = SSD(sim_b, PM9A3)
+        total = n_entries * entry_bytes
+        sim_a.run(per_entry.write(total, granule=entry_bytes))
+        sim_b.run(contiguous.write(total))
+        assert per_entry.physical_bytes_written >= contiguous.physical_bytes_written
+        assert per_entry.write_amplification >= 1.0
+
+
+class TestSmartSSD:
+    def test_p2p_read_bottlenecked_by_flash(self, sim):
+        device = SmartSSD(sim, 0)
+        sim.run(device.p2p_read(3.0 * GB))
+        # Flash read at 3 GB/s dominates the 12+ GB/s FPGA DRAM hop.
+        assert sim.now == pytest.approx(1.0, rel=1e-2)
+
+    def test_internal_path_does_not_touch_host_link(self, sim):
+        device = SmartSSD(sim, 0)
+        sim.run(device.p2p_read(1.0 * GB))
+        assert device.host_link.total_work == 0.0
+
+    def test_flash_spec_default(self, sim):
+        device = SmartSSD(sim, 3)
+        assert device.flash.spec is SMARTSSD_FLASH
+        assert device.name == "smartssd3"

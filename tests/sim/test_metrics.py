@@ -1,0 +1,93 @@
+"""Tests for phase-tagged breakdown accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.metrics import (
+    HOST_COMPUTE,
+    LOAD_KV,
+    LOAD_WEIGHT,
+    PAPER_PHASES,
+    STORE_KV,
+    Breakdown,
+    PhaseRecorder,
+    UtilizationSample,
+)
+
+
+class TestBreakdown:
+    def test_add_and_total(self):
+        b = Breakdown()
+        b.add(LOAD_KV, 3.0)
+        b.add(LOAD_KV, 1.0)
+        b.add(HOST_COMPUTE, 1.0)
+        assert b.get(LOAD_KV) == pytest.approx(4.0)
+        assert b.total() == pytest.approx(5.0)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            Breakdown().add(LOAD_KV, -1.0)
+
+    def test_fractions_normalize_to_one(self):
+        b = Breakdown()
+        b.add(LOAD_WEIGHT, 1.0)
+        b.add(LOAD_KV, 2.0)
+        b.add(STORE_KV, 1.0)
+        b.add(HOST_COMPUTE, 4.0)
+        fractions = b.fractions(PAPER_PHASES)
+        assert sum(fractions.values()) == pytest.approx(1.0)
+        assert fractions[HOST_COMPUTE] == pytest.approx(0.5)
+
+    def test_empty_fractions_are_zero(self):
+        fractions = Breakdown().fractions()
+        assert all(v == 0.0 for v in fractions.values())
+
+    def test_merge_folds_contributions(self):
+        a, b = Breakdown(), Breakdown()
+        a.add(LOAD_KV, 1.0)
+        b.add(LOAD_KV, 2.0)
+        b.add(STORE_KV, 1.0)
+        a.merge(b)
+        assert a.get(LOAD_KV) == pytest.approx(3.0)
+        assert a.get(STORE_KV) == pytest.approx(1.0)
+
+    def test_total_restricted_to_phases(self):
+        b = Breakdown()
+        b.add(LOAD_KV, 2.0)
+        b.add("nsp_io", 5.0)
+        assert b.total(PAPER_PHASES) == pytest.approx(2.0)
+
+
+class TestPhaseRecorder:
+    def test_records_elapsed_span(self, sim):
+        recorder = PhaseRecorder(sim)
+
+        def proc():
+            t0 = recorder.start()
+            yield sim.timeout(2.0)
+            recorder.stop(LOAD_KV, t0)
+
+        sim.run(sim.process(proc()))
+        assert recorder.breakdown.get(LOAD_KV) == pytest.approx(2.0)
+
+    def test_overlapping_spans_both_count(self, sim):
+        recorder = PhaseRecorder(sim)
+
+        def proc():
+            t0 = recorder.start()
+            a = sim.timeout(2.0)
+            b = sim.timeout(3.0)
+            yield sim.all_of([a, b])
+            recorder.stop(LOAD_KV, t0)
+            recorder.stop(LOAD_WEIGHT, t0)
+
+        sim.run(sim.process(proc()))
+        assert recorder.breakdown.get(LOAD_KV) == pytest.approx(3.0)
+        assert recorder.breakdown.get(LOAD_WEIGHT) == pytest.approx(3.0)
+
+
+class TestUtilizationSample:
+    def test_as_dict(self):
+        sample = UtilizationSample(cpu=0.1, gpu=0.2, dram_capacity=0.3)
+        assert sample.as_dict() == {"cpu": 0.1, "gpu": 0.2, "dram_capacity": 0.3}

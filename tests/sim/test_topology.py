@@ -1,0 +1,110 @@
+"""Tests for the PCIe topology builder (Figure 3 / Table 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.topology import HardwareConfig, build_system
+from repro.units import GB
+
+
+class TestHardwareConfig:
+    def test_default_is_a100_with_four_ssds(self):
+        config = HardwareConfig()
+        assert config.gpu == "A100"
+        assert config.n_conventional_ssds == 4
+
+    def test_unknown_gpu_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HardwareConfig(gpu="B200")
+
+    def test_storage_required(self):
+        with pytest.raises(ConfigurationError):
+            HardwareConfig(n_conventional_ssds=0, n_smartssds=0)
+
+    def test_config_and_overrides_mutually_exclusive(self):
+        with pytest.raises(ConfigurationError):
+            build_system(HardwareConfig(), gpu="H100")
+
+
+class TestBandwidthFigures:
+    def test_b_ssd_over_b_pci_is_three_with_16_devices(self):
+        """The Section 4.2 operating point: B_SSD/B_PCI ~= 3 -> alpha ~= 0.5."""
+        system = build_system(n_smartssds=16, n_conventional_ssds=0)
+        ratio = (
+            system.aggregate_nsp_internal_bandwidth()
+            / system.effective_host_bandwidth()
+        )
+        assert ratio == pytest.approx(3.0)
+
+    def test_b_ssd_scales_with_device_count(self):
+        for n in (4, 8, 16):
+            system = build_system(n_smartssds=n, n_conventional_ssds=0)
+            assert system.aggregate_nsp_internal_bandwidth() == pytest.approx(n * 3.0 * GB)
+
+    def test_few_devices_bound_by_device_links(self):
+        system = build_system(n_smartssds=4, n_conventional_ssds=0)
+        # 4 x 3.2 GB/s device links < the 16 GB/s uplink.
+        assert system.effective_host_bandwidth() == pytest.approx(4 * 3.2 * GB)
+
+    def test_host_bandwidth_without_nsp_is_host_pcie(self):
+        system = build_system(n_conventional_ssds=4)
+        assert system.effective_host_bandwidth() == system.host_pcie.capacity
+
+
+class TestStripedTransfers:
+    def test_raid0_read_aggregates_drives(self):
+        system = build_system(n_conventional_ssds=4)
+        done = system.read_ssds_to_host(4 * 6.9 * GB)
+        system.sim.run(done)
+        # Each drive's 6.9 GB share moves at ~min(drive 6.9, link 6.7) GB/s.
+        assert system.sim.now == pytest.approx(1.03, rel=2e-2)
+
+    def test_raid0_write_accounts_per_drive(self):
+        system = build_system(n_conventional_ssds=4)
+        system.sim.run(system.write_ssds_from_host(8 * GB))
+        for ssd in system.ssds:
+            assert ssd.logical_bytes_written == pytest.approx(2 * GB)
+
+    def test_read_without_ssds_raises(self):
+        system = build_system(n_smartssds=4, n_conventional_ssds=0)
+        with pytest.raises(ConfigurationError):
+            system.read_ssds_to_host(1 * GB)
+
+    def test_gds_read_bottlenecked_by_uplink(self):
+        system = build_system(n_smartssds=16, n_conventional_ssds=0)
+        system.sim.run(system.gds_read_to_gpu(16 * GB))
+        # 16 devices can read 48 GB/s from flash, but the x16 uplink caps at 16.
+        assert system.sim.now == pytest.approx(1.0, rel=1e-2)
+
+    def test_gds_read_charges_flash_channels(self):
+        system = build_system(n_smartssds=8, n_conventional_ssds=0)
+        system.sim.run(system.gds_read_to_gpu(8 * GB))
+        for dev in system.smartssds:
+            assert dev.flash.logical_bytes_read == pytest.approx(1 * GB)
+
+    def test_host_to_nsp_requires_devices(self):
+        system = build_system(n_conventional_ssds=4)
+        with pytest.raises(ConfigurationError):
+            system.host_to_nsp(1 * GB)
+
+    def test_write_nsp_granule_amplification(self):
+        system = build_system(n_smartssds=4, n_conventional_ssds=0)
+        system.sim.run(system.write_nsp_from_host(4 * 4096, granule=256))
+        total_physical = sum(d.flash.physical_bytes_written for d in system.smartssds)
+        assert total_physical == pytest.approx(4 * 16 * 4096)
+
+    def test_dram_to_gpu_uses_host_pcie(self):
+        system = build_system(n_conventional_ssds=4)
+        system.sim.run(system.dram_to_gpu(system.host_pcie.capacity))
+        assert system.sim.now == pytest.approx(1.0, rel=1e-6)
+        assert system.host_pcie.total_work == pytest.approx(system.host_pcie.capacity)
+
+
+class TestMixedTopology:
+    def test_system_can_hold_both_device_kinds(self):
+        system = build_system(n_conventional_ssds=2, n_smartssds=2)
+        assert len(system.ssds) == 2
+        assert len(system.smartssds) == 2
+        assert system.expansion_uplink is not None

@@ -1,0 +1,107 @@
+"""Tests for the Section 7 future-CSD extensions (ISP device, ASIC model)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.accelerator.asic import (
+    BASE_AREA_MM2,
+    BASE_POWER_W,
+    AsicEstimate,
+    estimate_asic,
+    fits_ssd_controller_budget,
+)
+from repro.core.config import HilosConfig
+from repro.core.runtime import HilosSystem
+from repro.errors import ConfigurationError
+from repro.models import get_model
+from repro.sim.isp import (
+    ISP_DRAM_BANDWIDTH,
+    ISP_FLASH,
+    bandwidth_equivalence_summary,
+    isp_hardware_config,
+)
+from repro.units import GB, TB
+
+
+class TestISPSpec:
+    def test_envisioned_device_figures(self):
+        """Section 7.1: 16 TB NAND, 16 GB/s internal, 68 GB/s LPDDR5X."""
+        assert ISP_FLASH.capacity_bytes == pytest.approx(16 * TB)
+        assert ISP_FLASH.read_bandwidth == pytest.approx(16 * GB)
+        assert ISP_DRAM_BANDWIDTH == pytest.approx(68 * GB)
+
+    def test_bandwidths_bracket_four_smartssds(self):
+        """The paper's equivalence argument: each path within ~35%."""
+        for path, (isp_bw, nsp_bw) in bandwidth_equivalence_summary().items():
+            ratio = isp_bw / nsp_bw
+            assert 0.5 < ratio < 1.5, path
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            isp_hardware_config(n_devices=0)
+
+
+class TestISPEquivalence:
+    def test_one_isp_close_to_four_smartssds(self):
+        """End-to-end HILOS throughput: one ISP within 25% of 4 SmartSSDs."""
+        model = get_model("OPT-66B")
+        nsp = HilosSystem(model, HilosConfig(n_devices=4)).measure(
+            16, 32768, n_steps=1, warmup_steps=1
+        )
+        isp = HilosSystem(
+            model, HilosConfig(n_devices=1), hardware=isp_hardware_config()
+        ).measure(16, 32768, n_steps=1, warmup_steps=1)
+        ratio = isp.tokens_per_second / nsp.tokens_per_second
+        assert 0.75 < ratio < 1.25
+
+    def test_isp_accelerator_uses_lpddr5x_roofline(self):
+        model = get_model("OPT-66B")
+        system = HilosSystem(
+            model, HilosConfig(n_devices=1), hardware=isp_hardware_config()
+        )
+        assert system.accelerator_config().dram_bandwidth == pytest.approx(
+            ISP_DRAM_BANDWIDTH * 0.94
+        )
+
+
+class TestAsicModel:
+    def test_anchor_matches_published_point(self):
+        """OpenROAD/CACTI result: 0.47 mm^2, 1.13 W at d_group=1."""
+        estimate = estimate_asic(1)
+        assert estimate.area_mm2 == pytest.approx(BASE_AREA_MM2)
+        assert estimate.power_w == pytest.approx(BASE_POWER_W)
+        assert estimate.process_nm == 8
+
+    def test_scaling_is_sublinear_in_group(self):
+        """Shared control/transpose logic does not replicate."""
+        five = estimate_asic(5)
+        assert five.area_mm2 < 5 * BASE_AREA_MM2
+        assert five.power_w < 5 * BASE_POWER_W
+        assert five.area_mm2 > BASE_AREA_MM2
+
+    def test_base_design_fits_controller_budget(self):
+        assert fits_ssd_controller_budget(estimate_asic(1))
+
+    def test_power_density_reasonable(self):
+        assert estimate_asic(1).power_density_w_per_mm2 < 5.0
+
+    def test_invalid_group(self):
+        with pytest.raises(ConfigurationError):
+            estimate_asic(0)
+
+    def test_budget_check_is_conjunctive(self):
+        hot = AsicEstimate(d_group=1, area_mm2=1.0, power_w=10.0)
+        assert not fits_ssd_controller_budget(hot)
+
+
+class TestDiscussionExperiment:
+    def test_runs_and_reproduces_claims(self):
+        from repro.experiments import discussion_future_csd
+
+        tables = discussion_future_csd.run(fast=True)
+        equivalence = tables[0].to_dicts()
+        assert 0.75 < equivalence[1]["relative"] < 1.25
+        pcie5 = {r["throughput_scale"]: r["exceeds_ku15p"] for r in tables[3].to_dicts()}
+        assert pcie5[4.0] is True  # Section 7.2: >2,000 DSPs needed
+        assert pcie5[1.0] is False

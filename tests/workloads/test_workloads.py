@@ -1,0 +1,111 @@
+"""Tests for request classes, synthetic data, and retrieval tasks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.requests import LONG, MEDIUM, REQUEST_CLASSES, SHORT, RequestClass
+from repro.workloads.retrieval import (
+    evaluate_kernel,
+    flashattention_kernel,
+    hilos_kernel,
+    instattention_kernel,
+    make_retrieval_suite,
+    retrieve_positions,
+    score_f1,
+)
+from repro.workloads.synthetic import SyntheticWorkload, make_embeddings
+
+
+class TestRequestClasses:
+    def test_azure_mix(self):
+        """Section 6.6: Short I:256/O:100, Medium I:1K/O:350, Long I:8K/O:350."""
+        assert (SHORT.input_tokens, SHORT.output_tokens) == (256, 100)
+        assert (MEDIUM.input_tokens, MEDIUM.output_tokens) == (1024, 350)
+        assert (LONG.input_tokens, LONG.output_tokens) == (8192, 350)
+
+    def test_total_tokens(self):
+        assert LONG.total_tokens == 8542
+
+    def test_registry(self):
+        assert set(REQUEST_CLASSES) == {"Short", "Medium", "Long"}
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RequestClass("bad", input_tokens=0, output_tokens=1)
+
+
+class TestSynthetic:
+    def test_workload_is_deterministic(self):
+        a = SyntheticWorkload(2, 8, 4, 32, seed=5)
+        b = SyntheticWorkload(2, 8, 4, 32, seed=5)
+        np.testing.assert_array_equal(a.prompt_embeddings(), b.prompt_embeddings())
+        np.testing.assert_array_equal(a.step_embeddings()[0], b.step_embeddings()[0])
+
+    def test_shapes(self):
+        workload = SyntheticWorkload(3, 16, 5, 64)
+        assert workload.prompt_embeddings().shape == (3, 16, 64)
+        steps = workload.step_embeddings()
+        assert len(steps) == 5
+        assert steps[0].shape == (3, 64)
+
+    def test_embeddings_unit_norm(self):
+        vectors = make_embeddings(16, 32, seed=1)
+        np.testing.assert_allclose(np.linalg.norm(vectors, axis=1), 1.0, rtol=1e-12)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SyntheticWorkload(0, 1, 1, 1)
+        with pytest.raises(ConfigurationError):
+            make_embeddings(0, 4)
+
+
+class TestRetrievalSuite:
+    @pytest.fixture(scope="class")
+    def suite(self):
+        return make_retrieval_suite(n_queries=64)
+
+    def test_five_datasets(self, suite):
+        assert len(suite) == 5
+        assert len({task.name for task in suite}) == 5
+
+    def test_tasks_are_deterministic(self, suite):
+        q1, k1, v1, p1 = suite[0].build()
+        q2, k2, v2, p2 = suite[0].build()
+        np.testing.assert_array_equal(q1, q2)
+        np.testing.assert_array_equal(p1, p2)
+
+    def test_exact_kernels_agree_bitwise_in_f1(self, suite):
+        """HILOS == FlashAttention on every task (the losslessness claim)."""
+        for task in suite:
+            assert evaluate_kernel(task, hilos_kernel) == evaluate_kernel(
+                task, flashattention_kernel
+            )
+
+    def test_sparse_loses_a_few_points(self, suite):
+        """Figure 18(c): 1/8 retrieval costs roughly 3-6 F1 points."""
+        drops = []
+        for task in suite:
+            flash = evaluate_kernel(task, flashattention_kernel)
+            sparse = evaluate_kernel(task, instattention_kernel(1.0 / 8.0))
+            drops.append(flash - sparse)
+        assert all(drop >= 0 for drop in drops)
+        assert 2.0 <= sum(drops) / len(drops) <= 8.0
+
+    def test_exact_f1_in_longbench_band(self, suite):
+        for task in suite:
+            f1 = evaluate_kernel(task, flashattention_kernel)
+            assert 60.0 <= f1 <= 100.0
+
+
+class TestScoring:
+    def test_perfect_retrieval(self, rng):
+        values = make_embeddings(16, 8, seed=0)
+        predicted = retrieve_positions(values[[3, 5]], values)
+        assert score_f1(predicted, np.array([3, 5])) == 100.0
+
+    def test_f1_shape_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            score_f1(np.array([1]), np.array([1, 2]))
