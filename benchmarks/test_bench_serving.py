@@ -1,0 +1,20 @@
+"""Benchmark: offline serving queue drain (scheduler throughput)."""
+
+from repro.experiments import serving_throughput
+from repro.experiments.harness import format_tables
+
+
+def test_serving_throughput(run_experiment, capsys):
+    tables = run_experiment(serving_throughput)
+    with capsys.disabled():
+        print("\n" + format_tables(tables))
+    rows = tables[0].to_dicts()
+    by_pair = {(r["system"], r["policy"]): r for r in rows}
+    for label in serving_throughput.FAST_SYSTEMS:
+        fcfs = by_pair[(label, "fcfs-fixed")]
+        continuous = by_pair[(label, "continuous")]
+        # Every policy drains the full queue; continuous batching sustains
+        # strictly more tokens/s than FCFS fixed batches on the mixed queue.
+        assert fcfs["completed"] == serving_throughput.FAST_REQUESTS
+        assert continuous["completed"] == serving_throughput.FAST_REQUESTS
+        assert continuous["tokens_per_s"] > fcfs["tokens_per_s"]

@@ -1,9 +1,12 @@
 """Setup shim for environments without the ``wheel`` package.
 
-The offline evaluation environment lacks ``wheel``, which the PEP 517
-editable-install path requires; this shim lets ``pip install -e .`` fall
-back to the legacy ``setup.py develop`` flow.  All project metadata lives
-in ``pyproject.toml``.
+All project metadata lives in ``pyproject.toml``; with network access (or
+``setuptools``/``wheel`` preinstalled) a plain ``pip install -e .`` works.
+The offline evaluation environment lacks ``wheel``, which every pip
+editable-install path requires; there, run the legacy flow this shim
+exists for::
+
+    python setup.py develop
 """
 
 from setuptools import setup

@@ -27,6 +27,7 @@ from repro.experiments import (
     fig16_cost_endurance,
     fig17_energy_multinode,
     fig18_accuracy,
+    serving_throughput,
     table3_resources,
 )
 from repro.experiments.harness import format_tables
@@ -46,6 +47,7 @@ EXPERIMENTS = {
     "table3": table3_resources,
     "estimator": estimator_correlation,
     "future-csd": discussion_future_csd,
+    "serving": serving_throughput,
 }
 
 

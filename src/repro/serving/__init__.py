@@ -1,0 +1,61 @@
+"""Offline multi-request serving on top of the HILOS simulator.
+
+This package turns the single-point ``measure()`` surface into a serving
+scenario: a heterogeneous queue of Short/Medium/Long requests (the
+Azure-derived mix of :mod:`repro.workloads.requests`) is drained through any
+evaluated system under a scheduling policy, and the drain reports
+per-request latency plus aggregate tokens/s and tokens/s/$.
+
+Typical use::
+
+    from repro import HilosConfig, HilosSystem, get_model
+    from repro.serving import OfflineServingScheduler, ContinuousBatching
+    from repro.workloads import sample_request_classes
+
+    system = HilosSystem(get_model("OPT-66B"), HilosConfig(n_devices=8))
+    scheduler = OfflineServingScheduler(system, ContinuousBatching(16))
+    report = scheduler.drain(sample_request_classes(200, seed=7))
+    print(report.tokens_per_second, report.p95_latency_seconds)
+"""
+
+from repro.serving.budget import (
+    BudgetTracker,
+    CapacityBudget,
+    capacity_budget_for,
+)
+from repro.serving.metrics import ServingReport, percentile, system_cost_model
+from repro.serving.policies import (
+    ContinuousBatching,
+    FCFSFixedBatch,
+    LengthBucketedBatch,
+    SchedulingPolicy,
+    default_policies,
+)
+from repro.serving.request import ServingRequest, make_request_queue
+from repro.serving.scheduler import OfflineServingScheduler, drain_queue
+from repro.serving.steptime import (
+    AnalyticStepTime,
+    CalibratedStepTime,
+    StepTimeModel,
+)
+
+__all__ = [
+    "AnalyticStepTime",
+    "BudgetTracker",
+    "CalibratedStepTime",
+    "CapacityBudget",
+    "ContinuousBatching",
+    "FCFSFixedBatch",
+    "LengthBucketedBatch",
+    "OfflineServingScheduler",
+    "SchedulingPolicy",
+    "ServingReport",
+    "ServingRequest",
+    "StepTimeModel",
+    "capacity_budget_for",
+    "default_policies",
+    "drain_queue",
+    "make_request_queue",
+    "percentile",
+    "system_cost_model",
+]

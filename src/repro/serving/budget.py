@@ -1,0 +1,126 @@
+"""KV-capacity budgets for admission control.
+
+Continuous batching admits a request only when the KV cache it will have
+grown by its final token still fits the serving system's cache home.  The
+budget is derived from the same placement rules
+:mod:`repro.analysis.capacity` applies to single measurements:
+
+* DRAM-resident caches (``FLEX(DRAM)``-style) get the usable host DRAM left
+  after the OS reserve and DRAM-resident weights, deflated by the pinned
+  staging/double-buffering overhead factor;
+* storage- and NSP-resident caches get the aggregate flash capacity of the
+  drive array, minus weights for >100B models whose weights live on flash.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.capacity import (
+    DRAM_RESERVE_FRACTION,
+    KV_OVERHEAD_FACTOR,
+    KVPlacement,
+    WeightPlacement,
+)
+from repro.baselines.base import InferenceSystem
+from repro.errors import SchedulingError
+from repro.models.config import ModelConfig
+from repro.serving.request import ServingRequest
+
+#: Fraction of the raw cache home kept free for metadata, page-alignment
+#: padding, and (on flash) over-provisioning headroom.
+CAPACITY_HEADROOM_FRACTION = 0.10
+
+
+@dataclass(frozen=True)
+class CapacityBudget:
+    """Byte budget the sum of admitted requests' final KV caches must fit."""
+
+    kv_capacity_bytes: float
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kv_capacity_bytes <= 0:
+            raise SchedulingError(
+                f"empty KV budget ({self.description or 'unspecified home'}); "
+                "the cache home cannot hold any request"
+            )
+
+
+def capacity_budget_for(system: InferenceSystem) -> CapacityBudget:
+    """Derive the admission budget from a system's placement and hardware."""
+    hardware = system.hardware_config()
+    model = system.model
+    if system.kv_placement is KVPlacement.DRAM:
+        usable = hardware.host_dram_bytes * (1.0 - DRAM_RESERVE_FRACTION)
+        if system.weight_placement() is WeightPlacement.DRAM:
+            usable -= model.weight_bytes() * 1.1  # same pinning slack as planning
+        usable /= KV_OVERHEAD_FACTOR
+        home = "host DRAM"
+    else:
+        usable = (
+            hardware.n_conventional_ssds
+            * hardware.conventional_ssd_spec.capacity_bytes
+            + hardware.n_smartssds * hardware.smartssd_flash_spec.capacity_bytes
+        )
+        if system.weight_placement() is WeightPlacement.STORAGE:
+            usable -= model.weight_bytes()
+        home = "flash array"
+    usable *= 1.0 - CAPACITY_HEADROOM_FRACTION
+    return CapacityBudget(
+        kv_capacity_bytes=usable,
+        description=f"{system.name} KV cache in {home}",
+    )
+
+
+@dataclass
+class BudgetTracker:
+    """Running reservation ledger against a :class:`CapacityBudget`.
+
+    Requests reserve their *final*-context KV bytes at admission and release
+    them at completion, so in-flight growth can never burst past the budget.
+    ``peak_reserved_bytes`` lets tests assert the invariant held for a whole
+    drain.
+    """
+
+    budget: CapacityBudget
+    model: ModelConfig
+    reserved_bytes: float = 0.0
+    peak_reserved_bytes: float = 0.0
+    _held: dict[int, float] = field(default_factory=dict)
+
+    def fits(self, request: ServingRequest, extra_bytes: float = 0.0) -> bool:
+        """Whether admitting ``request`` keeps reservations within budget.
+
+        ``extra_bytes`` accounts for co-admitted requests whose reservations
+        are decided but not yet recorded (the policies' admission loops).
+        """
+        need = request.kv_reservation_bytes(self.model)
+        return (
+            self.reserved_bytes + extra_bytes + need
+            <= self.budget.kv_capacity_bytes
+        )
+
+    def reserve(self, request: ServingRequest) -> None:
+        """Record an admission; refuses to overcommit."""
+        need = request.kv_reservation_bytes(self.model)
+        if self.reserved_bytes + need > self.budget.kv_capacity_bytes:
+            raise SchedulingError(
+                f"request {request.request_id} overcommits the KV budget "
+                f"({self.budget.description})"
+            )
+        if request.request_id in self._held:
+            raise SchedulingError(f"request {request.request_id} reserved twice")
+        self._held[request.request_id] = need
+        self.reserved_bytes += need
+        self.peak_reserved_bytes = max(self.peak_reserved_bytes, self.reserved_bytes)
+
+    def release(self, request: ServingRequest) -> None:
+        """Return a completed request's reservation to the pool."""
+        try:
+            need = self._held.pop(request.request_id)
+        except KeyError:
+            raise SchedulingError(
+                f"request {request.request_id} released without a reservation"
+            ) from None
+        self.reserved_bytes -= need

@@ -1,0 +1,113 @@
+"""Aggregate serving metrics: throughput, latency percentiles, cost.
+
+The tokens/s/$ figure reuses the Figure 16a capital-cost model, deriving the
+priced configuration directly from the measured system's hardware config so
+serving reports stay consistent with the paper's cost analysis.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.analysis.cost import CostModel, cost_efficiency
+from repro.baselines.base import InferenceSystem
+from repro.errors import SchedulingError
+from repro.serving.request import ServingRequest
+
+
+def percentile(values: list[float], fraction: float) -> float:
+    """Nearest-rank percentile (``fraction`` in (0, 1]) of a non-empty list."""
+    if not values:
+        raise SchedulingError("percentile of an empty sample")
+    if not 0.0 < fraction <= 1.0:
+        raise SchedulingError(f"percentile fraction {fraction} outside (0, 1]")
+    ordered = sorted(values)
+    rank = max(1, math.ceil(fraction * len(ordered)))
+    return ordered[rank - 1]
+
+
+def system_cost_model(system: InferenceSystem) -> CostModel:
+    """Price a system from its hardware config (host, GPU, drives, chassis)."""
+    hardware = system.hardware_config()
+    return CostModel(
+        label=system.name,
+        gpu=getattr(system, "gpu", "A100"),
+        n_conventional_ssds=hardware.n_conventional_ssds,
+        n_smartssds=hardware.n_smartssds,
+        needs_expansion=hardware.n_smartssds > 0,
+    )
+
+
+@dataclass(frozen=True)
+class ServingReport:
+    """Outcome of draining one request queue under one policy."""
+
+    system: str
+    policy: str
+    n_requests: int
+    completed: int
+    makespan_seconds: float
+    generated_tokens: int
+    tokens_per_second: float
+    mean_latency_seconds: float
+    p95_latency_seconds: float
+    mean_queueing_seconds: float
+    peak_kv_reserved_bytes: float
+    kv_capacity_bytes: float
+    system_cost_usd: float
+    tokens_per_second_per_usd: float
+    requests: list[ServingRequest] = field(default_factory=list, repr=False)
+
+    @property
+    def all_completed(self) -> bool:
+        """Whether the drain finished every request (no starvation)."""
+        return self.completed == self.n_requests
+
+    def per_class_mean_latency(self) -> dict[str, float]:
+        """Mean latency split by request class (Short/Medium/Long)."""
+        sums: dict[str, list[float]] = {}
+        for request in self.requests:
+            if request.finished:
+                sums.setdefault(request.request_class.name, []).append(
+                    request.latency_seconds
+                )
+        return {name: sum(vals) / len(vals) for name, vals in sums.items()}
+
+
+def build_report(
+    system: InferenceSystem,
+    policy_name: str,
+    requests: list[ServingRequest],
+    makespan_seconds: float,
+    peak_kv_reserved_bytes: float,
+    kv_capacity_bytes: float,
+) -> ServingReport:
+    """Aggregate per-request state into a :class:`ServingReport`."""
+    finished = [r for r in requests if r.finished]
+    if not finished:
+        raise SchedulingError("drain completed no requests; nothing to report")
+    if makespan_seconds <= 0:
+        raise SchedulingError("drain makespan must be positive")
+    latencies = [r.latency_seconds for r in finished]
+    queueing = [r.queueing_seconds for r in finished]
+    generated = sum(r.tokens_generated for r in finished)
+    tokens_per_second = generated / makespan_seconds
+    cost = system_cost_model(system)
+    return ServingReport(
+        system=system.name,
+        policy=policy_name,
+        n_requests=len(requests),
+        completed=len(finished),
+        makespan_seconds=makespan_seconds,
+        generated_tokens=generated,
+        tokens_per_second=tokens_per_second,
+        mean_latency_seconds=sum(latencies) / len(latencies),
+        p95_latency_seconds=percentile(latencies, 0.95),
+        mean_queueing_seconds=sum(queueing) / len(queueing),
+        peak_kv_reserved_bytes=peak_kv_reserved_bytes,
+        kv_capacity_bytes=kv_capacity_bytes,
+        system_cost_usd=cost.total_usd(),
+        tokens_per_second_per_usd=cost_efficiency(tokens_per_second, cost),
+        requests=list(requests),
+    )

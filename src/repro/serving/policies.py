@@ -1,0 +1,162 @@
+"""Batch-formation policies for the offline serving scheduler.
+
+The scheduler consults its policy at every scheduling point (drain start and
+each iteration boundary) with the waiting queue, the running set, and the
+admission ledger; the policy returns the requests to admit *now*.  Two
+families exist:
+
+batch-synchronous (``padded = True``)
+    :class:`FCFSFixedBatch` and :class:`LengthBucketedBatch` admit a whole
+    batch only when the engine is idle and keep its slots (and its padded
+    maximum context) occupied until the batch's last request finishes --
+    the FlexGen-style fixed-batch execution the paper evaluates.
+
+iteration-level (``padded = False``)
+    :class:`ContinuousBatching` tops the running set back up at every
+    iteration boundary, admitting FCFS while the slot cap and the KV
+    capacity budget allow -- vLLM-style continuous batching with
+    capacity-aware admission instead of preemption (offline queues never
+    have to give admitted work back).
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import deque
+
+from repro.errors import ConfigurationError
+from repro.serving.budget import BudgetTracker
+from repro.serving.request import ServingRequest
+
+
+class SchedulingPolicy(abc.ABC):
+    """Decides which waiting requests join the engine at a scheduling point."""
+
+    name: str = "abstract"
+    #: Batch-synchronous policies pad every iteration to the formed batch's
+    #: size and maximum context; iteration-level policies pay only for live
+    #: requests and their mean context.
+    padded: bool = True
+
+    def __init__(self, batch_size: int) -> None:
+        if batch_size < 1:
+            raise ConfigurationError("policy batch size must be >= 1")
+        self.batch_size = batch_size
+
+    @abc.abstractmethod
+    def admit(
+        self,
+        waiting: "deque[ServingRequest]",
+        running: list[ServingRequest],
+        tracker: BudgetTracker,
+    ) -> list[ServingRequest]:
+        """Pop and return the requests to admit now (possibly none).
+
+        Implementations must remove admitted requests from ``waiting`` and
+        only return requests the ``tracker`` says fit.
+        """
+
+    def _take_fitting(
+        self,
+        waiting: "deque[ServingRequest]",
+        tracker: BudgetTracker,
+        limit: int,
+    ) -> list[ServingRequest]:
+        """FCFS-pop up to ``limit`` head requests that fit the budget.
+
+        Stops at the first request that does not fit (head-of-line order is
+        preserved; skipping ahead would starve large requests forever).
+        """
+        admitted: list[ServingRequest] = []
+        ahead = 0.0
+        while waiting and len(admitted) < limit:
+            head = waiting[0]
+            if not tracker.fits(head, extra_bytes=ahead):
+                break
+            admitted.append(waiting.popleft())
+            ahead += head.kv_reservation_bytes(tracker.model)
+        return admitted
+
+
+class FCFSFixedBatch(SchedulingPolicy):
+    """Arrival-order fixed batches, run to completion before the next forms.
+
+    Heterogeneous batches pay for their longest member twice over: every
+    iteration is padded to the longest context, and short requests' slots
+    stay occupied (idle) until the longest request finishes.
+    """
+
+    name = "fcfs-fixed"
+    padded = True
+
+    def admit(self, waiting, running, tracker):
+        if running:
+            return []
+        return self._take_fitting(waiting, tracker, self.batch_size)
+
+
+class LengthBucketedBatch(SchedulingPolicy):
+    """Fixed batches drawn from a single request class at a time.
+
+    Batches are homogeneous in shape (one Short/Medium/Long bucket), which
+    removes padding waste and straggling inside a batch, but execution is
+    still batch-synchronous.  Buckets are served in the arrival order of
+    their oldest waiting request, so no class starves.
+    """
+
+    name = "length-bucketed"
+    padded = True
+
+    def admit(self, waiting, running, tracker):
+        if running or not waiting:
+            return []
+        # Pick the bucket whose oldest member has waited longest.
+        oldest: dict[str, int] = {}
+        for req in waiting:
+            oldest.setdefault(req.request_class.name, req.request_id)
+        bucket = min(oldest, key=oldest.get)
+        admitted: list[ServingRequest] = []
+        ahead = 0.0
+        kept: deque[ServingRequest] = deque()
+        while waiting:
+            req = waiting.popleft()
+            if (
+                req.request_class.name == bucket
+                and len(admitted) < self.batch_size
+                and tracker.fits(req, extra_bytes=ahead)
+            ):
+                admitted.append(req)
+                ahead += req.kv_reservation_bytes(tracker.model)
+            else:
+                kept.append(req)
+        waiting.extend(kept)
+        return admitted
+
+
+class ContinuousBatching(SchedulingPolicy):
+    """Iteration-level admission with capacity-aware backpressure.
+
+    At every iteration boundary the running set is topped back up to
+    ``batch_size`` slots, admitting FCFS while each candidate's final KV
+    footprint still fits the device budget.  Completed requests free their
+    slots (and reservations) immediately, so the engine runs near-full for
+    the whole drain instead of draining down with each synchronous batch.
+    """
+
+    name = "continuous"
+    padded = False
+
+    def admit(self, waiting, running, tracker):
+        free_slots = self.batch_size - len(running)
+        if free_slots <= 0:
+            return []
+        return self._take_fitting(waiting, tracker, free_slots)
+
+
+def default_policies(batch_size: int = 16) -> list[SchedulingPolicy]:
+    """The three evaluated policies at a common slot count."""
+    return [
+        FCFSFixedBatch(batch_size),
+        LengthBucketedBatch(batch_size),
+        ContinuousBatching(batch_size),
+    ]

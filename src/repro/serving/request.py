@@ -1,0 +1,92 @@
+"""Per-request serving state and latency accounting.
+
+A :class:`ServingRequest` wraps one of the workload
+:class:`~repro.workloads.requests.RequestClass` shapes with the mutable
+lifecycle state the scheduler drives: admission into a batch, prefill (which
+produces the first output token), per-iteration decode progress, and
+completion.  All timestamps are simulated seconds from the drain's start;
+offline queues arrive in full at time zero, so a request's latency is its
+total time in the system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SchedulingError
+from repro.models.config import ModelConfig
+from repro.workloads.requests import RequestClass
+
+
+@dataclass
+class ServingRequest:
+    """One in-flight request of an offline serving drain."""
+
+    request_id: int
+    request_class: RequestClass
+    arrival_time: float = 0.0
+    admitted_time: float | None = None
+    first_token_time: float | None = None
+    completion_time: float | None = None
+    tokens_generated: int = 0
+
+    @property
+    def input_tokens(self) -> int:
+        """Prompt length in tokens."""
+        return self.request_class.input_tokens
+
+    @property
+    def output_tokens(self) -> int:
+        """Tokens the request generates before completing."""
+        return self.request_class.output_tokens
+
+    @property
+    def context_tokens(self) -> int:
+        """Current KV-cache context length (prompt + generated so far)."""
+        return self.input_tokens + self.tokens_generated
+
+    @property
+    def final_context_tokens(self) -> int:
+        """Context length when the last token has been generated."""
+        return self.request_class.total_tokens
+
+    @property
+    def admitted(self) -> bool:
+        """Whether the request has been pulled out of the waiting queue."""
+        return self.admitted_time is not None
+
+    @property
+    def finished(self) -> bool:
+        """Whether every output token has been generated."""
+        return self.completion_time is not None
+
+    @property
+    def latency_seconds(self) -> float:
+        """Arrival-to-completion time (the offline per-request latency)."""
+        if self.completion_time is None:
+            raise SchedulingError(f"request {self.request_id} has not completed")
+        return self.completion_time - self.arrival_time
+
+    @property
+    def queueing_seconds(self) -> float:
+        """Time spent waiting before the scheduler admitted the request."""
+        if self.admitted_time is None:
+            raise SchedulingError(f"request {self.request_id} was never admitted")
+        return self.admitted_time - self.arrival_time
+
+    def kv_reservation_bytes(self, model: ModelConfig) -> float:
+        """KV bytes this request occupies at its *final* context length.
+
+        Admission reserves the full final footprint up front so a batch can
+        never outgrow the device budget mid-decode (offline serving has no
+        preemption to fall back on).
+        """
+        return float(model.kv_cache_bytes(1, self.final_context_tokens))
+
+
+def make_request_queue(classes: list[RequestClass]) -> list[ServingRequest]:
+    """Wrap sampled request classes as an arrival-ordered offline queue."""
+    return [
+        ServingRequest(request_id=i, request_class=cls)
+        for i, cls in enumerate(classes)
+    ]

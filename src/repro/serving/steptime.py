@@ -1,0 +1,175 @@
+"""Iteration-cost models feeding the serving discrete-event simulation.
+
+Simulating every layer of every decode iteration of a multi-hundred-request
+drain through the full :class:`~repro.sim.topology.SystemModel` would be
+prohibitively slow (hundreds of thousands of per-layer events).  Instead the
+serving scheduler treats one *batched decode iteration* as a single timed
+event whose duration comes from a :class:`StepTimeModel`:
+
+:class:`CalibratedStepTime`
+    Lazily measures the wrapped
+    :class:`~repro.baselines.base.InferenceSystem` on a small
+    ``(batch, seq_len)`` grid via its full event-level ``measure()`` loop
+    and bilinearly interpolates between grid points.  This is the
+    Vidur-style split between a calibrated per-iteration latency model and
+    a fast request-level simulation, with the paper's own simulator as the
+    calibration source.
+
+:class:`AnalyticStepTime`
+    A transparent affine model (fixed cost + per-context-token cost) used by
+    unit tests and policy studies that need exactly predictable timings.
+"""
+
+from __future__ import annotations
+
+import abc
+import bisect
+
+from repro.baselines.base import InferenceSystem
+from repro.errors import ConfigurationError, SchedulingError
+
+#: Default calibration batch sizes (powers of two up to the paper's batch 32).
+DEFAULT_BATCH_GRID = (1, 2, 4, 8, 16, 32)
+
+#: Default calibration context lengths, spanning the Short prompt (256) to
+#: well past the Long class's final context (8 542 tokens).
+DEFAULT_SEQ_GRID = (256, 1024, 4096, 16384)
+
+
+class StepTimeModel(abc.ABC):
+    """Cost model for one batched decode iteration and one prefill pass."""
+
+    @abc.abstractmethod
+    def step_seconds(self, batch_size: int, seq_len: int) -> float:
+        """Seconds for one decode iteration of ``batch_size`` requests whose
+        (mean or padded) context length is ``seq_len``."""
+
+    @abc.abstractmethod
+    def prefill_seconds(self, batch_size: int, seq_len: int) -> float:
+        """Seconds to prefill ``batch_size`` prompts of ``seq_len`` tokens."""
+
+
+class AnalyticStepTime(StepTimeModel):
+    """Affine iteration cost: ``base + per_token * seq_len`` per iteration.
+
+    The fixed ``base`` models weight streaming (independent of context), the
+    per-token term models KV traffic; both match the shape the calibrated
+    model exhibits and make test expectations computable by hand.
+    """
+
+    def __init__(
+        self,
+        base_seconds: float = 1.0,
+        per_token_seconds: float = 1e-4,
+        prefill_per_token_seconds: float = 1e-3,
+    ) -> None:
+        if base_seconds < 0 or per_token_seconds < 0 or prefill_per_token_seconds < 0:
+            raise ConfigurationError("step-time coefficients must be non-negative")
+        self.base_seconds = base_seconds
+        self.per_token_seconds = per_token_seconds
+        self.prefill_per_token_seconds = prefill_per_token_seconds
+
+    def step_seconds(self, batch_size: int, seq_len: int) -> float:
+        if batch_size < 1:
+            raise SchedulingError("cannot step an empty batch")
+        return self.base_seconds + self.per_token_seconds * seq_len
+
+    def prefill_seconds(self, batch_size: int, seq_len: int) -> float:
+        return self.prefill_per_token_seconds * seq_len
+
+
+class CalibratedStepTime(StepTimeModel):
+    """Step times interpolated from full-simulator measurements.
+
+    Grid cells are measured on demand and cached, so a drain that only ever
+    sees batches up to 16 and contexts up to 9K touches a handful of
+    ``measure()`` calls (tens of milliseconds each) rather than the whole
+    grid.  Queries outside the grid clamp to the nearest edge.
+    """
+
+    def __init__(
+        self,
+        system: InferenceSystem,
+        batch_grid: tuple[int, ...] = DEFAULT_BATCH_GRID,
+        seq_grid: tuple[int, ...] = DEFAULT_SEQ_GRID,
+        n_steps: int = 1,
+    ) -> None:
+        if not batch_grid or not seq_grid:
+            raise ConfigurationError("calibration grids must be non-empty")
+        self.system = system
+        self.batch_grid = tuple(sorted(set(batch_grid)))
+        self.seq_grid = tuple(sorted(set(seq_grid)))
+        self.n_steps = n_steps
+        self._cache: dict[tuple[int, int], float] = {}
+        self._prefill_cache: dict[tuple[int, int], float] = {}
+
+    # --- grid measurement -------------------------------------------------------
+
+    def _measure(self, batch: int, seq_len: int) -> float:
+        key = (batch, seq_len)
+        if key not in self._cache:
+            result = self.system.measure(
+                batch, seq_len, n_steps=self.n_steps, warmup_steps=1
+            )
+            if result.oom:
+                raise SchedulingError(
+                    f"{self.system.name} cannot decode batch {batch} at context "
+                    f"{seq_len} ({result.note}); tighten the admission budget"
+                )
+            step = result.step_seconds
+            if result.effective_batch < batch:
+                # Placement clamped the batch (DRAM-resident KV systems halve
+                # until resident state fits): serving `batch` concurrent
+                # requests then means time-slicing sequential sub-batches at
+                # the feasible size, not a single cheaper small-batch step.
+                step *= batch / result.effective_batch
+            self._cache[key] = step
+        return self._cache[key]
+
+    @property
+    def calibration_points(self) -> int:
+        """Number of full-simulator measurements performed so far."""
+        return len(self._cache)
+
+    # --- interpolation ----------------------------------------------------------
+
+    @staticmethod
+    def _bracket(grid: tuple[int, ...], value: int) -> tuple[int, int, float]:
+        """Neighbouring grid values and the interpolation weight of the upper."""
+        if value <= grid[0]:
+            return grid[0], grid[0], 0.0
+        if value >= grid[-1]:
+            return grid[-1], grid[-1], 0.0
+        hi_index = bisect.bisect_left(grid, value)
+        if grid[hi_index] == value:
+            # Exact grid hit: no second row/column measurement needed.
+            return value, value, 0.0
+        lo, hi = grid[hi_index - 1], grid[hi_index]
+        return lo, hi, (value - lo) / (hi - lo)
+
+    def step_seconds(self, batch_size: int, seq_len: int) -> float:
+        if batch_size < 1:
+            raise SchedulingError("cannot step an empty batch")
+        if seq_len < 1:
+            raise SchedulingError("context length must be positive")
+        b_lo, b_hi, wb = self._bracket(self.batch_grid, batch_size)
+        s_lo, s_hi, ws = self._bracket(self.seq_grid, seq_len)
+        t_ll = self._measure(b_lo, s_lo)
+        t_lh = self._measure(b_lo, s_hi) if s_hi != s_lo else t_ll
+        if b_hi == b_lo:
+            return t_ll + ws * (t_lh - t_ll)
+        t_hl = self._measure(b_hi, s_lo)
+        t_hh = self._measure(b_hi, s_hi) if s_hi != s_lo else t_hl
+        low = t_ll + ws * (t_lh - t_ll)
+        high = t_hl + ws * (t_hh - t_hl)
+        return low + wb * (high - low)
+
+    def prefill_seconds(self, batch_size: int, seq_len: int) -> float:
+        # The systems' prefill model is analytic (Section 6.4) and cheap, so
+        # it needs no grid -- but it can read state that ``measure()``
+        # mutates (e.g. HILOS's selected alpha), so results are cached by
+        # query to keep repeated drains byte-for-byte deterministic.
+        key = (max(1, batch_size), max(1, seq_len))
+        if key not in self._prefill_cache:
+            self._prefill_cache[key] = self.system.prefill_seconds(*key)
+        return self._prefill_cache[key]

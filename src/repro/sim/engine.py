@@ -27,10 +27,13 @@ class Event:
 
     Events start untriggered; :meth:`succeed` fires them exactly once, after
     which their :attr:`value` is frozen and every registered callback runs
-    immediately (still at the current simulation time).
+    immediately (still at the current simulation time).  :meth:`fail` fires
+    the event in the *failed* state instead, carrying an exception; waiters
+    observe the failure (processes have it re-raised at their ``yield``)
+    rather than a value.
     """
 
-    __slots__ = ("sim", "name", "_callbacks", "_triggered", "_value")
+    __slots__ = ("sim", "name", "_callbacks", "_triggered", "_value", "_exception")
 
     def __init__(self, sim: "Simulator", name: str = "") -> None:
         self.sim = sim
@@ -38,11 +41,22 @@ class Event:
         self._callbacks: list[Callable[[Event], None]] = []
         self._triggered = False
         self._value: Any = None
+        self._exception: BaseException | None = None
 
     @property
     def triggered(self) -> bool:
         """Whether the event has already fired."""
         return self._triggered
+
+    @property
+    def failed(self) -> bool:
+        """Whether the event fired in the failed state."""
+        return self._exception is not None
+
+    @property
+    def exception(self) -> BaseException | None:
+        """The failure exception (``None`` for pending/succeeded events)."""
+        return self._exception
 
     @property
     def value(self) -> Any:
@@ -60,8 +74,36 @@ class Event:
             callback(self)
         return self
 
+    def fail(self, exception: BaseException) -> "Event":
+        """Fire the event in the failed state, waking every waiter.
+
+        Unlike raising from inside a heap callback, failing keeps the event
+        heap consistent: waiters run and can propagate or handle the error,
+        and :meth:`Simulator.run` re-raises it when the failed event is the
+        one being awaited.
+        """
+        if self._triggered:
+            raise SimulationError(f"event {self.name!r} triggered twice")
+        self._triggered = True
+        self._exception = exception
+        callbacks, self._callbacks = self._callbacks, []
+        # Record every failure; whoever *consumes* the exception (a process
+        # resumed with it, an awaiting run(), a conjunction that adopts it)
+        # discharges the record.  Whatever is still recorded when a
+        # drain-mode run() finishes was genuinely lost and gets re-raised.
+        self.sim._record_unobserved_failure(self)
+        for callback in callbacks:
+            callback(self)
+        return self
+
     def add_callback(self, callback: Callable[["Event"], None]) -> None:
-        """Register ``callback``; runs immediately if already triggered."""
+        """Register ``callback``; runs immediately if already triggered.
+
+        Registering on a failed event does not by itself count as consuming
+        the failure -- only the consumption points (a process resumed with
+        the exception, an awaiting ``run()``, a conjunction adopting it)
+        discharge the unobserved-failure record.
+        """
         if self._triggered:
             callback(self)
         else:
@@ -102,9 +144,18 @@ class AllOf(Event):
 
     def _make_callback(self, index: int) -> Callable[[Event], None]:
         def on_trigger(event: Event) -> None:
+            if event.failed:
+                # The first constituent failure fails the conjunction, which
+                # adopts (consumes) the exception; a failure arriving after
+                # we already triggered stays recorded unless another waiter
+                # of that event consumes it.
+                if not self._triggered:
+                    self.sim._discharge_failure(event)
+                    self.fail(event.exception)
+                return
             self._values[index] = event.value
             self._pending -= 1
-            if self._pending == 0:
+            if self._pending == 0 and not self._triggered:
                 self.succeed(list(self._values))
 
         return on_trigger
@@ -125,18 +176,41 @@ class Process(Event):
         self._generator = generator
         sim.schedule(0.0, lambda: self._step(None))
 
-    def _step(self, send_value: Any) -> None:
+    def _step(self, send_value: Any, throw: BaseException | None = None) -> None:
         try:
-            target = self._generator.send(send_value)
+            if throw is not None:
+                target = self._generator.throw(throw)
+            else:
+                target = self._generator.send(send_value)
         except StopIteration as stop:
             self.succeed(stop.value)
             return
+        except BaseException as exc:
+            # The generator raised (or declined to handle a propagated
+            # failure): fail the process event so waiters observe the error
+            # instead of deadlocking on a permanently untriggered event.
+            self.fail(exc)
+            return
         if not isinstance(target, Event):
-            raise SimulationError(
-                f"process {self.name!r} yielded {type(target).__name__}; "
-                "processes must yield Event instances"
+            # Failing cleanly (rather than raising from inside a heap
+            # callback) keeps the simulator usable and wakes AllOf waiters.
+            self._generator.close()
+            self.fail(
+                SimulationError(
+                    f"process {self.name!r} yielded {type(target).__name__}; "
+                    "processes must yield Event instances"
+                )
             )
-        target.add_callback(lambda event: self._step(event.value))
+            return
+        target.add_callback(self._resume)
+
+    def _resume(self, event: Event) -> None:
+        if event.failed:
+            # The exception is delivered into the generator: consumed.
+            self.sim._discharge_failure(event)
+            self._step(None, throw=event.exception)
+        else:
+            self._step(event.value)
 
 
 class Simulator:
@@ -147,6 +221,16 @@ class Simulator:
         self._heap: list[tuple[float, int, Callable[[], None]]] = []
         self._sequence = 0
         self._processed = 0
+        self._unobserved_failures: list[Event] = []
+
+    def _record_unobserved_failure(self, event: Event) -> None:
+        self._unobserved_failures.append(event)
+
+    def _discharge_failure(self, event: Event) -> None:
+        try:
+            self._unobserved_failures.remove(event)
+        except ValueError:
+            pass
 
     @property
     def now(self) -> float:
@@ -185,24 +269,41 @@ class Simulator:
         """Advance the simulation.
 
         ``until`` may be an :class:`Event` (run until it triggers and return
-        its value), a time (run until the heap is exhausted or that time is
-        reached), or ``None`` (drain the heap).
+        its value, or re-raise its exception if it failed), a time (run until
+        the heap is exhausted or that time is reached), or ``None`` (drain
+        the heap).  Drain/horizon runs re-raise the first failure no waiter
+        observed, so fire-and-forget process errors are never lost.
         """
         if isinstance(until, Event):
             stop_event = until
             while not stop_event.triggered:
                 if not self._heap:
+                    if self._unobserved_failures:
+                        # The deadlock is downstream of a process failure
+                        # nobody observed; raise the root cause, not the
+                        # generic symptom.
+                        failed = self._unobserved_failures.pop(0)
+                        raise failed.exception
                     raise SimulationError(
                         "simulation ran out of events before the awaited "
                         f"event {stop_event.name!r} triggered (deadlock?)"
                     )
                 self._pop_and_run()
+            if stop_event.failed:
+                self._discharge_failure(stop_event)
+                raise stop_event.exception
             return stop_event.value
         horizon = float("inf") if until is None else float(until)
         while self._heap and self._heap[0][0] <= horizon:
             self._pop_and_run()
         if until is not None and horizon > self._now:
             self._now = horizon
+        if self._unobserved_failures:
+            # A fire-and-forget process failed and nothing ever looked at
+            # it; surface the first failure rather than return a silently
+            # truncated simulation.
+            failed = self._unobserved_failures.pop(0)
+            raise failed.exception
         return None
 
     def _pop_and_run(self) -> None:

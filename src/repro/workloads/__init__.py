@@ -1,15 +1,27 @@
 """Workload definitions: request classes, synthetic data, retrieval tasks."""
 
-from repro.workloads.requests import LONG, MEDIUM, SHORT, REQUEST_CLASSES, RequestClass
+from repro.workloads.requests import (
+    AZURE_OFFLINE_MIX,
+    LONG,
+    MEDIUM,
+    SHORT,
+    REQUEST_CLASSES,
+    RequestClass,
+    RequestMix,
+    sample_request_classes,
+)
 from repro.workloads.retrieval import RetrievalTask, make_retrieval_suite, score_f1
 from repro.workloads.synthetic import SyntheticWorkload, make_embeddings
 
 __all__ = [
     "RequestClass",
+    "RequestMix",
     "REQUEST_CLASSES",
+    "AZURE_OFFLINE_MIX",
     "SHORT",
     "MEDIUM",
     "LONG",
+    "sample_request_classes",
     "RetrievalTask",
     "make_retrieval_suite",
     "score_f1",

@@ -7,7 +7,10 @@ Medium (I:1K/O:350), and Long (I:8K/O:350).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import random
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Mapping
 
 from repro.errors import ConfigurationError
 
@@ -37,3 +40,71 @@ LONG = RequestClass("Long", input_tokens=8192, output_tokens=350)
 REQUEST_CLASSES: dict[str, RequestClass] = {
     req.name: req for req in (SHORT, MEDIUM, LONG)
 }
+
+
+@dataclass(frozen=True, eq=False)
+class RequestMix:
+    """A weighted mix over the request classes (an offline queue's shape).
+
+    The weight mapping is snapshotted and frozen at construction, so the
+    validation below cannot be bypassed by later mutation, and instances
+    hash by their weights (usable as cache keys).
+    """
+
+    weights: Mapping[str, float] = field(
+        default_factory=lambda: {"Short": 0.55, "Medium": 0.30, "Long": 0.15}
+    )
+
+    def __post_init__(self) -> None:
+        if not self.weights:
+            raise ConfigurationError("request mix needs at least one class")
+        for name, weight in self.weights.items():
+            if name not in REQUEST_CLASSES:
+                known = ", ".join(REQUEST_CLASSES)
+                raise ConfigurationError(
+                    f"unknown request class {name!r} in mix; known: {known}"
+                )
+            if weight < 0:
+                raise ConfigurationError(f"negative weight for class {name!r}")
+        if sum(self.weights.values()) <= 0:
+            raise ConfigurationError("request mix weights must sum to > 0")
+        object.__setattr__(self, "weights", MappingProxyType(dict(self.weights)))
+
+    def _key(self) -> tuple[tuple[str, float], ...]:
+        return tuple(sorted(self.weights.items()))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RequestMix):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def fractions(self) -> dict[str, float]:
+        """Normalized class probabilities."""
+        total = sum(self.weights.values())
+        return {name: weight / total for name, weight in self.weights.items()}
+
+
+#: The Azure-derived Short/Medium/Long mix the endurance analysis assumes:
+#: short interactions dominate, long-context requests are a sizable tail.
+AZURE_OFFLINE_MIX = RequestMix()
+
+
+def sample_request_classes(
+    n_requests: int, mix: RequestMix | None = None, seed: int = 0
+) -> list[RequestClass]:
+    """Deterministically sample an offline queue from a request mix.
+
+    The same ``(n_requests, mix, seed)`` always yields the same sequence, so
+    serving experiments and their regression tests see identical queues.
+    """
+    if n_requests < 1:
+        raise ConfigurationError("need at least one request")
+    mix = mix or AZURE_OFFLINE_MIX
+    rng = random.Random(seed)
+    names = list(mix.weights)
+    weights = [mix.weights[name] for name in names]
+    picks = rng.choices(names, weights=weights, k=n_requests)
+    return [REQUEST_CLASSES[name] for name in picks]

@@ -1,0 +1,1 @@
+"""Test suite for the HILOS reproduction (unique package per directory)."""

@@ -1,0 +1,139 @@
+"""Tests for batch-formation policies and the admission budget."""
+
+from __future__ import annotations
+
+from collections import deque
+
+import pytest
+
+from repro.errors import ConfigurationError, SchedulingError
+from repro.models.registry import tiny_model
+from repro.serving.budget import BudgetTracker, CapacityBudget
+from repro.serving.policies import (
+    ContinuousBatching,
+    FCFSFixedBatch,
+    LengthBucketedBatch,
+    default_policies,
+)
+from repro.serving.request import make_request_queue
+from repro.workloads.requests import LONG, MEDIUM, SHORT
+
+
+@pytest.fixture
+def model():
+    return tiny_model(n_layers=2, hidden=32, intermediate=64, n_heads=4)
+
+
+def tracker_for(model, capacity_bytes: float = 1e18) -> BudgetTracker:
+    return BudgetTracker(
+        budget=CapacityBudget(capacity_bytes, "test"), model=model
+    )
+
+
+def queue_of(*classes):
+    return deque(make_request_queue(list(classes)))
+
+
+class TestFCFSFixedBatch:
+    def test_takes_head_requests_in_arrival_order(self, model):
+        waiting = queue_of(SHORT, LONG, MEDIUM, SHORT)
+        admitted = FCFSFixedBatch(2).admit(waiting, [], tracker_for(model))
+        assert [r.request_id for r in admitted] == [0, 1]
+        assert [r.request_id for r in waiting] == [2, 3]
+
+    def test_admits_nothing_while_batch_runs(self, model):
+        waiting = queue_of(SHORT, SHORT)
+        running = make_request_queue([MEDIUM])
+        assert FCFSFixedBatch(2).admit(waiting, running, tracker_for(model)) == []
+        assert len(waiting) == 2
+
+    def test_final_partial_batch_is_admitted(self, model):
+        waiting = queue_of(SHORT)
+        admitted = FCFSFixedBatch(8).admit(waiting, [], tracker_for(model))
+        assert len(admitted) == 1
+
+    def test_invalid_batch_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FCFSFixedBatch(0)
+
+
+class TestLengthBucketedBatch:
+    def test_batches_are_single_class(self, model):
+        waiting = queue_of(SHORT, LONG, SHORT, LONG, SHORT)
+        admitted = LengthBucketedBatch(4).admit(waiting, [], tracker_for(model))
+        assert {r.request_class.name for r in admitted} == {"Short"}
+        assert [r.request_id for r in admitted] == [0, 2, 4]
+        assert [r.request_id for r in waiting] == [1, 3]
+
+    def test_oldest_bucket_served_first(self, model):
+        waiting = queue_of(LONG, SHORT, SHORT)
+        admitted = LengthBucketedBatch(4).admit(waiting, [], tracker_for(model))
+        assert {r.request_class.name for r in admitted} == {"Long"}
+
+    def test_admits_nothing_while_batch_runs(self, model):
+        waiting = queue_of(SHORT)
+        running = make_request_queue([SHORT])
+        assert LengthBucketedBatch(4).admit(waiting, running, tracker_for(model)) == []
+
+
+class TestContinuousBatching:
+    def test_tops_up_free_slots_only(self, model):
+        waiting = queue_of(SHORT, SHORT, SHORT, SHORT)
+        running = make_request_queue([MEDIUM, MEDIUM])
+        admitted = ContinuousBatching(3).admit(waiting, running, tracker_for(model))
+        assert len(admitted) == 1
+        assert len(waiting) == 3
+
+    def test_respects_capacity_budget(self, model):
+        one_long = make_request_queue([LONG])[0].kv_reservation_bytes(model)
+        tracker = tracker_for(model, capacity_bytes=one_long * 2.5)
+        waiting = queue_of(LONG, LONG, LONG, LONG)
+        admitted = ContinuousBatching(8).admit(waiting, [], tracker)
+        # Only two final-context reservations fit in 2.5x the budget.
+        assert len(admitted) == 2
+
+    def test_head_of_line_blocking_preserves_order(self, model):
+        """A large head request blocks rather than being skipped (no
+        starvation of long requests behind admission-friendly short ones)."""
+        one_long = make_request_queue([LONG])[0].kv_reservation_bytes(model)
+        one_short = make_request_queue([SHORT])[0].kv_reservation_bytes(model)
+        tracker = tracker_for(model, capacity_bytes=one_long + one_short)
+        waiting = queue_of(LONG, SHORT, SHORT, SHORT)
+        admitted = ContinuousBatching(8).admit(waiting, [], tracker)
+        assert [r.request_class.name for r in admitted] == ["Long", "Short"]
+        # The next Short would fit alone, but the queue stays FCFS.
+        assert waiting[0].request_class.name == "Short"
+
+
+class TestBudgetTracker:
+    def test_reserve_release_cycle_tracks_peak(self, model):
+        tracker = tracker_for(model)
+        requests = make_request_queue([LONG, MEDIUM])
+        tracker.reserve(requests[0])
+        tracker.reserve(requests[1])
+        peak = tracker.reserved_bytes
+        tracker.release(requests[0])
+        assert tracker.reserved_bytes < peak
+        assert tracker.peak_reserved_bytes == pytest.approx(peak)
+
+    def test_overcommit_rejected(self, model):
+        request = make_request_queue([LONG])[0]
+        tracker = tracker_for(
+            model, capacity_bytes=request.kv_reservation_bytes(model) / 2
+        )
+        with pytest.raises(SchedulingError):
+            tracker.reserve(request)
+
+    def test_release_without_reservation_rejected(self, model):
+        tracker = tracker_for(model)
+        with pytest.raises(SchedulingError):
+            tracker.release(make_request_queue([SHORT])[0])
+
+    def test_empty_budget_rejected(self):
+        with pytest.raises(SchedulingError):
+            CapacityBudget(0.0, "empty")
+
+
+def test_default_policies_cover_all_three():
+    names = [policy.name for policy in default_policies(16)]
+    assert names == ["fcfs-fixed", "length-bucketed", "continuous"]

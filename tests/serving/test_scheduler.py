@@ -1,0 +1,211 @@
+"""Deterministic queue-drain tests for the offline serving scheduler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import HilosConfig
+from repro.core.runtime import HilosSystem
+from repro.errors import SchedulingError
+from repro.serving import (
+    AnalyticStepTime,
+    CalibratedStepTime,
+    CapacityBudget,
+    ContinuousBatching,
+    FCFSFixedBatch,
+    OfflineServingScheduler,
+    default_policies,
+    drain_queue,
+)
+from repro.serving.request import make_request_queue
+from repro.workloads import sample_request_classes
+from repro.workloads.requests import LONG, SHORT, RequestClass
+
+
+@pytest.fixture
+def system(tiny_mha):
+    return HilosSystem(tiny_mha, HilosConfig(n_devices=2))
+
+
+def unit_steps() -> AnalyticStepTime:
+    """One simulated second per iteration, instantaneous prefill."""
+    return AnalyticStepTime(
+        base_seconds=1.0, per_token_seconds=0.0, prefill_per_token_seconds=0.0
+    )
+
+
+class TestHandComputableDrains:
+    def test_single_request_timeline(self, system):
+        scheduler = OfflineServingScheduler(
+            system, FCFSFixedBatch(1), step_time=unit_steps()
+        )
+        report = scheduler.drain([SHORT])  # 100 output tokens
+        request = report.requests[0]
+        # Prefill emits token 1 at t=0; the other 99 tokens take 99 iterations.
+        assert request.first_token_time == pytest.approx(0.0)
+        assert request.latency_seconds == pytest.approx(99.0)
+        assert report.makespan_seconds == pytest.approx(99.0)
+        assert report.generated_tokens == 100
+        assert report.tokens_per_second == pytest.approx(100.0 / 99.0)
+
+    def test_fixed_batch_holds_until_longest_member_finishes(self, system):
+        quick = RequestClass("Short", input_tokens=16, output_tokens=2)
+        slow = RequestClass("Long", input_tokens=16, output_tokens=5)
+        scheduler = OfflineServingScheduler(
+            system, FCFSFixedBatch(2), step_time=unit_steps()
+        )
+        report = scheduler.drain(make_request_queue([quick, slow, quick]))
+        first, second, third = sorted(report.requests, key=lambda r: r.request_id)
+        assert first.completion_time == pytest.approx(1.0)
+        assert second.completion_time == pytest.approx(4.0)
+        # The third request waits for the whole first batch despite the
+        # quick member finishing at t=1.
+        assert third.admitted_time == pytest.approx(4.0)
+
+    def test_single_output_token_requests_complete_at_prefill(self, system):
+        """Requests that finish during prefill must not trip the
+        starvation guard; the drain continues with the next wave."""
+        one_shot = RequestClass("One", input_tokens=8, output_tokens=1)
+        step_time = AnalyticStepTime(
+            base_seconds=1.0, per_token_seconds=0.0, prefill_per_token_seconds=0.5
+        )
+        for policy in (FCFSFixedBatch(4), ContinuousBatching(4)):
+            scheduler = OfflineServingScheduler(
+                system, policy, step_time=step_time
+            )
+            report = scheduler.drain(make_request_queue([one_shot] * 6))
+            assert report.all_completed
+            assert report.generated_tokens == 6
+
+    def test_padded_slots_include_prefill_completers(self, system):
+        """A padded batch is billed at its formed size even when some
+        members complete during prefill."""
+
+        class BatchPricedStepTime(AnalyticStepTime):
+            def step_seconds(self, batch_size, seq_len):
+                return float(batch_size)
+
+            def prefill_seconds(self, batch_size, seq_len):
+                return 0.5
+
+        one_shot = RequestClass("One", input_tokens=8, output_tokens=1)
+        slow = RequestClass("Slow", input_tokens=8, output_tokens=3)
+        scheduler = OfflineServingScheduler(
+            system, FCFSFixedBatch(2), step_time=BatchPricedStepTime()
+        )
+        report = scheduler.drain(make_request_queue([one_shot, slow]))
+        # Prefill (0.5s) + two decode iterations billed at the formed
+        # 2-slot batch (2.0s each), not at the single surviving request.
+        assert report.makespan_seconds == pytest.approx(0.5 + 2 * 2.0)
+
+    def test_continuous_refills_slot_immediately(self, system):
+        quick = RequestClass("Short", input_tokens=16, output_tokens=2)
+        slow = RequestClass("Long", input_tokens=16, output_tokens=5)
+        scheduler = OfflineServingScheduler(
+            system, ContinuousBatching(2), step_time=unit_steps()
+        )
+        report = scheduler.drain(make_request_queue([quick, slow, quick]))
+        third = report.requests[2]
+        # The quick request frees its slot at t=1; the waiter joins then.
+        assert third.admitted_time == pytest.approx(1.0)
+
+
+class TestSeededMixedDrains:
+    """The same seeded Short/Medium/Long queue under every policy."""
+
+    N_REQUESTS = 48
+    SEED = 11
+
+    @pytest.fixture
+    def reports(self, system):
+        queue = sample_request_classes(self.N_REQUESTS, seed=self.SEED)
+        return {
+            report.policy: report
+            for report in drain_queue(system, default_policies(8), queue)
+        }
+
+    def test_every_policy_completes_every_request(self, reports):
+        for report in reports.values():
+            assert report.all_completed, f"{report.policy} starved requests"
+            assert report.completed == self.N_REQUESTS
+
+    def test_no_starvation_all_requests_have_full_lifecycle(self, reports):
+        for report in reports.values():
+            for request in report.requests:
+                assert request.admitted_time is not None
+                assert request.first_token_time is not None
+                assert request.completion_time is not None
+                assert (
+                    request.arrival_time
+                    <= request.admitted_time
+                    <= request.first_token_time
+                    <= request.completion_time
+                )
+                assert request.tokens_generated == request.output_tokens
+
+    def test_capacity_never_exceeded(self, reports):
+        for report in reports.values():
+            assert report.peak_kv_reserved_bytes <= report.kv_capacity_bytes
+
+    def test_continuous_beats_fcfs_on_mixed_queue(self, reports):
+        assert (
+            reports["continuous"].tokens_per_second
+            > reports["fcfs-fixed"].tokens_per_second
+        )
+
+    def test_drains_are_deterministic(self, system):
+        queue = sample_request_classes(self.N_REQUESTS, seed=self.SEED)
+        step_time = CalibratedStepTime(system)
+        first = OfflineServingScheduler(
+            system, ContinuousBatching(8), step_time=step_time
+        ).drain(list(queue))
+        second = OfflineServingScheduler(
+            system, ContinuousBatching(8), step_time=step_time
+        ).drain(list(queue))
+        assert first.makespan_seconds == pytest.approx(second.makespan_seconds)
+        assert first.tokens_per_second == pytest.approx(second.tokens_per_second)
+        assert first.p95_latency_seconds == pytest.approx(second.p95_latency_seconds)
+
+
+class TestCapacityConstrainedDrain:
+    def test_tight_budget_serializes_but_completes(self, system, tiny_mha):
+        one_long = make_request_queue([LONG])[0].kv_reservation_bytes(tiny_mha)
+        budget = CapacityBudget(one_long * 2.2, "two long slots")
+        scheduler = OfflineServingScheduler(
+            system,
+            ContinuousBatching(8),
+            step_time=unit_steps(),
+            budget=budget,
+        )
+        report = scheduler.drain([LONG] * 6)
+        assert report.all_completed
+        assert report.peak_kv_reserved_bytes <= budget.kv_capacity_bytes
+        # At most two concurrent reservations means at least three waves.
+        overlapping = max(
+            sum(
+                1
+                for other in report.requests
+                if other.admitted_time < request.completion_time
+                and request.admitted_time < other.completion_time
+            )
+            for request in report.requests
+        )
+        assert overlapping <= 2
+
+    def test_budget_too_small_for_any_request_raises(self, system, tiny_mha):
+        one_short = make_request_queue([SHORT])[0].kv_reservation_bytes(tiny_mha)
+        scheduler = OfflineServingScheduler(
+            system,
+            ContinuousBatching(4),
+            step_time=unit_steps(),
+            budget=CapacityBudget(one_short / 2, "too small"),
+        )
+        with pytest.raises(SchedulingError, match="starvation"):
+            scheduler.drain([SHORT, SHORT])
+
+    def test_empty_queue_rejected(self, system):
+        scheduler = OfflineServingScheduler(
+            system, ContinuousBatching(4), step_time=unit_steps()
+        )
+        with pytest.raises(SchedulingError):
+            scheduler.drain([])

@@ -1,0 +1,93 @@
+"""Tests for the serving step-time models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import HilosConfig
+from repro.core.runtime import HilosSystem
+from repro.errors import SchedulingError
+from repro.serving.steptime import AnalyticStepTime, CalibratedStepTime
+
+
+class TestAnalyticStepTime:
+    def test_affine_shape(self):
+        model = AnalyticStepTime(
+            base_seconds=2.0, per_token_seconds=0.5, prefill_per_token_seconds=0.1
+        )
+        assert model.step_seconds(4, 10) == pytest.approx(2.0 + 5.0)
+        assert model.prefill_seconds(4, 100) == pytest.approx(10.0)
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(SchedulingError):
+            AnalyticStepTime().step_seconds(0, 128)
+
+
+class TestCalibratedStepTime:
+    @pytest.fixture
+    def step_time(self, tiny_mha):
+        system = HilosSystem(tiny_mha, HilosConfig(n_devices=2))
+        return CalibratedStepTime(
+            system, batch_grid=(1, 4, 16), seq_grid=(256, 1024, 4096)
+        )
+
+    def test_grid_point_matches_measure(self, step_time):
+        direct = step_time.system.measure(4, 1024, n_steps=1, warmup_steps=1)
+        assert step_time.step_seconds(4, 1024) == pytest.approx(
+            direct.step_seconds, rel=0.05
+        )
+
+    def test_interpolation_between_grid_points(self, step_time):
+        low = step_time.step_seconds(4, 1024)
+        high = step_time.step_seconds(4, 4096)
+        mid = step_time.step_seconds(4, 2560)
+        assert min(low, high) <= mid <= max(low, high)
+
+    def test_queries_clamp_to_grid_edges(self, step_time):
+        assert step_time.step_seconds(64, 100_000) == pytest.approx(
+            step_time.step_seconds(16, 4096)
+        )
+        assert step_time.step_seconds(1, 1) == pytest.approx(
+            step_time.step_seconds(1, 256)
+        )
+
+    def test_calibration_is_lazy_and_cached(self, step_time):
+        assert step_time.calibration_points == 0
+        step_time.step_seconds(4, 1024)
+        first = step_time.calibration_points
+        assert first >= 1
+        step_time.step_seconds(4, 1024)
+        assert step_time.calibration_points == first
+
+    def test_exact_grid_hit_measures_one_cell(self, step_time):
+        """An interior grid point needs exactly one measurement, not a
+        bracket of neighbouring rows/columns."""
+        step_time.step_seconds(4, 1024)
+        assert step_time.calibration_points == 1
+
+    def test_step_time_grows_with_batch_and_context(self, step_time):
+        assert step_time.step_seconds(16, 4096) > step_time.step_seconds(1, 256)
+
+    def test_prefill_uses_system_analytic_model(self, step_time):
+        assert step_time.prefill_seconds(4, 1024) == pytest.approx(
+            step_time.system.prefill_seconds(4, 1024)
+        )
+
+    def test_clamped_effective_batch_bills_time_sliced_sub_batches(self):
+        """DRAM-KV systems that halve the batch must not report the small
+        clamped batch's step time as the requested batch's cost."""
+        from repro.baselines.flexgen import FlexGenDRAM
+        from repro.models import get_model
+
+        system = FlexGenDRAM(get_model("OPT-66B"))
+        requested = 16
+        seq_len = 16384
+        clamped = system.measure(requested, seq_len, n_steps=1, warmup_steps=1)
+        assert clamped.effective_batch < requested  # precondition of the test
+        step_time = CalibratedStepTime(
+            system, batch_grid=(requested,), seq_grid=(seq_len,)
+        )
+        billed = step_time.step_seconds(requested, seq_len)
+        assert billed == pytest.approx(
+            clamped.step_seconds * requested / clamped.effective_batch, rel=1e-6
+        )

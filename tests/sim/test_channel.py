@@ -106,7 +106,13 @@ class TestSharedChannelProperties:
         )
     )
     def test_completion_order_matches_size_order(self, amounts):
-        """Equal sharing finishes smaller flows first."""
+        """Equal sharing finishes smaller flows first (ties in any order).
+
+        The channel's remaining-work bookkeeping carries float rounding and
+        an absolute completion slack, so flows whose sizes differ by less
+        than the slack may complete in either order -- compare with a
+        matching tolerance rather than exactly.
+        """
         sim = Simulator()
         channel = Channel(sim, 7.0)
         finished = []
@@ -116,7 +122,8 @@ class TestSharedChannelProperties:
             )
         sim.run()
         sizes = [amounts[i] for i in finished]
-        assert sizes == sorted(sizes)
+        for earlier, later in zip(sizes, sizes[1:]):
+            assert earlier <= later or earlier == pytest.approx(later, rel=1e-6)
 
 
 class TestFifoChannel:

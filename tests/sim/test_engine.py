@@ -103,6 +103,195 @@ class TestProcess:
         assert sim.now == pytest.approx(2.0)
 
 
+class TestFailurePropagation:
+    """A faulty process must fail its event cleanly, not poison the heap."""
+
+    def test_non_event_yield_fails_the_process_event(self, sim):
+        def proc():
+            yield 3.0
+
+        process = sim.process(proc())
+        with pytest.raises(SimulationError, match="must yield Event"):
+            sim.run(process)
+        # The process event triggered (failed), not left permanently pending.
+        assert process.triggered
+        assert process.failed
+        assert isinstance(process.exception, SimulationError)
+
+    def test_all_of_waiter_is_not_deadlocked_by_faulty_process(self, sim):
+        def bad():
+            yield "not an event"
+
+        combined = sim.all_of([sim.process(bad()), sim.timeout(1.0)])
+        with pytest.raises(SimulationError, match="must yield Event"):
+            sim.run(combined)
+        assert combined.failed
+
+    def test_simulator_stays_usable_after_process_failure(self, sim):
+        def bad():
+            yield None
+
+        with pytest.raises(SimulationError):
+            sim.run(sim.process(bad()))
+        # The heap is still consistent: new work schedules and runs.
+        done = sim.timeout(2.0, value="ok")
+        assert sim.run(done) == "ok"
+
+    def test_waiting_process_can_catch_child_failure(self, sim):
+        def bad():
+            yield 42
+
+        def parent():
+            try:
+                yield sim.process(bad())
+            except SimulationError:
+                yield sim.timeout(1.0)
+                return "recovered"
+
+        assert sim.run(sim.process(parent())) == "recovered"
+        assert sim.now == pytest.approx(1.0)
+
+    def test_exception_in_process_body_fails_event(self, sim):
+        def proc():
+            yield sim.timeout(1.0)
+            raise ValueError("boom")
+
+        process = sim.process(proc())
+        with pytest.raises(ValueError, match="boom"):
+            sim.run(process)
+        assert process.failed
+
+    def test_fail_then_succeed_is_rejected(self, sim):
+        event = sim.event("e")
+        event.fail(SimulationError("dead"))
+        with pytest.raises(SimulationError, match="twice"):
+            event.succeed()
+
+    def test_drain_run_raises_unobserved_failure(self, sim):
+        """Fire-and-forget process errors must not vanish in drain mode."""
+
+        def bad():
+            yield sim.timeout(1.0)
+            raise ValueError("lost in the heap")
+
+        sim.process(bad())
+        with pytest.raises(ValueError, match="lost in the heap"):
+            sim.run()
+
+    def test_drain_run_does_not_reraise_observed_failure(self, sim):
+        def bad():
+            yield 1
+
+        def parent():
+            try:
+                yield sim.process(bad())
+            except SimulationError:
+                return "handled"
+
+        parent_process = sim.process(parent())
+        sim.run()  # the parent observed (and handled) the failure
+        assert parent_process.value == "handled"
+
+    def test_deadlock_report_prefers_unobserved_root_cause(self, sim):
+        """When a failed worker was supposed to fire the awaited event,
+        raise the worker's error, not the generic deadlock symptom."""
+        gate = sim.event("gate")
+
+        def worker():
+            yield sim.timeout(1.0)
+            raise ValueError("root cause")
+            gate.succeed()  # never reached
+
+        sim.process(worker())
+        with pytest.raises(ValueError, match="root cause"):
+            sim.run(gate)
+
+    def test_late_constituent_failure_after_all_of_failed_surfaces(self, sim):
+        def fast_bad():
+            yield None
+
+        def slow_bad():
+            yield sim.timeout(2.0)
+            raise ValueError("late failure")
+
+        def parent():
+            try:
+                yield sim.all_of([sim.process(fast_bad()), sim.process(slow_bad())])
+            except SimulationError:
+                return "caught first"
+
+        parent_process = sim.process(parent())
+        # The parent handles the conjunction's first failure, but the late
+        # second failure must still surface in the drain.
+        with pytest.raises(ValueError, match="late failure"):
+            sim.run()
+        assert parent_process.value == "caught first"
+
+    def test_failure_handled_by_second_waiter_is_not_reraised(self, sim):
+        """An event watched by both a failed AllOf and a process that
+        handles the failure is consumed; drains must not resurface it."""
+
+        def fast_bad():
+            yield None
+
+        def slow_bad():
+            yield sim.timeout(2.0)
+            raise ValueError("late")
+
+        slow = sim.process(slow_bad())
+        combined = sim.all_of([sim.process(fast_bad()), slow])
+
+        def conjunction_waiter():
+            try:
+                yield combined
+            except SimulationError:
+                return "caught first"
+
+        def handler():
+            try:
+                yield slow
+            except ValueError:
+                return "handled"
+
+        waiter = sim.process(conjunction_waiter())
+        handled = sim.process(handler())
+        sim.run()  # must not raise: every failure was consumed by a waiter
+        assert waiter.value == "caught first"
+        assert handled.value == "handled"
+
+    def test_already_failed_second_constituent_still_surfaces(self, sim):
+        """Constituents that failed before AllOf registration behave like
+        late failures: the conjunction adopts the first, the second stays
+        unobserved and re-raises in the drain."""
+        e1, e2 = sim.event("e1"), sim.event("e2")
+        e1.fail(ValueError("first"))
+        e2.fail(ValueError("second"))
+        combined = sim.all_of([e1, e2])
+
+        def parent():
+            try:
+                yield combined
+            except ValueError:
+                return "caught first"
+
+        parent_process = sim.process(parent())
+        with pytest.raises(ValueError, match="second"):
+            sim.run()
+        assert parent_process.value == "caught first"
+
+    def test_awaited_failure_is_not_raised_twice(self, sim):
+        def bad():
+            yield None
+
+        process = sim.process(bad())
+        with pytest.raises(SimulationError):
+            sim.run(process)
+        # The failure was delivered; a later drain must not resurface it.
+        sim.timeout(1.0)
+        sim.run()
+        assert sim.now == pytest.approx(1.0)
+
+
 class TestAllOf:
     def test_waits_for_all_and_collects_values(self, sim):
         e1 = sim.timeout(1.0, value="a")

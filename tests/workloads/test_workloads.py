@@ -6,7 +6,16 @@ import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.workloads.requests import LONG, MEDIUM, REQUEST_CLASSES, SHORT, RequestClass
+from repro.workloads.requests import (
+    AZURE_OFFLINE_MIX,
+    LONG,
+    MEDIUM,
+    REQUEST_CLASSES,
+    SHORT,
+    RequestClass,
+    RequestMix,
+    sample_request_classes,
+)
 from repro.workloads.retrieval import (
     evaluate_kernel,
     flashattention_kernel,
@@ -35,6 +44,60 @@ class TestRequestClasses:
     def test_validation(self):
         with pytest.raises(ConfigurationError):
             RequestClass("bad", input_tokens=0, output_tokens=1)
+
+
+class TestRequestMix:
+    def test_default_mix_is_normalized_short_heavy(self):
+        fractions = AZURE_OFFLINE_MIX.fractions()
+        assert sum(fractions.values()) == pytest.approx(1.0)
+        assert fractions["Short"] > fractions["Medium"] > fractions["Long"]
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RequestMix({"Gigantic": 1.0})
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RequestMix({"Short": -0.5, "Long": 1.5})
+
+    def test_weights_are_frozen_after_construction(self):
+        mix = RequestMix({"Short": 1.0})
+        with pytest.raises(TypeError):
+            mix.weights["Gigantic"] = 5.0  # type: ignore[index]
+
+    def test_mix_is_hashable_and_compares_by_weights(self):
+        assert hash(RequestMix({"Short": 1.0})) == hash(RequestMix({"Short": 1.0}))
+        assert RequestMix({"Short": 1.0}) == RequestMix({"Short": 1.0})
+        assert RequestMix({"Short": 1.0}) != RequestMix({"Long": 1.0})
+        assert {AZURE_OFFLINE_MIX: "default"}[RequestMix()] == "default"
+
+    def test_mix_equality_ignores_insertion_order(self):
+        forward = RequestMix({"Short": 0.5, "Long": 0.5})
+        backward = RequestMix({"Long": 0.5, "Short": 0.5})
+        assert forward == backward
+        assert hash(forward) == hash(backward)
+
+    def test_sampling_is_deterministic_per_seed(self):
+        first = sample_request_classes(64, seed=3)
+        second = sample_request_classes(64, seed=3)
+        other = sample_request_classes(64, seed=4)
+        assert first == second
+        assert first != other
+
+    def test_sampling_tracks_mix_proportions(self):
+        queue = sample_request_classes(2000, seed=5)
+        short_fraction = sum(1 for cls in queue if cls.name == "Short") / len(queue)
+        assert short_fraction == pytest.approx(0.55, abs=0.05)
+
+    def test_single_class_mix(self):
+        queue = sample_request_classes(
+            8, mix=RequestMix({"Long": 1.0}), seed=0
+        )
+        assert all(cls is LONG for cls in queue)
+
+    def test_empty_queue_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sample_request_classes(0)
 
 
 class TestSynthetic:
