@@ -1,0 +1,87 @@
+"""Fail CI when a benchmark run regresses against the committed baseline.
+
+Usage::
+
+    python -m pytest benchmarks/test_bench_serving.py benchmarks/test_bench_kernels.py \
+        --benchmark-json=BENCH_run.json
+    python benchmarks/check_regression.py BENCH_run.json
+
+Compares every pytest-benchmark result that has an entry in
+``BENCH_serving.json``'s ``baseline`` map (keyed by the test's full node id)
+against the committed time, and exits non-zero when any exceeds the
+baseline by more than ``tolerance_pct``.  The *minimum* over the run's
+rounds is compared, not the mean: the minimum is the least noise-sensitive
+location statistic for wall-clock benchmarks on shared runners.
+Benchmarks without a baseline entry (e.g. the kernel microbenchmarks) run
+as smoke tests only.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_BASELINE = Path(__file__).resolve().parent.parent / "BENCH_serving.json"
+
+
+def check(run_path: Path, baseline_path: Path, tolerance_pct: float | None) -> int:
+    baseline_doc = json.loads(baseline_path.read_text())
+    baseline = baseline_doc.get("baseline", {})
+    tolerance = (
+        tolerance_pct
+        if tolerance_pct is not None
+        else float(baseline_doc.get("tolerance_pct", 25))
+    )
+    run_doc = json.loads(run_path.read_text())
+    results = {
+        bench["fullname"]: bench["stats"]["min"]
+        for bench in run_doc.get("benchmarks", [])
+    }
+
+    failures = []
+    checked = 0
+    for name, committed in baseline.items():
+        measured = results.get(name)
+        if measured is None:
+            # Baselined benchmarks must actually run, otherwise a silently
+            # skipped benchmark would count as "no regression".
+            failures.append(f"{name}: baselined but missing from the run")
+            continue
+        checked += 1
+        limit = committed * (1.0 + tolerance / 100.0)
+        verdict = "OK" if measured <= limit else "REGRESSION"
+        print(
+            f"{verdict:10s} {name}: {measured:.3f}s vs baseline "
+            f"{committed:.3f}s (limit {limit:.3f}s)"
+        )
+        if measured > limit:
+            failures.append(
+                f"{name}: {measured:.3f}s exceeds {committed:.3f}s "
+                f"by more than {tolerance:.0f}%"
+            )
+    if not checked and not failures:
+        failures.append("no baselined benchmarks found in the run")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("run_json", type=Path, help="pytest-benchmark JSON output")
+    parser.add_argument(
+        "--baseline", type=Path, default=DEFAULT_BASELINE,
+        help="committed baseline file (default: BENCH_serving.json)",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=None,
+        help="override the baseline file's tolerance_pct",
+    )
+    args = parser.parse_args(argv)
+    return check(args.run_json, args.baseline, args.tolerance)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,7 +8,14 @@ so shape assertions run inside the timed body's wrapper.
 
 from __future__ import annotations
 
+import os
+import tempfile
+
 import pytest
+
+# Hermetic calibration store: benchmark runs must never be warmed (or
+# polluted) by the user's real cache directory.
+os.environ["REPRO_CALIBRATION_DIR"] = tempfile.mkdtemp(prefix="repro-bench-calib-")
 
 
 @pytest.fixture

@@ -16,6 +16,8 @@ See ``repro.experiments.runner`` for regenerating the paper's results and
 ``DESIGN.md`` / ``EXPERIMENTS.md`` for the reproduction methodology.
 """
 
+from repro.calibration import CalibrationStore, system_fingerprint
+
 from repro.baselines import (
     DeepSpeedUVM,
     FlexGenDRAM,
@@ -43,5 +45,7 @@ __all__ = [
     "DeepSpeedUVM",
     "MultiNodeVLLM",
     "build_inference_system",
+    "CalibrationStore",
+    "system_fingerprint",
     "__version__",
 ]

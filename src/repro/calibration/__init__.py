@@ -1,0 +1,33 @@
+"""Persistent calibration cache for measured step-time grids.
+
+Measuring one ``(batch, seq_len)`` cell of a :class:`~repro.serving.steptime.CalibratedStepTime`
+grid runs the full event-level simulation of the system -- tens of
+milliseconds per cell, times dozens of cells, times every system in a sweep,
+times every re-run of every experiment.  The grids are pure functions of the
+system description, so this package fingerprints that description and
+persists measured grids:
+
+:func:`system_fingerprint`
+    Deterministic digest of model config + hardware topology + measurement
+    grid + library version.  Two systems with identical fingerprints would
+    measure identical grids.
+
+:class:`CalibrationStore`
+    Two-layer cache: a process-wide in-memory layer shared by every
+    experiment in the process, over a versioned on-disk JSON store shared by
+    every process that uses the same directory.  A warm store makes serving
+    experiment re-runs measurement-free.
+
+The store invalidates itself when :data:`repro.__version__` changes (any
+release may change simulator behaviour, which silently changes measured
+grids) and when the on-disk format version changes.
+"""
+
+from repro.calibration.fingerprint import system_fingerprint
+from repro.calibration.store import CalibrationStore, default_store
+
+__all__ = [
+    "CalibrationStore",
+    "default_store",
+    "system_fingerprint",
+]

@@ -1,0 +1,93 @@
+"""Deterministic fingerprints of measurable system configurations.
+
+A fingerprint must change whenever a re-measurement could produce different
+numbers, and must NOT change across process restarts or dict orderings.  It
+therefore hashes a canonical JSON rendering of:
+
+* the system's class name and public figure label,
+* every field of its :class:`~repro.models.config.ModelConfig`,
+* every field of its :class:`~repro.sim.topology.HardwareConfig`
+  (recursively, covering GPU/CPU/SSD spec dataclasses),
+* the measurement grid (batch sizes, context lengths, steps per cell), and
+* the library version -- any release may change simulator behaviour, so
+  grids never survive a :data:`repro.__version__` bump.
+
+Fields are rendered with ``repr``-stable primitives only (numbers, strings,
+booleans, lists); nested dataclasses and enums are unfolded recursively.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+from typing import Any
+
+from repro.errors import ConfigurationError
+
+#: Bump when the fingerprint rendering itself changes shape.
+FINGERPRINT_SCHEME = 1
+
+
+def canonical_value(value: Any) -> Any:
+    """Fold a config value into JSON-stable primitives."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        folded = {
+            field.name: canonical_value(getattr(value, field.name))
+            for field in dataclasses.fields(value)
+        }
+        folded["__dataclass__"] = type(value).__name__
+        return folded
+    if isinstance(value, enum.Enum):
+        return f"{type(value).__name__}.{value.name}"
+    if isinstance(value, dict):
+        return {str(k): canonical_value(v) for k, v in sorted(value.items())}
+    if isinstance(value, (list, tuple)):
+        return [canonical_value(v) for v in value]
+    if isinstance(value, (int, float, str, bool)) or value is None:
+        return value
+    raise ConfigurationError(
+        f"cannot fingerprint value of type {type(value).__name__}: {value!r}"
+    )
+
+
+def fingerprint_payload(
+    system: Any,
+    batch_grid: tuple[int, ...],
+    seq_grid: tuple[int, ...],
+    n_steps: int,
+    warmup_steps: int,
+) -> dict:
+    """The canonical description that :func:`system_fingerprint` hashes.
+
+    Exposed separately so the store can persist it next to each grid,
+    making cache files self-describing (and collisions debuggable).
+    """
+    from repro import __version__
+
+    return {
+        "scheme": FINGERPRINT_SCHEME,
+        "repro_version": __version__,
+        "system_class": type(system).__name__,
+        "system_name": getattr(system, "name", type(system).__name__),
+        "model": canonical_value(system.model),
+        "hardware": canonical_value(system.hardware_config()),
+        "batch_grid": list(batch_grid),
+        "seq_grid": list(seq_grid),
+        "n_steps": n_steps,
+        "warmup_steps": warmup_steps,
+    }
+
+
+def system_fingerprint(
+    system: Any,
+    batch_grid: tuple[int, ...],
+    seq_grid: tuple[int, ...],
+    n_steps: int = 1,
+    warmup_steps: int = 0,
+) -> str:
+    """Hex digest identifying one (system, measurement grid) combination."""
+    payload = fingerprint_payload(system, batch_grid, seq_grid, n_steps, warmup_steps)
+    rendered = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(rendered.encode("utf-8")).hexdigest()

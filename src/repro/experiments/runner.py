@@ -4,14 +4,22 @@ Usage::
 
     python -m repro.experiments.runner --list
     python -m repro.experiments.runner fig10 fig15
-    python -m repro.experiments.runner --all --full
+    python -m repro.experiments.runner --all --full --jobs 4
+    python -m repro.experiments.runner serving --fast --batch-grid 1,4,16
+
+Independent experiments fan out across worker processes with ``--jobs N``;
+results print in request order as soon as each is ready.  Serving-specific
+knobs (calibration grids, calibration store directory) pass through to any
+experiment whose ``run()`` accepts them.
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 import time
+from concurrent.futures import ProcessPoolExecutor
 
 from repro.experiments import (
     discussion_future_csd,
@@ -50,6 +58,25 @@ EXPERIMENTS = {
     "serving": serving_throughput,
 }
 
+def _supported_kwargs(module, kwargs: dict) -> dict:
+    """The subset of ``kwargs`` that ``module.run`` actually accepts."""
+    params = inspect.signature(module.run).parameters
+    return {key: value for key, value in kwargs.items() if key in params}
+
+
+def _run_experiment_job(name: str, fast: bool, kwargs: dict) -> tuple[str, str, float]:
+    """Worker body: run one experiment, return its rendered tables.
+
+    Top-level (picklable) so ``--jobs`` can dispatch it to worker
+    processes; also used inline for sequential runs so both paths share
+    one code path for kwarg filtering and formatting.
+    """
+    module = EXPERIMENTS[name]
+    started = time.time()
+    tables = module.run(fast=fast, **_supported_kwargs(module, kwargs))
+    elapsed = time.time() - started
+    return name, format_tables(tables), elapsed
+
 
 def main(argv: list[str] | None = None) -> int:
     """Run the requested experiments and print their tables."""
@@ -57,24 +84,57 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("experiments", nargs="*", help="experiment names (see --list)")
     parser.add_argument("--all", action="store_true", help="run every experiment")
     parser.add_argument("--full", action="store_true", help="paper-scale parameters")
+    parser.add_argument(
+        "--fast", action="store_true",
+        help="fast parameters (the default; mutually exclusive with --full)",
+    )
     parser.add_argument("--list", action="store_true", help="list experiment names")
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="run independent experiments across N worker processes",
+    )
+    serving_throughput.add_calibration_cli(parser)
     args = parser.parse_args(argv)
     if args.list:
         for name, module in EXPERIMENTS.items():
             doc = (module.__doc__ or "").strip().splitlines()[0]
             print(f"{name:10s} {doc}")
         return 0
+    if args.fast and args.full:
+        parser.error("--fast and --full are mutually exclusive")
+    if args.jobs < 1:
+        parser.error("--jobs must be at least 1")
     names = list(EXPERIMENTS) if args.all else args.experiments
     if not names:
         parser.error("no experiments requested (use --all or --list)")
     for name in names:
         if name not in EXPERIMENTS:
             parser.error(f"unknown experiment {name!r} (use --list)")
-        started = time.time()
-        tables = EXPERIMENTS[name].run(fast=not args.full)
-        elapsed = time.time() - started
-        print(format_tables(tables))
-        print(f"\n[{name} completed in {elapsed:.1f}s]\n")
+
+    kwargs = serving_throughput.calibration_kwargs(parser, args)
+    if kwargs and not any(
+        _supported_kwargs(EXPERIMENTS[name], kwargs) for name in names
+    ):
+        parser.error(
+            "none of the requested experiments accept the given "
+            f"calibration options ({', '.join(sorted(kwargs))})"
+        )
+
+    fast = not args.full
+    if args.jobs == 1 or len(names) == 1:
+        for name in names:
+            _, rendered, elapsed = _run_experiment_job(name, fast, kwargs)
+            print(rendered)
+            print(f"\n[{name} completed in {elapsed:.1f}s]\n")
+        return 0
+    # Fan independent experiments out across processes; print in request
+    # order so output stays deterministic regardless of completion order.
+    with ProcessPoolExecutor(max_workers=min(args.jobs, len(names))) as pool:
+        futures = [pool.submit(_run_experiment_job, name, fast, kwargs) for name in names]
+        for future in futures:
+            name, rendered, elapsed = future.result()
+            print(rendered)
+            print(f"\n[{name} completed in {elapsed:.1f}s]\n")
     return 0
 
 

@@ -6,14 +6,29 @@ Azure-derived Short/Medium/Long mix) through each system under the three
 scheduling policies and reports sustained tokens/s, per-request latency,
 and the Figure 16a-style tokens/s/$ -- the regime the paper's
 cost-effectiveness argument actually targets.
+
+Step-time grids are calibrated through :mod:`repro.calibration`: each
+system's measured cells are pre-warmed from (and persisted to) a
+fingerprint-keyed store, so a system is measured once ever -- across the
+system x policy sweep, across experiments in one process, and across
+re-runs of ``python -m repro.experiments.runner serving``.
 """
 
 from __future__ import annotations
 
+import argparse
+
 from repro.baselines.registry import build_inference_system
+from repro.calibration import CalibrationStore, default_store
 from repro.experiments.harness import Table
 from repro.models import get_model
 from repro.serving import default_policies, drain_queue
+from repro.serving.steptime import (
+    DEFAULT_BATCH_GRID,
+    DEFAULT_SEQ_GRID,
+    CalibratedStepTime,
+    parse_grid,
+)
 from repro.workloads import sample_request_classes
 
 MODEL = "OPT-66B"
@@ -38,10 +53,25 @@ def run(
     systems: list[str] | None = None,
     n_requests: int | None = None,
     seed: int = SEED,
+    store: CalibrationStore | None = None,
+    use_store: bool = True,
+    batch_grid: tuple[int, ...] | None = None,
+    seq_grid: tuple[int, ...] | None = None,
 ) -> list[Table]:
-    """Drain one seeded queue through every (system, policy) pair."""
+    """Drain one seeded queue through every (system, policy) pair.
+
+    ``store`` overrides the calibration store (``use_store=False`` disables
+    persistence entirely -- every run then measures from scratch); the grid
+    arguments override the default calibration grids.
+    """
     systems = systems or (FAST_SYSTEMS if fast else FULL_SYSTEMS)
     n_requests = n_requests or (FAST_REQUESTS if fast else FULL_REQUESTS)
+    if not use_store:
+        # ``use_store=False`` wins over an explicit store: "measure from
+        # scratch" must mean exactly that.
+        store = None
+    elif store is None:
+        store = default_store()
     queue = sample_request_classes(n_requests, seed=seed)
     model = get_model(MODEL)
     table = Table(
@@ -59,9 +89,32 @@ def run(
         notes="seeded Azure Short/Medium/Long mix; continuous batching is "
         "capacity-aware against the system's KV cache home",
     )
+    calibration = Table(
+        title="Calibration cache utilisation",
+        columns=[
+            "system",
+            "fingerprint",
+            "prewarmed_cells",
+            "cells_cached",
+            "new_measurements",
+            "clamped_queries",
+        ],
+        notes="new_measurements is zero when the store already holds the "
+        "system's grid (warm re-run)",
+    )
+    clamped_any = False
     for label in systems:
         system = build_inference_system(label, model)
-        for report in drain_queue(system, default_policies(BATCH_SLOTS), queue):
+        step_time = CalibratedStepTime(
+            system,
+            batch_grid=batch_grid or DEFAULT_BATCH_GRID,
+            seq_grid=seq_grid or DEFAULT_SEQ_GRID,
+            store=store,
+        )
+        prewarmed = step_time.prewarm()
+        for report in drain_queue(
+            system, default_policies(BATCH_SLOTS), queue, step_time=step_time
+        ):
             table.add_row(
                 label,
                 report.policy,
@@ -72,10 +125,93 @@ def run(
                 report.peak_kv_reserved_bytes / 1e9,
                 report.tokens_per_second_per_usd,
             )
-    return [table]
+            clamped_any = clamped_any or bool(report.step_time_notes)
+        calibration.add_row(
+            label,
+            step_time.fingerprint[:16],
+            prewarmed,
+            step_time.calibration_points,
+            step_time.measurement_count,
+            step_time.grid_clamp_summary().get("clamped_queries", 0),
+        )
+    if clamped_any:
+        calibration.notes += (
+            "; some queries fell outside the calibration grid and were "
+            "clamped to its edge -- consider --batch-grid/--seq-grid"
+        )
+    return [table, calibration]
+
+
+def add_calibration_cli(parser: argparse.ArgumentParser) -> None:
+    """Install the calibration knobs shared by this CLI and the runner's."""
+    parser.add_argument(
+        "--batch-grid", type=str, default=None,
+        help="comma-separated calibration batch sizes (default "
+        + ",".join(map(str, DEFAULT_BATCH_GRID)) + ")",
+    )
+    parser.add_argument(
+        "--seq-grid", type=str, default=None,
+        help="comma-separated calibration context lengths (default "
+        + ",".join(map(str, DEFAULT_SEQ_GRID)) + ")",
+    )
+    parser.add_argument(
+        "--calibration-dir", type=str, default=None,
+        help="calibration store directory (default: $REPRO_CALIBRATION_DIR "
+        "or ~/.cache/repro/calibration)",
+    )
+    parser.add_argument(
+        "--no-store", action="store_true",
+        help="disable the persistent calibration cache (measure from scratch)",
+    )
+
+
+def calibration_kwargs(parser: argparse.ArgumentParser, args: argparse.Namespace) -> dict:
+    """Validate the shared calibration flags into ``run()`` keyword args.
+
+    Only flags the user actually passed appear in the result, so callers
+    can forward it to any ``run()`` that accepts a subset.  Conflicts and
+    malformed grids become argparse usage errors.
+    """
+    from repro.errors import ConfigurationError
+
+    if args.no_store and args.calibration_dir is not None:
+        parser.error("--no-store conflicts with --calibration-dir")
+    kwargs: dict = {}
+    try:
+        if args.batch_grid is not None:
+            kwargs["batch_grid"] = parse_grid(args.batch_grid, "--batch-grid")
+        if args.seq_grid is not None:
+            kwargs["seq_grid"] = parse_grid(args.seq_grid, "--seq-grid")
+    except ConfigurationError as exc:
+        parser.error(str(exc))
+    if args.calibration_dir is not None:
+        kwargs["store"] = CalibrationStore(args.calibration_dir)
+    if args.no_store:
+        kwargs["use_store"] = False
+    return kwargs
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Standalone CLI mirroring the runner's serving knobs."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true", help="paper-scale parameters")
+    parser.add_argument("--requests", type=int, default=None, help="queue length")
+    parser.add_argument("--seed", type=int, default=SEED, help="queue sampling seed")
+    add_calibration_cli(parser)
+    args = parser.parse_args(argv)
+    from repro.experiments.harness import format_tables
+
+    tables = run(
+        fast=not args.full,
+        n_requests=args.requests,
+        seed=args.seed,
+        **calibration_kwargs(parser, args),
+    )
+    print(format_tables(tables))
+    return 0
 
 
 if __name__ == "__main__":
-    from repro.experiments.harness import format_tables
+    import sys
 
-    print(format_tables(run(fast=True)))
+    sys.exit(main())

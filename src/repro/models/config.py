@@ -71,18 +71,37 @@ class ModelConfig:
             )
         if self.n_experts and self.moe_every <= 0:
             raise ConfigurationError(f"{self.name}: moe_every must be positive")
+        # Derived size/FLOP constants are precomputed once: the simulators
+        # query them per layer per decode step, hot enough that recomputing
+        # the arithmetic dominated profiles of the serving experiments.
+        done = object.__setattr__
+        done(self, "head_dim", self.hidden // self.n_heads)
+        done(self, "d_group", self.n_heads // self.n_kv_heads)
+        done(self, "kv_proj_dim", self.n_kv_heads * (self.hidden // self.n_heads))
+        done(self, "_attn_params", 2 * self.hidden * self.hidden
+             + 2 * self.hidden * self.kv_proj_dim)
+        matrices = 3 if self.gated_mlp else 2
+        done(self, "_expert_params", matrices * self.hidden * self.intermediate)
+        per_layer = sum(
+            self.mlp_params_per_layer(i) for i in range(self.n_layers)
+        ) + self.n_layers * self._attn_params
+        done(self, "_param_count", per_layer + 2 * self.vocab_size * self.hidden)
+        done(self, "_mean_layer_weight_bytes",
+             (per_layer * self.bytes_per_element) / self.n_layers)
+        done(self, "_qkv_params",
+             self.hidden * self.hidden + 2 * self.hidden * self.kv_proj_dim)
+        done(self, "_attn_flops_per_query_token", 4.0 * self.n_heads * self.head_dim)
+        done(self, "_kv_regen_flops_per_token", 4.0 * self.hidden * self.kv_proj_dim)
+        done(self, "_out_proj_flops", 2.0 * self.hidden * self.hidden)
 
     # --- basic shape properties ------------------------------------------------
-
-    @property
-    def head_dim(self) -> int:
-        """Per-head hidden dimension (``d`` in the paper's equations)."""
-        return self.hidden // self.n_heads
-
-    @property
-    def d_group(self) -> int:
-        """Query heads per KV head (Table 2's ``d_group``; 1 for MHA)."""
-        return self.n_heads // self.n_kv_heads
+    #
+    # ``head_dim`` (per-head hidden dimension, the paper's ``d``),
+    # ``d_group`` (query heads per KV head, Table 2; 1 for MHA) and
+    # ``kv_proj_dim`` (output dimension of the K/V projections,
+    # ``n_kv_heads * head_dim``) are plain precomputed attributes assigned in
+    # ``__post_init__`` -- they sit on the simulators' innermost loops where
+    # property-call overhead is measurable.
 
     @property
     def attention_kind(self) -> AttentionKind:
@@ -105,44 +124,31 @@ class ModelConfig:
 
     # --- parameter and weight sizes ---------------------------------------------
 
-    @property
-    def kv_proj_dim(self) -> int:
-        """Output dimension of the K/V projections (``n_kv_heads * head_dim``)."""
-        return self.n_kv_heads * self.head_dim
-
     def attention_params_per_layer(self) -> int:
         """Parameters in one layer's attention block (W_Q, W_K, W_V, W_O)."""
-        q_and_o = 2 * self.hidden * self.hidden
-        k_and_v = 2 * self.hidden * self.kv_proj_dim
-        return q_and_o + k_and_v
+        return self._attn_params
 
     def mlp_params_per_expert(self) -> int:
         """Parameters of one MLP expert (gated MLPs carry a third matrix)."""
-        matrices = 3 if self.gated_mlp else 2
-        return matrices * self.hidden * self.intermediate
+        return self._expert_params
 
     def mlp_params_per_layer(self, layer_index: int) -> int:
         """Parameters of one layer's full MLP block (all experts if MoE)."""
-        if self.is_moe and layer_index % self.moe_every == self.moe_every - 1:
-            return self.n_experts * self.mlp_params_per_expert()
-        return self.mlp_params_per_expert()
+        if self.n_experts and layer_index % self.moe_every == self.moe_every - 1:
+            return self.n_experts * self._expert_params
+        return self._expert_params
 
     def param_count(self) -> int:
         """Total parameter count including embeddings and LM head."""
-        per_layer = sum(
-            self.attention_params_per_layer() + self.mlp_params_per_layer(i)
-            for i in range(self.n_layers)
-        )
-        embeddings = 2 * self.vocab_size * self.hidden
-        return per_layer + embeddings
+        return self._param_count
 
     def weight_bytes(self) -> int:
         """Total weight footprint in bytes (FP16)."""
-        return self.param_count() * self.bytes_per_element
+        return self._param_count * self.bytes_per_element
 
     def attention_weight_bytes_per_layer(self) -> int:
         """Bytes of attention weights streamed per layer during decoding."""
-        return self.attention_params_per_layer() * self.bytes_per_element
+        return self._attn_params * self.bytes_per_element
 
     def mlp_weight_bytes_per_layer(self, layer_index: int = 0, loaded_experts: int | None = None) -> int:
         """Bytes of MLP weights streamed for one layer.
@@ -153,16 +159,12 @@ class ModelConfig:
         """
         if self.is_moe and layer_index % self.moe_every == self.moe_every - 1:
             experts = self.n_experts if loaded_experts is None else loaded_experts
-            return experts * self.mlp_params_per_expert() * self.bytes_per_element
-        return self.mlp_params_per_expert() * self.bytes_per_element
+            return experts * self._expert_params * self.bytes_per_element
+        return self._expert_params * self.bytes_per_element
 
     def mean_layer_weight_bytes(self) -> float:
         """Average per-layer weight bytes (attention + MLP) across the stack."""
-        total = sum(
-            self.attention_weight_bytes_per_layer() + self.mlp_weight_bytes_per_layer(i)
-            for i in range(self.n_layers)
-        )
-        return total / self.n_layers
+        return self._mean_layer_weight_bytes
 
     # --- KV / X cache sizes ------------------------------------------------------
 
@@ -207,28 +209,25 @@ class ModelConfig:
 
     def qkv_flops_per_layer(self, batch_size: int) -> float:
         """FLOPs of the QKV projection for one decode step of one layer."""
-        params = self.hidden * self.hidden + 2 * self.hidden * self.kv_proj_dim
-        return 2.0 * batch_size * params
+        return 2.0 * batch_size * self._qkv_params
 
     def attention_flops_per_layer(self, batch_size: int, seq_len: int) -> float:
         """FLOPs of the attention (QK^T and score.V) per layer per step."""
-        per_query = 2.0 * seq_len * self.head_dim * 2  # QK^T plus score.V
-        return batch_size * self.n_heads * per_query
+        # Per query: 2 * seq_len * head_dim for QK^T plus the same for score.V.
+        return batch_size * seq_len * self._attn_flops_per_query_token
 
     def kv_regen_flops_per_layer(self, batch_size: int, seq_len: int) -> float:
         """FLOPs to regenerate K and V from X for one layer (Section 4.2)."""
-        return 2.0 * batch_size * seq_len * self.hidden * self.kv_proj_dim * 2
+        return batch_size * seq_len * self._kv_regen_flops_per_token
 
     def mlp_flops_per_layer(self, batch_size: int, layer_index: int = 0) -> float:
         """FLOPs of one layer's MLP (output projection included) per step."""
-        if self.is_moe and layer_index % self.moe_every == self.moe_every - 1:
+        if self.n_experts and layer_index % self.moe_every == self.moe_every - 1:
             active = min(self.active_experts, self.n_experts)
-            expert_flops = 2.0 * self.mlp_params_per_expert()
-            mlp = batch_size * active * expert_flops
+            mlp = batch_size * active * 2.0 * self._expert_params
         else:
-            mlp = batch_size * 2.0 * self.mlp_params_per_expert()
-        out_proj = batch_size * 2.0 * self.hidden * self.hidden
-        return mlp + out_proj
+            mlp = batch_size * 2.0 * self._expert_params
+        return mlp + batch_size * self._out_proj_flops
 
     def kv_to_weight_ratio(self, batch_size: int, seq_len: int) -> float:
         """KV-cache bytes over weight bytes; low for MoE/GQA models (Fig. 12b)."""

@@ -58,6 +58,9 @@ class ServingReport:
     system_cost_usd: float
     tokens_per_second_per_usd: float
     requests: list[ServingRequest] = field(default_factory=list, repr=False)
+    #: Structured warnings from the step-time model (e.g. queries clamped to
+    #: the calibration grid edge); empty when the drain stayed on-grid.
+    step_time_notes: dict = field(default_factory=dict)
 
     @property
     def all_completed(self) -> bool:
@@ -82,6 +85,7 @@ def build_report(
     makespan_seconds: float,
     peak_kv_reserved_bytes: float,
     kv_capacity_bytes: float,
+    step_time_notes: dict | None = None,
 ) -> ServingReport:
     """Aggregate per-request state into a :class:`ServingReport`."""
     finished = [r for r in requests if r.finished]
@@ -110,4 +114,5 @@ def build_report(
         system_cost_usd=cost.total_usd(),
         tokens_per_second_per_usd=cost_efficiency(tokens_per_second, cost),
         requests=list(requests),
+        step_time_notes=dict(step_time_notes or {}),
     )

@@ -24,7 +24,8 @@ from collections import deque
 from typing import Iterable, Sequence
 
 from repro.baselines.base import InferenceSystem
-from repro.errors import SchedulingError
+from repro.calibration import CalibrationStore
+from repro.errors import ConfigurationError, SchedulingError
 from repro.serving.budget import BudgetTracker, CapacityBudget, capacity_budget_for
 from repro.serving.metrics import ServingReport, build_report
 from repro.serving.policies import SchedulingPolicy
@@ -69,6 +70,11 @@ class OfflineServingScheduler:
         queue = self._as_queue(requests)
         sim = Simulator()
         tracker = BudgetTracker(budget=self.budget, model=self.system.model)
+        # Snapshot the (shared, monotonic) clamp counters so this drain's
+        # report covers only its own off-grid queries, not earlier drains'.
+        clamp_summary = getattr(self.step_time, "grid_clamp_summary", None)
+        clamp_counters = getattr(self.step_time, "clamp_counters", None)
+        counters_before = clamp_counters() if clamp_counters is not None else None
         process = sim.process(
             self._drain_process(sim, queue, tracker),
             name=f"{self.policy.name}.drain",
@@ -81,6 +87,11 @@ class OfflineServingScheduler:
             makespan_seconds=sim.now,
             peak_kv_reserved_bytes=tracker.peak_reserved_bytes,
             kv_capacity_bytes=self.budget.kv_capacity_bytes,
+            step_time_notes=(
+                clamp_summary(since=counters_before)
+                if clamp_summary is not None
+                else {}
+            ),
         )
 
     def _drain_process(
@@ -159,16 +170,35 @@ def drain_queue(
     policies: Iterable[SchedulingPolicy],
     requests: Sequence[RequestClass],
     step_time: StepTimeModel | None = None,
+    store: "CalibrationStore | None" = None,
+    batch_grid: tuple[int, ...] | None = None,
+    seq_grid: tuple[int, ...] | None = None,
 ) -> list[ServingReport]:
     """Drain the same queue under several policies on one system.
 
     The step-time model (and its calibration cache) is shared across
     policies; each policy gets a fresh copy of the queue so per-request
-    state never leaks between drains.
+    state never leaks between drains.  ``store`` (plus optional grid
+    overrides) builds the default :class:`CalibratedStepTime` against a
+    persistent calibration cache so repeated sweeps skip re-measuring.
     """
-    system_step_time = step_time or CalibratedStepTime(system)
+    if step_time is None:
+        grids = {}
+        if batch_grid is not None:
+            grids["batch_grid"] = batch_grid
+        if seq_grid is not None:
+            grids["seq_grid"] = seq_grid
+        step_time = CalibratedStepTime(system, store=store, **grids)
+    elif store is not None or batch_grid is not None or seq_grid is not None:
+        raise ConfigurationError(
+            "drain_queue: store/batch_grid/seq_grid configure the default "
+            "CalibratedStepTime and conflict with an explicit step_time"
+        )
     reports = []
     for policy in policies:
-        scheduler = OfflineServingScheduler(system, policy, step_time=system_step_time)
+        scheduler = OfflineServingScheduler(system, policy, step_time=step_time)
         reports.append(scheduler.drain(list(requests)))
+    flush = getattr(step_time, "flush", None)
+    if flush is not None:
+        flush()
     return reports

@@ -13,7 +13,8 @@ event whose duration comes from a :class:`StepTimeModel`:
     and bilinearly interpolates between grid points.  This is the
     Vidur-style split between a calibrated per-iteration latency model and
     a fast request-level simulation, with the paper's own simulator as the
-    calibration source.
+    calibration source.  Measured cells can be shared across experiments
+    and processes through a :class:`~repro.calibration.CalibrationStore`.
 
 :class:`AnalyticStepTime`
     A transparent affine model (fixed cost + per-context-token cost) used by
@@ -26,6 +27,8 @@ import abc
 import bisect
 
 from repro.baselines.base import InferenceSystem
+from repro.calibration import CalibrationStore, system_fingerprint
+from repro.calibration.fingerprint import fingerprint_payload
 from repro.errors import ConfigurationError, SchedulingError
 
 #: Default calibration batch sizes (powers of two up to the paper's batch 32).
@@ -34,6 +37,17 @@ DEFAULT_BATCH_GRID = (1, 2, 4, 8, 16, 32)
 #: Default calibration context lengths, spanning the Short prompt (256) to
 #: well past the Long class's final context (8 542 tokens).
 DEFAULT_SEQ_GRID = (256, 1024, 4096, 16384)
+
+
+def parse_grid(spec: str, name: str = "grid") -> tuple[int, ...]:
+    """Parse a comma-separated CLI grid spec (``"1,4,16"``) into a tuple."""
+    try:
+        values = tuple(int(token) for token in spec.split(",") if token.strip())
+    except ValueError:
+        raise ConfigurationError(f"{name}: expected comma-separated integers, got {spec!r}") from None
+    if not values or any(v < 1 for v in values):
+        raise ConfigurationError(f"{name}: grid values must be positive integers ({spec!r})")
+    return values
 
 
 class StepTimeModel(abc.ABC):
@@ -84,7 +98,19 @@ class CalibratedStepTime(StepTimeModel):
     Grid cells are measured on demand and cached, so a drain that only ever
     sees batches up to 16 and contexts up to 9K touches a handful of
     ``measure()`` calls (tens of milliseconds each) rather than the whole
-    grid.  Queries outside the grid clamp to the nearest edge.
+    grid.  Queries outside the grid clamp to the nearest edge; clamping is
+    tallied so reports can carry a structured warning instead of a log line.
+
+    When a ``store`` is given, measured cells are shared through its
+    process-wide memory layer and persisted to disk, keyed by a
+    deterministic fingerprint of (model, hardware, grid, version): a system
+    is then measured *once ever* across experiments, sweeps, and re-runs.
+
+    ``warmup_steps`` defaults to 0: the event-level simulators are
+    deterministic and reach steady state on the first decode step (warm-up
+    changes measured step times only at the 1e-14 relative level), so the
+    calibration pipeline skips the redundant warm-up simulation and halves
+    its cost.
     """
 
     def __init__(
@@ -93,6 +119,8 @@ class CalibratedStepTime(StepTimeModel):
         batch_grid: tuple[int, ...] = DEFAULT_BATCH_GRID,
         seq_grid: tuple[int, ...] = DEFAULT_SEQ_GRID,
         n_steps: int = 1,
+        warmup_steps: int = 0,
+        store: CalibrationStore | None = None,
     ) -> None:
         if not batch_grid or not seq_grid:
             raise ConfigurationError("calibration grids must be non-empty")
@@ -100,17 +128,71 @@ class CalibratedStepTime(StepTimeModel):
         self.batch_grid = tuple(sorted(set(batch_grid)))
         self.seq_grid = tuple(sorted(set(seq_grid)))
         self.n_steps = n_steps
+        self.warmup_steps = warmup_steps
+        self.store = store
+        #: Number of full-simulator ``measure()`` runs this instance
+        #: actually performed (cache hits -- in-memory or persisted -- do
+        #: not count).  A warm store keeps this at zero.
+        self.measurement_count = 0
         self._cache: dict[tuple[int, int], float] = {}
         self._prefill_cache: dict[tuple[int, int], float] = {}
+        self._fingerprint: str | None = None
+        self._hydrated = store is None
+        # Structured clamp accounting (satisfies "warn without logging").
+        self._step_queries = 0
+        self._clamped_queries = 0
+        self._max_batch_seen = 0
+        self._max_seq_seen = 0
+        self._min_batch_seen: int | None = None
+        self._min_seq_seen: int | None = None
+
+    # --- store plumbing ---------------------------------------------------------
+
+    @property
+    def fingerprint(self) -> str:
+        """Deterministic identity of this (system, grid) combination."""
+        if self._fingerprint is None:
+            self._fingerprint = system_fingerprint(
+                self.system,
+                self.batch_grid,
+                self.seq_grid,
+                n_steps=self.n_steps,
+                warmup_steps=self.warmup_steps,
+            )
+        return self._fingerprint
+
+    def prewarm(self) -> int:
+        """Hydrate the in-memory cell cache from the store.
+
+        Returns the number of cells now cached.  Performs no measurements;
+        an empty or version-stale store simply yields zero cells.
+        """
+        if self.store is not None:
+            self._cache.update(self.store.load_step_grid(self.fingerprint))
+            self._prefill_cache.update(self.store.load_prefill_grid(self.fingerprint))
+        self._hydrated = True
+        return len(self._cache)
+
+    def _description(self) -> dict:
+        return fingerprint_payload(
+            self.system,
+            self.batch_grid,
+            self.seq_grid,
+            self.n_steps,
+            self.warmup_steps,
+        )
 
     # --- grid measurement -------------------------------------------------------
 
     def _measure(self, batch: int, seq_len: int) -> float:
+        if not self._hydrated:
+            self.prewarm()
         key = (batch, seq_len)
         if key not in self._cache:
             result = self.system.measure(
-                batch, seq_len, n_steps=self.n_steps, warmup_steps=1
+                batch, seq_len, n_steps=self.n_steps, warmup_steps=self.warmup_steps
             )
+            self.measurement_count += 1
             if result.oom:
                 raise SchedulingError(
                     f"{self.system.name} cannot decode batch {batch} at context "
@@ -124,12 +206,62 @@ class CalibratedStepTime(StepTimeModel):
                 # the feasible size, not a single cheaper small-batch step.
                 step *= batch / result.effective_batch
             self._cache[key] = step
+            if self.store is not None:
+                self.store.record(
+                    self.fingerprint,
+                    description=self._description(),
+                    step_cells={key: step},
+                    flush=False,
+                )
         return self._cache[key]
+
+    def flush(self) -> None:
+        """Persist any deferred store writes (drain/sweep boundaries)."""
+        if self.store is not None:
+            self.store.flush_dirty()
 
     @property
     def calibration_points(self) -> int:
-        """Number of full-simulator measurements performed so far."""
+        """Number of grid cells currently cached (measured or store-loaded)."""
         return len(self._cache)
+
+    # --- clamp accounting -------------------------------------------------------
+
+    def clamp_counters(self) -> dict:
+        """Monotonic clamp counters, for windowed (per-drain) accounting."""
+        return {
+            "step_queries": self._step_queries,
+            "clamped_queries": self._clamped_queries,
+        }
+
+    def grid_clamp_summary(self, since: dict | None = None) -> dict:
+        """Structured note describing queries that fell outside the grid.
+
+        Empty dict when every query was inside; otherwise enough context to
+        judge whether the grid needs extending (the report embeds this
+        verbatim instead of emitting a log line).  ``since`` (a snapshot
+        from :meth:`clamp_counters`) windows the query counts so a drain
+        sharing this model with earlier drains reports only its own
+        clamping; ``max_batch_seen``/``max_seq_seen`` remain lifetime
+        maxima (they exist to size the grid, not to audit one drain).
+        """
+        base_queries = since["step_queries"] if since else 0
+        base_clamped = since["clamped_queries"] if since else 0
+        clamped = self._clamped_queries - base_clamped
+        if not clamped:
+            return {}
+        return {
+            "step_queries": self._step_queries - base_queries,
+            "clamped_queries": clamped,
+            "batch_grid_min": self.batch_grid[0],
+            "batch_grid_max": self.batch_grid[-1],
+            "seq_grid_min": self.seq_grid[0],
+            "seq_grid_max": self.seq_grid[-1],
+            "min_batch_seen": self._min_batch_seen,
+            "max_batch_seen": self._max_batch_seen,
+            "min_seq_seen": self._min_seq_seen,
+            "max_seq_seen": self._max_seq_seen,
+        }
 
     # --- interpolation ----------------------------------------------------------
 
@@ -152,6 +284,25 @@ class CalibratedStepTime(StepTimeModel):
             raise SchedulingError("cannot step an empty batch")
         if seq_len < 1:
             raise SchedulingError("context length must be positive")
+        self._step_queries += 1
+        if batch_size > self._max_batch_seen:
+            self._max_batch_seen = batch_size
+        if seq_len > self._max_seq_seen:
+            self._max_seq_seen = seq_len
+        if self._min_batch_seen is None or batch_size < self._min_batch_seen:
+            self._min_batch_seen = batch_size
+        if self._min_seq_seen is None or seq_len < self._min_seq_seen:
+            self._min_seq_seen = seq_len
+        if (
+            batch_size > self.batch_grid[-1]
+            or seq_len > self.seq_grid[-1]
+            or batch_size < self.batch_grid[0]
+            or seq_len < self.seq_grid[0]
+        ):
+            # Both directions clamp: above-max queries are billed at the
+            # edge cell (underestimate), below-min queries at the smallest
+            # cell (overestimate for partial tail batches).
+            self._clamped_queries += 1
         b_lo, b_hi, wb = self._bracket(self.batch_grid, batch_size)
         s_lo, s_hi, ws = self._bracket(self.seq_grid, seq_len)
         t_ll = self._measure(b_lo, s_lo)
@@ -168,8 +319,18 @@ class CalibratedStepTime(StepTimeModel):
         # The systems' prefill model is analytic (Section 6.4) and cheap, so
         # it needs no grid -- but it can read state that ``measure()``
         # mutates (e.g. HILOS's selected alpha), so results are cached by
-        # query to keep repeated drains byte-for-byte deterministic.
+        # query (and persisted next to the step grid) to keep repeated
+        # drains byte-for-byte deterministic.
+        if not self._hydrated:
+            self.prewarm()
         key = (max(1, batch_size), max(1, seq_len))
         if key not in self._prefill_cache:
             self._prefill_cache[key] = self.system.prefill_seconds(*key)
+            if self.store is not None:
+                self.store.record(
+                    self.fingerprint,
+                    description=self._description(),
+                    prefill_cells={key: self._prefill_cache[key]},
+                    flush=False,
+                )
         return self._prefill_cache[key]

@@ -15,30 +15,42 @@ disciplines are provided:
     full capacity.  This models a compute unit executing one kernel at a
     time.
 
+The shared discipline uses the classic *virtual time* formulation of
+processor sharing: ``V(t)`` advances at ``capacity / n(t)`` work units per
+second, so a flow of size ``w`` arriving when the virtual clock reads ``V``
+finishes exactly when ``V(t)`` reaches ``V + w`` -- regardless of how many
+flows come and go in between.  Each arrival/departure is therefore O(log n)
+(a heap push/pop plus at most one timer re-arm) instead of the O(n)
+recompute-all of decrementing every flow's remaining work, and only the
+earliest-completing flow ever has a timer scheduled.  Stale timers are
+invalidated lazily through :class:`~repro.sim.engine.ScheduledCallback`
+handles rather than rescheduled eagerly.
+
 Both disciplines keep byte/FLOP accounting per tag so experiment harnesses
 can produce the paper's stacked breakdown charts (Figures 4b, 11b).
 """
 
 from __future__ import annotations
 
+import heapq
 from typing import Iterable
 
+from typing import Callable
+
 from repro.errors import ConfigurationError, SimulationError
-from repro.sim.engine import Event, Simulator
+from repro.sim.engine import Barrier, Event, ScheduledCallback, Simulator
 
-#: Completion slack for floating-point remaining-work comparisons.
-_EPSILON = 1e-9
-
-
-class _Flow:
-    """One in-flight request on a shared-discipline channel."""
-
-    __slots__ = ("remaining", "event", "tag")
-
-    def __init__(self, remaining: float, event: Event, tag: str) -> None:
-        self.remaining = remaining
-        self.event = event
-        self.tag = tag
+#: Relative completion slack for virtual-time comparisons.  The tolerance is
+#: scaled by the magnitude of the flow's virtual finish coordinate (with an
+#: absolute floor of the same value), and the virtual clock rebases to zero
+#: at the start of every busy period, so the accuracy guarantee is: every
+#: flow completes within ~1e-9 *relative to its busy period's cumulative
+#: work* of its true finish.  A multi-terabyte transfer can therefore
+#: neither complete early by more than a part in 1e9 nor strand a residue
+#: an absolute epsilon could not express; flows closer together than that
+#: bound may complete in one batch -- the precision limit of accumulating
+#: virtual time in doubles.
+_REL_EPSILON = 1e-9
 
 
 class Channel:
@@ -78,10 +90,16 @@ class Channel:
         self.name = name
         self.discipline = discipline
         self.latency = float(latency)
-        # shared-discipline state
-        self._flows: list[_Flow] = []
+        # shared-discipline state: the virtual clock, a min-heap of
+        # (virtual finish time, seq, completion callback) flows, and the
+        # single armed timer.
+        self._virtual = 0.0
+        self._flow_heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._flow_seq = 0
         self._last_update = 0.0
+        self._timer: ScheduledCallback | None = None
         self._epoch = 0
+        self._armed_epoch = 0
         # fifo-discipline state
         self._ready_at = 0.0
         # accounting
@@ -93,19 +111,32 @@ class Channel:
 
     def request(self, amount: float, tag: str = "untagged") -> Event:
         """Ask for ``amount`` units of service; returns a completion event."""
+        event = Event(self.sim, name=tag)
+        self._submit(amount, tag, event.succeed)
+        return event
+
+    def request_into(self, amount: float, tag: str, barrier: Barrier) -> None:
+        """Service ``amount`` units, reporting completion into ``barrier``.
+
+        The barrier replaces the per-request :class:`Event`: multi-hop
+        composite transfers register one arrival per hop instead of
+        allocating an event + conjunction callback per hop.
+        """
+        barrier.add()
+        self._submit(amount, tag, barrier.arrive)
+
+    def _submit(self, amount: float, tag: str, done: Callable[[], None]) -> None:
         if amount < 0:
             raise SimulationError(f"channel {self.name!r}: negative request {amount}")
-        event = Event(self.sim, name=f"{self.name}:{tag}")
         if amount == 0:
-            self.sim.schedule(self.latency, lambda: event.succeed())
-            return event
+            self.sim.schedule(self.latency, done)
+            return
         self.total_work += amount
         self.work_by_tag[tag] = self.work_by_tag.get(tag, 0.0) + amount
         if self.discipline == "fifo":
-            self._request_fifo(amount, event)
+            self._request_fifo(amount, done)
         else:
-            self._request_shared(amount, event, tag)
-        return event
+            self._request_shared(amount, done)
 
     def service_time(self, amount: float) -> float:
         """Uncontended service time for ``amount`` units (excluding queueing)."""
@@ -128,68 +159,107 @@ class Channel:
     @property
     def in_flight(self) -> int:
         """Number of currently active shared-discipline flows."""
-        return len(self._flows)
+        return len(self._flow_heap)
 
     # --- fifo discipline ------------------------------------------------------
 
-    def _request_fifo(self, amount: float, event: Event) -> None:
+    def _request_fifo(self, amount: float, done: Callable[[], None]) -> None:
         start = max(self.sim.now + self.latency, self._ready_at)
         duration = amount / self.capacity
         finish = start + duration
         self._ready_at = finish
         self._busy_time += duration
-        self.sim.schedule(finish - self.sim.now, lambda: event.succeed())
+        self.sim.schedule(finish - self.sim.now, done)
 
     # --- shared discipline ------------------------------------------------------
 
-    def _request_shared(self, amount: float, event: Event, tag: str) -> None:
+    def _request_shared(self, amount: float, done: Callable[[], None]) -> None:
         if self.latency > 0:
-            self.sim.schedule(self.latency, lambda: self._add_flow(amount, event, tag))
+            self.sim.schedule(self.latency, lambda: self._add_flow(amount, done))
         else:
-            self._add_flow(amount, event, tag)
+            self._add_flow(amount, done)
 
-    def _add_flow(self, amount: float, event: Event, tag: str) -> None:
+    def _add_flow(self, amount: float, done: Callable[[], None]) -> None:
         self._advance()
-        self._flows.append(_Flow(amount, event, tag))
-        self._reschedule()
+        if not self._flow_heap:
+            # New busy period: rebase the virtual clock so its magnitude --
+            # and with it the relative completion slack -- tracks the work
+            # in flight, not the channel's lifetime total.
+            self._virtual = 0.0
+        self._epoch += 1
+        self._flow_seq += 1
+        heapq.heappush(self._flow_heap, (self._virtual + amount, self._flow_seq, done))
+        self._arm()
 
     def _advance(self) -> None:
-        """Account progress of all active flows up to the current time."""
+        """Advance the virtual clock up to the current time.
+
+        O(1): cumulative normalized service is credited to every active flow
+        implicitly through ``_virtual`` rather than by touching each flow.
+        """
         now = self.sim.now
         elapsed = now - self._last_update
         self._last_update = now
-        if elapsed <= 0 or not self._flows:
+        if elapsed <= 0 or not self._flow_heap:
             return
-        rate = self.capacity / len(self._flows)
-        for flow in self._flows:
-            flow.remaining -= rate * elapsed
+        self._virtual += elapsed * self.capacity / len(self._flow_heap)
         self._busy_time += elapsed
 
-    def _reschedule(self) -> None:
-        """Schedule the next completion; invalidates any stale timer."""
-        self._epoch += 1
-        if not self._flows:
-            return
-        rate = self.capacity / len(self._flows)
-        min_remaining = min(flow.remaining for flow in self._flows)
-        delay = max(0.0, min_remaining / rate)
-        epoch = self._epoch
-        self.sim.schedule(delay, lambda: self._on_timer(epoch))
+    def _arm(self) -> None:
+        """Ensure a timer is armed for the earliest virtual completion.
 
-    def _on_timer(self, epoch: int) -> None:
-        if epoch != self._epoch:
-            return  # superseded by a later arrival/departure
+        The armed real time is exact only while the flow population is
+        unchanged; an arrival slows the virtual clock, so an already-armed
+        timer may fire *early* -- :meth:`_on_timer` detects that and re-arms.
+        A timer is torn down (lazily, via handle cancellation) only when a
+        new earliest target would complete before the armed fire time.
+        """
+        timer = self._timer
+        if not self._flow_heap:
+            if timer is not None:
+                timer.cancel()
+                self._timer = None
+            return
+        now = self.sim.now
+        head_v = self._flow_heap[0][0]
+        fire_at = now + (head_v - self._virtual) * len(self._flow_heap) / self.capacity
+        if timer is not None:
+            if timer.time <= fire_at:
+                # The armed timer fires no later than the earliest completion
+                # could happen; keep it and let the lazy recheck re-arm.
+                return
+            timer.cancel()
+        self._armed_epoch = self._epoch
+        self._timer = self.sim.schedule_cancellable(
+            max(0.0, fire_at - now), self._on_timer
+        )
+
+    def _on_timer(self) -> None:
+        # Only the live timer can fire (replaced timers are cancelled), so
+        # the epoch captured at arm time lives on the channel rather than in
+        # a per-arm closure.
+        epoch = self._armed_epoch
+        self._timer = None
         self._advance()
-        finished = [flow for flow in self._flows if flow.remaining <= _EPSILON]
-        if not finished:
-            # Numerical slack: nudge the earliest flow across the line.
-            earliest = min(self._flows, key=lambda flow: flow.remaining)
-            earliest.remaining = 0.0
-            finished = [earliest]
-        self._flows = [flow for flow in self._flows if flow not in finished]
-        self._reschedule()
-        for flow in finished:
-            flow.event.succeed()
+        finished: list[Callable[[], None]] = []
+        heap = self._flow_heap
+        virtual = self._virtual
+        while heap:
+            head_v = heap[0][0]
+            if head_v <= virtual + _REL_EPSILON * (head_v if head_v > 1.0 else 1.0):
+                finished.append(heapq.heappop(heap)[2])
+            else:
+                break
+        if not finished and heap and epoch == self._epoch:
+            # The population is unchanged since arming, so the head flow is
+            # exactly due; nudge the virtual clock across float rounding.
+            self._virtual = heap[0][0]
+            finished.append(heapq.heappop(heap)[2])
+        if finished:
+            self._epoch += 1
+        self._arm()
+        for done in finished:
+            done()
 
 
 class ComputeResource(Channel):
@@ -232,8 +302,10 @@ class Path:
 
     def transfer(self, amount: float, tag: str = "untagged") -> Event:
         """Move ``amount`` bytes across every hop; completes on the slowest."""
-        sim = self.channels[0].sim
-        return sim.all_of([channel.request(amount, tag) for channel in self.channels])
+        done = Barrier(self.channels[0].sim, name=tag)
+        for channel in self.channels:
+            channel.request_into(amount, tag, done)
+        return done
 
     def bottleneck_bandwidth(self) -> float:
         """Uncontended end-to-end bandwidth (minimum hop capacity)."""

@@ -12,7 +12,7 @@ from dataclasses import dataclass
 
 from repro.errors import CapacityError, ConfigurationError
 from repro.sim.channel import Channel, ComputeResource
-from repro.sim.engine import Event, Simulator
+from repro.sim.engine import Barrier, Event, Simulator
 from repro.units import GB, GiB, TFLOPS
 
 
@@ -128,10 +128,11 @@ class GPU:
         the standard roofline approximation; decode-phase GEMVs come out
         memory-bound and prefill GEMMs compute-bound, as on real hardware.
         """
-        waits = [self.compute.execute(flops, tag)]
+        done = Barrier(self.sim, name=tag)
+        self.compute.request_into(flops, tag, done)
         if mem_bytes > 0:
-            waits.append(self.hbm.request(mem_bytes, tag))
-        return self.sim.all_of(waits)
+            self.hbm.request_into(mem_bytes, tag, done)
+        return done
 
 
 class CPU:
@@ -145,10 +146,11 @@ class CPU:
 
     def run_kernel(self, flops: float, mem_bytes: float = 0.0, tag: str = "cpu") -> Event:
         """Execute a CPU kernel (attention over DRAM-resident KV, partial QK^T)."""
-        waits = [self.compute.execute(flops, tag)]
+        done = Barrier(self.sim, name=tag)
+        self.compute.request_into(flops, tag, done)
         if mem_bytes > 0:
-            waits.append(self.stream.request(mem_bytes, tag))
-        return self.sim.all_of(waits)
+            self.stream.request_into(mem_bytes, tag, done)
+        return done
 
 
 class HostDRAM:
@@ -192,3 +194,7 @@ class HostDRAM:
     def access(self, n_bytes: float, tag: str = "dram") -> Event:
         """Move ``n_bytes`` through the DRAM bus."""
         return self.channel.request(n_bytes, tag)
+
+    def access_into(self, n_bytes: float, tag: str, barrier: "Barrier") -> None:
+        """Like :meth:`access`, reporting completion into ``barrier``."""
+        self.channel.request_into(n_bytes, tag, barrier)

@@ -38,7 +38,10 @@ class Event:
     def __init__(self, sim: "Simulator", name: str = "") -> None:
         self.sim = sim
         self.name = name
-        self._callbacks: list[Callable[[Event], None]] = []
+        # The callback list is allocated lazily: most events in large
+        # simulations have zero or one waiter, and skipping the empty-list
+        # allocation is a measurable win on the event-churn hot path.
+        self._callbacks: list[Callable[[Event], None]] | None = None
         self._triggered = False
         self._value: Any = None
         self._exception: BaseException | None = None
@@ -69,9 +72,10 @@ class Event:
             raise SimulationError(f"event {self.name!r} triggered twice")
         self._triggered = True
         self._value = value
-        callbacks, self._callbacks = self._callbacks, []
-        for callback in callbacks:
-            callback(self)
+        callbacks, self._callbacks = self._callbacks, None
+        if callbacks:
+            for callback in callbacks:
+                callback(self)
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -86,14 +90,15 @@ class Event:
             raise SimulationError(f"event {self.name!r} triggered twice")
         self._triggered = True
         self._exception = exception
-        callbacks, self._callbacks = self._callbacks, []
+        callbacks, self._callbacks = self._callbacks, None
         # Record every failure; whoever *consumes* the exception (a process
         # resumed with it, an awaiting run(), a conjunction that adopts it)
         # discharges the record.  Whatever is still recorded when a
         # drain-mode run() finishes was genuinely lost and gets re-raised.
         self.sim._record_unobserved_failure(self)
-        for callback in callbacks:
-            callback(self)
+        if callbacks:
+            for callback in callbacks:
+                callback(self)
         return self
 
     def add_callback(self, callback: Callable[["Event"], None]) -> None:
@@ -106,6 +111,8 @@ class Event:
         """
         if self._triggered:
             callback(self)
+        elif self._callbacks is None:
+            self._callbacks = [callback]
         else:
             self._callbacks.append(callback)
 
@@ -118,7 +125,7 @@ class Timeout(Event):
     def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise SimulationError(f"negative timeout delay: {delay}")
-        super().__init__(sim, name=f"timeout({delay:g})")
+        super().__init__(sim, name="timeout")
         sim.schedule(delay, lambda: self.succeed(value))
 
 
@@ -159,6 +166,44 @@ class AllOf(Event):
                 self.succeed(list(self._values))
 
         return on_trigger
+
+
+class Barrier(Event):
+    """Counted conjunction for completions that cannot fail.
+
+    Semantically ``AllOf`` over ``count`` anonymous constituents, but
+    without allocating an :class:`Event` (plus a callback closure) per
+    constituent -- producers call :meth:`arrive` directly.  Channels use it
+    for striped multi-device transfers, where a single barrier replaces one
+    event per device hop on the simulation's hottest allocation path.
+
+    Because constituents are anonymous there is no failure propagation:
+    use it only for completions that cannot fail (channel service events).
+    Producers must register (via the constructor count or :meth:`add`)
+    before the simulator runs any callbacks, which holds whenever arrivals
+    are scheduled -- never delivered synchronously from the registering
+    code path.
+    """
+
+    __slots__ = ("_pending",)
+
+    def __init__(self, sim: "Simulator", count: int = 0, name: str = "barrier") -> None:
+        super().__init__(sim, name)
+        self._pending = count
+
+    def add(self, count: int = 1) -> None:
+        """Register ``count`` more expected arrivals."""
+        if self._triggered:
+            raise SimulationError(f"barrier {self.name!r} already triggered")
+        self._pending += count
+
+    def arrive(self) -> None:
+        """Record one completion; fires the barrier when all have arrived."""
+        self._pending -= 1
+        if self._pending == 0:
+            self.succeed(None)
+        elif self._pending < 0:
+            raise SimulationError(f"barrier {self.name!r}: more arrivals than registered")
 
 
 class Process(Event):
@@ -213,12 +258,38 @@ class Process(Event):
             self._step(event.value)
 
 
+class ScheduledCallback:
+    """Handle for one scheduled callback; supports lazy cancellation.
+
+    Cancelling does not remove the entry from the event heap (that would be
+    O(n)); the entry stays in place and is skipped when popped.  This is the
+    engine-level primitive behind the channels' stale-timer invalidation:
+    instead of re-deriving every flow's completion on each arrival, a channel
+    cancels its single armed timer and arms a new one, and the dead heap
+    entry costs one pop.
+    """
+
+    __slots__ = ("time", "callback", "cancelled")
+
+    def __init__(self, time: float, callback: Callable[[], None]) -> None:
+        self.time = time
+        self.callback = callback
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark the callback as dead; it will be skipped, never run."""
+        self.cancelled = True
+        self.callback = None  # break reference cycles early
+
+
 class Simulator:
     """Owns virtual time and the scheduled-callback heap."""
 
     def __init__(self) -> None:
+        # Heap entries carry either a bare callable (the common, allocation-
+        # free case) or a ScheduledCallback handle (cancellable timers).
         self._now = 0.0
-        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._heap: list[tuple[float, int, Callable[[], None] | ScheduledCallback]] = []
         self._sequence = 0
         self._processed = 0
         self._unobserved_failures: list[Event] = []
@@ -248,6 +319,22 @@ class Simulator:
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
         self._sequence += 1
         heapq.heappush(self._heap, (self._now + delay, self._sequence, callback))
+
+    def schedule_cancellable(
+        self, delay: float, callback: Callable[[], None]
+    ) -> ScheduledCallback:
+        """Like :meth:`schedule`, but returns a cancellable handle.
+
+        :meth:`ScheduledCallback.cancel` lazily invalidates the entry: it
+        stays in the heap and is skipped (without advancing time) when
+        popped, so cancellation is O(1) instead of an O(n) heap removal.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        self._sequence += 1
+        handle = ScheduledCallback(self._now + delay, callback)
+        heapq.heappush(self._heap, (handle.time, self._sequence, handle))
+        return handle
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         """Create an event that fires after ``delay`` seconds."""
@@ -308,8 +395,16 @@ class Simulator:
 
     def _pop_and_run(self) -> None:
         time, _, callback = heapq.heappop(self._heap)
+        if callback.__class__ is ScheduledCallback:
+            if callback.cancelled:
+                # Lazily-invalidated entry: drop it without advancing time,
+                # so a stale channel timer armed past the last real event can
+                # never stretch the simulated clock.
+                return
+            callback = callback.callback
         if time < self._now - 1e-12:
             raise SimulationError("event heap produced a time in the past")
-        self._now = max(self._now, time)
+        if time > self._now:
+            self._now = time
         self._processed += 1
         callback()

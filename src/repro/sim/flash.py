@@ -25,7 +25,7 @@ from dataclasses import dataclass
 
 from repro.errors import CapacityError, ConfigurationError
 from repro.sim.channel import Channel
-from repro.sim.engine import Event, Simulator
+from repro.sim.engine import Barrier, Event, Simulator
 from repro.units import GB, KiB, TB, ceil_div
 
 
@@ -108,6 +108,11 @@ class SSD:
         self.logical_bytes_read += n_bytes
         return self.read_channel.request(n_bytes, tag)
 
+    def read_into(self, n_bytes: float, tag: str, barrier: Barrier) -> None:
+        """Like :meth:`read`, reporting completion into ``barrier``."""
+        self.logical_bytes_read += n_bytes
+        self.read_channel.request_into(n_bytes, tag, barrier)
+
     def write(self, n_bytes: float, granule: float | None = None, tag: str = "write") -> Event:
         """Write ``n_bytes``, accounting page round-up per discrete granule.
 
@@ -120,6 +125,15 @@ class SSD:
         self.logical_bytes_written += n_bytes
         self.physical_bytes_written += physical
         return self.write_channel.request(physical, tag)
+
+    def write_into(
+        self, n_bytes: float, tag: str, barrier: Barrier, granule: float | None = None
+    ) -> None:
+        """Like :meth:`write`, reporting completion into ``barrier``."""
+        physical = self._physical_bytes(n_bytes, granule)
+        self.logical_bytes_written += n_bytes
+        self.physical_bytes_written += physical
+        self.write_channel.request_into(physical, tag, barrier)
 
     def _physical_bytes(self, n_bytes: float, granule: float | None) -> float:
         page = self.spec.page_bytes
@@ -190,6 +204,11 @@ class SmartSSD:
         The transfer occupies both the flash read channel and the FPGA DRAM
         channel; flash (~3 GB/s) is the bottleneck on the real device.
         """
-        flash_done = self.flash.read(n_bytes, tag)
-        dram_done = self.fpga_dram.request(n_bytes, tag)
-        return self.sim.all_of([flash_done, dram_done])
+        done = Barrier(self.sim, name=tag)
+        self.p2p_read_into(n_bytes, tag, done)
+        return done
+
+    def p2p_read_into(self, n_bytes: float, tag: str, barrier: Barrier) -> None:
+        """Like :meth:`p2p_read`, reporting both hops into ``barrier``."""
+        self.flash.read_into(n_bytes, tag, barrier)
+        self.fpga_dram.request_into(n_bytes, tag, barrier)

@@ -15,7 +15,7 @@ from dataclasses import dataclass
 from repro.errors import ConfigurationError
 from repro.sim.channel import Channel
 from repro.sim.devices import CPU, GPU, GPU_SPECS, HostDRAM, XEON_6342, CPUSpec, GPUSpec
-from repro.sim.engine import Event, Simulator
+from repro.sim.engine import Barrier, Event, Simulator
 from repro.sim.flash import PM9A3, SMARTSSD_FLASH, SSD, SmartSSD, SSDSpec
 from repro.units import GB, GiB, pcie_bandwidth
 
@@ -155,12 +155,12 @@ class SystemModel:
         if not self.ssds:
             raise ConfigurationError("no conventional SSDs in this system")
         share = n_bytes / len(self.ssds)
-        waits = []
+        done = Barrier(self.sim, name=tag)
         for ssd, link in zip(self.ssds, self.ssd_links):
-            waits.append(ssd.read(share, tag))
-            waits.append(link.request(share, tag))
-        waits.append(self.dram.access(n_bytes, tag))
-        return self.sim.all_of(waits)
+            ssd.read_into(share, tag, done)
+            link.request_into(share, tag, done)
+        self.dram.access_into(n_bytes, tag, done)
+        return done
 
     def write_ssds_from_host(
         self, n_bytes: float, granule: float | None = None, tag: str = "store_kv"
@@ -169,28 +169,30 @@ class SystemModel:
         if not self.ssds:
             raise ConfigurationError("no conventional SSDs in this system")
         share = n_bytes / len(self.ssds)
-        waits = []
+        done = Barrier(self.sim, name=tag)
         for ssd, link in zip(self.ssds, self.ssd_links):
-            waits.append(ssd.write(share, granule=granule, tag=tag))
-            waits.append(link.request(share, tag))
-        return self.sim.all_of(waits)
+            ssd.write_into(share, tag, done, granule=granule)
+            link.request_into(share, tag, done)
+        return done
 
     # --- SmartSSD composite transfers ---------------------------------------------
 
-    def _uplink_waits(self, per_device: float, n_devices: int, tag: str) -> list[Event]:
-        waits = []
+    def _uplink_into(
+        self, per_device: float, n_devices: int, tag: str, barrier: Barrier
+    ) -> None:
         if self.expansion_uplink is not None:
-            waits.append(self.expansion_uplink.request(per_device * n_devices, tag))
-        return waits
+            self.expansion_uplink.request_into(per_device * n_devices, tag, barrier)
 
     def host_to_nsp(self, n_bytes: float, tag: str = "nsp_in") -> Event:
         """Host -> all NSP devices, striped (new Q/K/V vectors, Section 4.1)."""
         if not self.smartssds:
             raise ConfigurationError("no SmartSSDs in this system")
         share = n_bytes / len(self.smartssds)
-        waits = [dev.host_link.request(share, tag) for dev in self.smartssds]
-        waits += self._uplink_waits(share, len(self.smartssds), tag)
-        return self.sim.all_of(waits)
+        done = Barrier(self.sim, name=tag)
+        for dev in self.smartssds:
+            dev.host_link.request_into(share, tag, done)
+        self._uplink_into(share, len(self.smartssds), tag, done)
+        return done
 
     def nsp_to_host(self, n_bytes: float, tag: str = "nsp_out") -> Event:
         """All NSP devices -> host (attention outputs)."""
@@ -207,13 +209,13 @@ class SystemModel:
         if not self.smartssds:
             raise ConfigurationError("no SmartSSDs in this system")
         share = n_bytes / len(self.smartssds)
-        waits = []
+        done = Barrier(self.sim, name=tag)
         for dev in self.smartssds:
-            waits.append(dev.flash.read(share, tag))
-            waits.append(dev.host_link.request(share, tag))
-        waits += self._uplink_waits(share, len(self.smartssds), tag)
-        waits.append(self.host_pcie.request(n_bytes, tag))
-        return self.sim.all_of(waits)
+            dev.flash.read_into(share, tag, done)
+            dev.host_link.request_into(share, tag, done)
+        self._uplink_into(share, len(self.smartssds), tag, done)
+        self.host_pcie.request_into(n_bytes, tag, done)
+        return done
 
     def nsp_flash_read_to_gpu_via_host(self, n_bytes: float, tag: str) -> Event:
         """NSP flash -> host -> GPU (weight loads for >100B models on HILOS)."""
@@ -226,17 +228,19 @@ class SystemModel:
         if not self.smartssds:
             raise ConfigurationError("no SmartSSDs in this system")
         share = n_bytes / len(self.smartssds)
-        waits = []
+        done = Barrier(self.sim, name=tag)
         for dev in self.smartssds:
-            waits.append(dev.flash.write(share, granule=granule, tag=tag))
-            waits.append(dev.host_link.request(share, tag))
-        waits += self._uplink_waits(share, len(self.smartssds), tag)
-        return self.sim.all_of(waits)
+            dev.flash.write_into(share, tag, done, granule=granule)
+            dev.host_link.request_into(share, tag, done)
+        self._uplink_into(share, len(self.smartssds), tag, done)
+        return done
 
     def dram_to_gpu(self, n_bytes: float, tag: str = "load_weight") -> Event:
         """Host DRAM -> GPU over the host interconnect (weight prefetch)."""
-        waits = [self.dram.access(n_bytes, tag), self.host_pcie.request(n_bytes, tag)]
-        return self.sim.all_of(waits)
+        done = Barrier(self.sim, name=tag)
+        self.dram.access_into(n_bytes, tag, done)
+        self.host_pcie.request_into(n_bytes, tag, done)
+        return done
 
     def gpu_to_dram(self, n_bytes: float, tag: str = "store_kv") -> Event:
         """GPU -> host DRAM (new KV entries into the writeback buffer)."""

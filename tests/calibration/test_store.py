@@ -1,0 +1,198 @@
+"""Tests for the calibration fingerprint scheme and the two-layer store."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro
+from repro.calibration import CalibrationStore, default_store, system_fingerprint
+from repro.calibration.fingerprint import canonical_value, fingerprint_payload
+from repro.calibration.store import (
+    STORE_DIR_ENV,
+    clear_memory_layer,
+    default_store_dir,
+)
+from repro.core.config import HilosConfig
+from repro.core.runtime import HilosSystem
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(autouse=True)
+def fresh_memory_layer():
+    clear_memory_layer()
+    yield
+    clear_memory_layer()
+
+
+@pytest.fixture
+def system(tiny_mha):
+    return HilosSystem(tiny_mha, HilosConfig(n_devices=2))
+
+
+GRID = ((1, 4), (256, 1024))
+
+
+class TestFingerprint:
+    def test_deterministic_across_instances(self, tiny_mha):
+        a = HilosSystem(tiny_mha, HilosConfig(n_devices=2))
+        b = HilosSystem(tiny_mha, HilosConfig(n_devices=2))
+        assert system_fingerprint(a, *GRID) == system_fingerprint(b, *GRID)
+
+    def test_sensitive_to_hardware(self, tiny_mha):
+        a = HilosSystem(tiny_mha, HilosConfig(n_devices=2))
+        b = HilosSystem(tiny_mha, HilosConfig(n_devices=4))
+        assert system_fingerprint(a, *GRID) != system_fingerprint(b, *GRID)
+
+    def test_sensitive_to_model(self, tiny_mha, tiny_gqa):
+        a = HilosSystem(tiny_mha, HilosConfig(n_devices=2))
+        b = HilosSystem(tiny_gqa, HilosConfig(n_devices=2))
+        assert system_fingerprint(a, *GRID) != system_fingerprint(b, *GRID)
+
+    def test_sensitive_to_grid_and_steps(self, system):
+        base = system_fingerprint(system, *GRID)
+        assert system_fingerprint(system, (1, 4, 8), GRID[1]) != base
+        assert system_fingerprint(system, GRID[0], (256,)) != base
+        assert system_fingerprint(system, *GRID, n_steps=3) != base
+        assert system_fingerprint(system, *GRID, warmup_steps=1) != base
+
+    def test_sensitive_to_library_version(self, system, monkeypatch):
+        base = system_fingerprint(system, *GRID)
+        monkeypatch.setattr(repro, "__version__", "999.0.0")
+        assert system_fingerprint(system, *GRID) != base
+
+    def test_payload_is_json_stable(self, system):
+        payload = fingerprint_payload(system, *GRID, n_steps=1, warmup_steps=0)
+        assert json.dumps(payload, sort_keys=True)  # round-trips without error
+        assert payload["model"]["name"] == system.model.name
+        assert payload["hardware"]["n_smartssds"] == 2
+
+    def test_unfingerprintable_value_rejected(self):
+        with pytest.raises(ConfigurationError):
+            canonical_value(object())
+
+
+class TestStoreRoundTrip:
+    def test_round_trip_across_memory_clear(self, tmp_path):
+        store = CalibrationStore(tmp_path)
+        store.record("f" * 64, step_cells={(1, 256): 8.5}, prefill_cells={(2, 512): 1.5})
+        clear_memory_layer()
+        fresh = CalibrationStore(tmp_path)
+        assert fresh.load_step_grid("f" * 64) == {(1, 256): 8.5}
+        assert fresh.load_prefill_grid("f" * 64) == {(2, 512): 1.5}
+
+    def test_memory_layer_shared_between_instances_on_same_root(self, tmp_path):
+        CalibrationStore(tmp_path / "a").record("a" * 64, step_cells={(1, 1): 2.0})
+        assert CalibrationStore(tmp_path / "a").load_step_grid("a" * 64) == {(1, 1): 2.0}
+
+    def test_distinct_roots_are_independent_caches(self, tmp_path):
+        """The memory layer must not let store A's warmth mask store B's
+        misses -- otherwise B would never be written to disk."""
+        CalibrationStore(tmp_path / "a").record("a" * 64, step_cells={(1, 1): 2.0})
+        other = CalibrationStore(tmp_path / "b")
+        assert other.load_step_grid("a" * 64) == {}
+        other.record("a" * 64, step_cells={(1, 1): 3.0})
+        assert other.fingerprints_on_disk() == ["a" * 64]
+        # And the first store's view is untouched.
+        assert CalibrationStore(tmp_path / "a").load_step_grid("a" * 64) == {(1, 1): 2.0}
+
+    def test_merge_preserves_existing_cells(self, tmp_path):
+        store = CalibrationStore(tmp_path)
+        store.record("c" * 64, step_cells={(1, 256): 1.0})
+        store.record("c" * 64, step_cells={(4, 256): 2.0})
+        clear_memory_layer()
+        assert CalibrationStore(tmp_path).load_step_grid("c" * 64) == {
+            (1, 256): 1.0,
+            (4, 256): 2.0,
+        }
+
+    def test_missing_fingerprint_is_empty(self, tmp_path):
+        assert CalibrationStore(tmp_path).load_step_grid("0" * 64) == {}
+
+    def test_drop_forgets_both_layers(self, tmp_path):
+        store = CalibrationStore(tmp_path)
+        store.record("d" * 64, step_cells={(1, 1): 3.0})
+        store.drop("d" * 64)
+        clear_memory_layer()
+        assert CalibrationStore(tmp_path).load_step_grid("d" * 64) == {}
+
+
+class TestInvalidation:
+    def test_version_bump_invalidates(self, tmp_path, monkeypatch):
+        store = CalibrationStore(tmp_path)
+        store.record("e" * 64, step_cells={(1, 1): 4.0})
+        clear_memory_layer()
+        monkeypatch.setattr(repro, "__version__", "999.0.0")
+        assert CalibrationStore(tmp_path).load_step_grid("e" * 64) == {}
+
+    def test_format_bump_invalidates(self, tmp_path):
+        store = CalibrationStore(tmp_path)
+        store.record("a1" * 32, step_cells={(1, 1): 4.0})
+        path = store._path("a1" * 32)
+        payload = json.loads(path.read_text())
+        payload["format"] = -1
+        path.write_text(json.dumps(payload))
+        clear_memory_layer()
+        assert CalibrationStore(tmp_path).load_step_grid("a1" * 32) == {}
+
+    def test_corrupted_file_is_a_miss(self, tmp_path):
+        store = CalibrationStore(tmp_path)
+        store.record("b2" * 32, step_cells={(1, 1): 4.0})
+        store._path("b2" * 32).write_text("{not json")
+        clear_memory_layer()
+        assert CalibrationStore(tmp_path).load_step_grid("b2" * 32) == {}
+
+
+class TestDeferredFlush:
+    def test_deferred_record_not_on_disk_until_flush(self, tmp_path):
+        store = CalibrationStore(tmp_path)
+        store.record("f3" * 32, step_cells={(1, 1): 5.0}, flush=False)
+        assert store.fingerprints_on_disk() == []
+        assert store.flush_dirty() == 1
+        assert store.fingerprints_on_disk() == ["f3" * 32]
+        clear_memory_layer()
+        assert CalibrationStore(tmp_path).load_step_grid("f3" * 32) == {(1, 1): 5.0}
+
+    def test_flush_dirty_is_idempotent(self, tmp_path):
+        store = CalibrationStore(tmp_path)
+        store.record("f4" * 32, step_cells={(1, 1): 5.0}, flush=False)
+        assert store.flush_dirty() == 1
+        assert store.flush_dirty() == 0
+
+
+class TestDefaultStore:
+    def test_env_var_overrides_directory(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(STORE_DIR_ENV, str(tmp_path / "override"))
+        assert default_store_dir() == tmp_path / "override"
+        assert default_store().root == tmp_path / "override"
+
+    def test_default_is_user_cache(self, monkeypatch):
+        monkeypatch.delenv(STORE_DIR_ENV, raising=False)
+        assert default_store_dir().name == "calibration"
+
+
+class TestConcurrentFlushMerge:
+    def test_flush_merges_cells_persisted_by_another_worker(self, tmp_path):
+        """A flush must re-merge the on-disk file: a concurrent worker's
+        cells may have landed there after this process hydrated its entry."""
+        fp = "ab" * 32
+        worker_b = CalibrationStore(tmp_path)
+        assert worker_b.load_step_grid(fp) == {}  # hydrates empty entry
+
+        # Worker A (modelled as a separate memory layer) persists two cells.
+        clear_memory_layer()
+        worker_a = CalibrationStore(tmp_path)
+        worker_a.record(fp, step_cells={(1, 256): 1.0, (4, 256): 2.0})
+
+        # Worker B, still holding its stale (empty) entry, measures and
+        # flushes one more cell -- A's cells must survive.
+        clear_memory_layer()
+        worker_b2 = CalibrationStore(tmp_path)
+        worker_b2.record(fp, step_cells={(8, 256): 3.0})
+        clear_memory_layer()
+        assert CalibrationStore(tmp_path).load_step_grid(fp) == {
+            (1, 256): 1.0,
+            (4, 256): 2.0,
+            (8, 256): 3.0,
+        }

@@ -2,11 +2,18 @@
 
 from __future__ import annotations
 
+import os
+import tempfile
+
 import numpy as np
 import pytest
 
 from repro.models.registry import tiny_model
 from repro.sim.engine import Simulator
+
+# Hermetic calibration store: no test may read from or write to the user's
+# real cache directory, regardless of the environment it runs in.
+os.environ["REPRO_CALIBRATION_DIR"] = tempfile.mkdtemp(prefix="repro-test-calib-")
 
 
 @pytest.fixture

@@ -145,3 +145,19 @@ class TestAcceleratorSelection:
 
     def test_name_includes_device_count(self, opt30b):
         assert HilosSystem(opt30b, HilosConfig(n_devices=4)).name == "HILOS (4 SmartSSDs)"
+
+
+class TestPrefillHistoryIndependence:
+    def test_prefill_does_not_depend_on_measurement_history(self, tiny_mha):
+        """Prefill estimates are pure functions of (batch, seq): measuring a
+        different shape first must not change them.  This is what makes
+        persisting prefill cells under a fingerprint sound."""
+        from repro.core.config import HilosConfig
+        from repro.core.runtime import HilosSystem
+
+        fresh = HilosSystem(tiny_mha, HilosConfig(n_devices=2))
+        baseline = fresh.prefill_seconds(4, 1024)
+
+        warmed = HilosSystem(tiny_mha, HilosConfig(n_devices=2))
+        warmed.measure(16, 256, n_steps=1, warmup_steps=0)
+        assert warmed.prefill_seconds(4, 1024) == baseline

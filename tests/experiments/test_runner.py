@@ -1,0 +1,100 @@
+"""Tests for the experiment runner CLI and the serving calibration flow."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.calibration.store import clear_memory_layer
+from repro.experiments import runner, serving_throughput
+from repro.serving.steptime import CalibratedStepTime
+
+
+@pytest.fixture(autouse=True)
+def isolated_store(tmp_path, monkeypatch):
+    """Point the default store at a throwaway directory, fresh memory layer."""
+    monkeypatch.setenv("REPRO_CALIBRATION_DIR", str(tmp_path / "calibration"))
+    clear_memory_layer()
+    yield
+    clear_memory_layer()
+
+
+@pytest.fixture
+def tracked_step_times(monkeypatch):
+    """Record every CalibratedStepTime the serving experiment constructs."""
+    created: list[CalibratedStepTime] = []
+
+    class Tracking(CalibratedStepTime):
+        def __init__(self, *args, **kwargs):
+            super().__init__(*args, **kwargs)
+            created.append(self)
+
+    monkeypatch.setattr(serving_throughput, "CalibratedStepTime", Tracking)
+    return created
+
+
+class TestRunnerCli:
+    def test_list_exits_cleanly(self, capsys):
+        assert runner.main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "serving" in out
+
+    def test_fast_and_full_conflict(self):
+        with pytest.raises(SystemExit):
+            runner.main(["serving", "--fast", "--full"])
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            runner.main(["not-an-experiment"])
+
+    def test_bad_jobs_rejected(self):
+        with pytest.raises(SystemExit):
+            runner.main(["serving", "--jobs", "0"])
+
+    def test_grid_option_requires_supporting_experiment(self):
+        with pytest.raises(SystemExit):
+            runner.main(["table3", "--batch-grid", "1,4"])
+
+    def test_jobs_fan_out_runs_every_experiment(self, capsys):
+        assert runner.main(["table3", "estimator", "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "[table3 completed" in out
+        assert "[estimator completed" in out
+
+
+class TestServingWarmCache:
+    def test_second_runner_invocation_measures_nothing(
+        self, capsys, tracked_step_times
+    ):
+        """The acceptance criterion: a warm-cache re-run of
+        ``python -m repro.experiments.runner serving --fast`` performs zero
+        new ``measure()`` calls."""
+        assert runner.main(["serving", "--fast"]) == 0
+        cold_measurements = sum(st.measurement_count for st in tracked_step_times)
+        assert cold_measurements > 0
+        capsys.readouterr()
+
+        # A new CLI invocation is a new process: the in-memory layer is
+        # gone, only the on-disk store survives.
+        clear_memory_layer()
+        tracked_step_times.clear()
+        assert runner.main(["serving", "--fast"]) == 0
+        assert tracked_step_times, "serving run built no step-time models"
+        assert sum(st.measurement_count for st in tracked_step_times) == 0
+        assert all(st.calibration_points > 0 for st in tracked_step_times)
+
+    def test_warm_run_reproduces_cold_tables(self, tracked_step_times):
+        cold = serving_throughput.run(fast=True)
+        clear_memory_layer()
+        warm = serving_throughput.run(fast=True)
+        assert warm[0].rows == cold[0].rows
+        # The calibration table differs only in its cache-utilisation
+        # columns (prewarmed/new_measurements), never in the fingerprint.
+        assert warm[1].column("fingerprint") == cold[1].column("fingerprint")
+        assert all(n == 0 for n in warm[1].column("new_measurements"))
+
+    def test_custom_grids_flow_through_to_fingerprints(self):
+        default = serving_throughput.run(fast=True)
+        custom = serving_throughput.run(
+            fast=True, batch_grid=(1, 4, 16), seq_grid=(256, 4096, 16384)
+        )
+        assert default[1].column("fingerprint") != custom[1].column("fingerprint")

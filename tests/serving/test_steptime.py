@@ -91,3 +91,144 @@ class TestCalibratedStepTime:
         assert billed == pytest.approx(
             clamped.step_seconds * requested / clamped.effective_batch, rel=1e-6
         )
+
+
+class TestCalibrationStoreIntegration:
+    @pytest.fixture(autouse=True)
+    def fresh_memory_layer(self):
+        from repro.calibration.store import clear_memory_layer
+
+        clear_memory_layer()
+        yield
+        clear_memory_layer()
+
+    def _step_time(self, model, store):
+        system = HilosSystem(model, HilosConfig(n_devices=2))
+        return CalibratedStepTime(
+            system, batch_grid=(1, 4), seq_grid=(256, 1024), store=store
+        )
+
+    def test_measurement_count_tracks_real_measures_only(self, tiny_mha):
+        step_time = self._step_time(tiny_mha, store=None)
+        assert step_time.measurement_count == 0
+        step_time.step_seconds(1, 256)
+        assert step_time.measurement_count == 1
+        step_time.step_seconds(1, 256)  # cached
+        assert step_time.measurement_count == 1
+        step_time.step_seconds(4, 1024)
+        assert step_time.measurement_count == 2
+
+    def test_warm_store_measures_nothing(self, tiny_mha, tmp_path):
+        from repro.calibration import CalibrationStore
+        from repro.calibration.store import clear_memory_layer
+
+        store = CalibrationStore(tmp_path)
+        cold = self._step_time(tiny_mha, store)
+        cold_value = cold.step_seconds(4, 1024)
+        cold_prefill = cold.prefill_seconds(4, 1024)
+        cold.flush()
+        assert cold.measurement_count == 1
+
+        clear_memory_layer()  # simulate a new process
+        warm = self._step_time(tiny_mha, CalibrationStore(tmp_path))
+        assert warm.prewarm() == 1
+        assert warm.step_seconds(4, 1024) == cold_value
+        assert warm.prefill_seconds(4, 1024) == cold_prefill
+        assert warm.measurement_count == 0
+
+    def test_memory_layer_shared_without_flush(self, tiny_mha, tmp_path):
+        from repro.calibration import CalibrationStore
+
+        store = CalibrationStore(tmp_path)
+        first = self._step_time(tiny_mha, store)
+        first.step_seconds(1, 256)
+        second = self._step_time(tiny_mha, store)
+        assert second.step_seconds(1, 256) == first.step_seconds(1, 256)
+        assert second.measurement_count == 0
+
+    def test_different_grid_is_a_different_fingerprint(self, tiny_mha, tmp_path):
+        from repro.calibration import CalibrationStore
+
+        store = CalibrationStore(tmp_path)
+        a = self._step_time(tiny_mha, store)
+        system = HilosSystem(tiny_mha, HilosConfig(n_devices=2))
+        b = CalibratedStepTime(
+            system, batch_grid=(1, 2, 4), seq_grid=(256, 1024), store=store
+        )
+        assert a.fingerprint != b.fingerprint
+
+
+class TestGridClampNotes:
+    def test_on_grid_queries_produce_no_note(self, tiny_mha):
+        system = HilosSystem(tiny_mha, HilosConfig(n_devices=2))
+        step_time = CalibratedStepTime(system, batch_grid=(1, 4), seq_grid=(256, 1024))
+        step_time.step_seconds(4, 1024)
+        assert step_time.grid_clamp_summary() == {}
+
+    def test_out_of_grid_queries_are_tallied(self, tiny_mha):
+        system = HilosSystem(tiny_mha, HilosConfig(n_devices=2))
+        step_time = CalibratedStepTime(system, batch_grid=(1, 4), seq_grid=(256, 1024))
+        step_time.step_seconds(4, 1024)
+        step_time.step_seconds(9, 5000)
+        step_time.step_seconds(2, 9000)
+        note = step_time.grid_clamp_summary()
+        assert note["step_queries"] == 3
+        assert note["clamped_queries"] == 2
+        assert note["max_batch_seen"] == 9
+        assert note["max_seq_seen"] == 9000
+        assert note["batch_grid_max"] == 4
+        assert note["seq_grid_max"] == 1024
+
+    def test_clamp_note_lands_in_serving_report(self, tiny_mha):
+        from repro.serving import ContinuousBatching, OfflineServingScheduler
+        from repro.workloads import sample_request_classes
+
+        system = HilosSystem(tiny_mha, HilosConfig(n_devices=2))
+        step_time = CalibratedStepTime(system, batch_grid=(1, 2), seq_grid=(256, 512))
+        scheduler = OfflineServingScheduler(
+            system, ContinuousBatching(4), step_time=step_time
+        )
+        report = scheduler.drain(sample_request_classes(6, seed=3))
+        assert report.step_time_notes["clamped_queries"] >= 1
+        assert report.step_time_notes["batch_grid_max"] == 2
+
+
+class TestParseGrid:
+    def test_parses_comma_separated_values(self):
+        from repro.serving.steptime import parse_grid
+
+        assert parse_grid("1,4,16") == (1, 4, 16)
+
+    def test_rejects_garbage(self):
+        from repro.errors import ConfigurationError
+        from repro.serving.steptime import parse_grid
+
+        with pytest.raises(ConfigurationError):
+            parse_grid("1,two,3")
+        with pytest.raises(ConfigurationError):
+            parse_grid("0,4")
+        with pytest.raises(ConfigurationError):
+            parse_grid("")
+
+
+class TestClampWindowIsolation:
+    def test_second_drain_does_not_inherit_first_drains_clamps(self, tiny_mha):
+        """Per-policy reports window the shared model's clamp counters."""
+        from repro.serving import ContinuousBatching, OfflineServingScheduler
+        from repro.workloads.requests import RequestClass
+
+        system = HilosSystem(tiny_mha, HilosConfig(n_devices=2))
+        step_time = CalibratedStepTime(system, batch_grid=(1, 2), seq_grid=(256, 512))
+        clamping = RequestClass(name="Huge", input_tokens=900, output_tokens=4)
+        # Context stays inside [256, 512] and batch inside [1, 2] throughout.
+        on_grid = RequestClass(name="Mid", input_tokens=300, output_tokens=2)
+
+        first = OfflineServingScheduler(
+            system, ContinuousBatching(2), step_time=step_time
+        ).drain([clamping, clamping])
+        assert first.step_time_notes["clamped_queries"] >= 1
+
+        second = OfflineServingScheduler(
+            system, ContinuousBatching(2), step_time=step_time
+        ).drain([on_grid, on_grid])
+        assert second.step_time_notes == {}

@@ -126,6 +126,189 @@ class TestSharedChannelProperties:
             assert earlier <= later or earlier == pytest.approx(later, rel=1e-6)
 
 
+def reference_ps_completions(
+    arrivals: list[tuple[float, float]], capacity: float
+) -> dict[int, float]:
+    """Recompute-all processor sharing, the pre-optimization semantics.
+
+    Walks arrival/completion events in time order, decrementing every active
+    flow's remaining work at each event -- the O(n^2) formulation the
+    incremental virtual-time kernel replaced.  Used as the ground truth the
+    property tests compare the production channel against.
+    """
+    order = sorted(range(len(arrivals)), key=lambda i: arrivals[i][0])
+    remaining: dict[int, float] = {}
+    completions: dict[int, float] = {}
+    now = 0.0
+    next_arrival = 0
+    while len(completions) < len(arrivals):
+        arrival_time = (
+            arrivals[order[next_arrival]][0] if next_arrival < len(order) else None
+        )
+        finish_time = None
+        if remaining:
+            soonest = min(remaining.values())
+            finish_time = now + soonest * len(remaining) / capacity
+        if finish_time is None or (arrival_time is not None and arrival_time <= finish_time):
+            if remaining:
+                rate = capacity / len(remaining)
+                for key in remaining:
+                    remaining[key] -= rate * (arrival_time - now)
+            now = arrival_time
+            index = order[next_arrival]
+            next_arrival += 1
+            remaining[index] = arrivals[index][1]
+        else:
+            rate = capacity / len(remaining)
+            for key in remaining:
+                remaining[key] -= rate * (finish_time - now)
+            now = finish_time
+            done = [k for k, v in remaining.items() if v <= 1e-9 * max(1.0, arrivals[k][1])]
+            if not done:
+                done = [min(remaining, key=remaining.get)]
+            for key in done:
+                completions[key] = now
+                del remaining[key]
+    return completions
+
+
+class TestIncrementalMatchesRecomputeAll:
+    """The tentpole property: the incremental virtual-time kernel produces
+    the same completion times as the old decrement-every-flow algorithm."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        schedule=st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=5.0),  # inter-arrival delay
+                st.floats(min_value=0.01, max_value=100.0),  # amount
+            ),
+            min_size=1,
+            max_size=12,
+        ),
+        capacity=st.floats(min_value=0.25, max_value=50.0),
+    )
+    def test_randomized_arrival_schedules(self, schedule, capacity):
+        arrivals = []
+        clock = 0.0
+        for delay, amount in schedule:
+            clock += delay
+            arrivals.append((clock, amount))
+        expected = reference_ps_completions(arrivals, capacity)
+
+        sim = Simulator()
+        channel = Channel(sim, capacity)
+        finished: dict[int, float] = {}
+
+        def driver():
+            now = 0.0
+            for index, (at, amount) in enumerate(arrivals):
+                if at > now:
+                    yield sim.timeout(at - now)
+                    now = at
+                channel.request(amount).add_callback(
+                    lambda _e, i=index: finished.setdefault(i, sim.now)
+                )
+            if False:
+                yield  # pragma: no cover
+
+        sim.process(driver())
+        sim.run()
+        assert set(finished) == set(expected)
+        for index, expected_time in expected.items():
+            assert finished[index] == pytest.approx(expected_time, rel=1e-6, abs=1e-9)
+
+    def test_terabyte_transfer_with_tiny_rider(self):
+        """Relative completion slack: a multi-TB transfer neither completes
+        early nor strands residue when a tiny flow shares the channel."""
+        sim = Simulator()
+        channel = Channel(sim, 1e9)  # 1 GB/s
+        big = 40e12  # 40 TB
+        tiny = 1.0
+        times = {}
+        channel.request(big).add_callback(lambda _e: times.setdefault("big", sim.now))
+
+        def rider():
+            yield sim.timeout(1000.0)
+            channel.request(tiny).add_callback(
+                lambda _e: times.setdefault("tiny", sim.now)
+            )
+
+        sim.process(rider())
+        sim.run()
+        assert times["tiny"] == pytest.approx(1000.0 + 2 * tiny / 1e9, rel=1e-6)
+        assert times["big"] == pytest.approx((big + tiny) / 1e9, rel=1e-9)
+        assert channel.in_flight == 0
+
+    def test_many_equal_flows_complete_together_exactly(self):
+        """A convoy of identical flows completes in one batch at exactly
+        total work / capacity -- no sub-epsilon stragglers."""
+        sim = Simulator()
+        channel = Channel(sim, 3.0)
+        done = sim.all_of([channel.request(7.0) for _ in range(50)])
+        sim.run(done)
+        assert sim.now == pytest.approx(50 * 7.0 / 3.0, rel=1e-9)
+        assert channel.in_flight == 0
+
+
+class TestStaleEntryInvalidation:
+    """Failure propagation and clock hygiene around lazily-cancelled timers."""
+
+    def test_cancelled_trailing_timer_does_not_stretch_clock(self):
+        """A stale armed timer past the last real event must not advance
+        time when a drain run pops it."""
+        sim = Simulator()
+        channel = Channel(sim, 1.0)
+
+        def proc():
+            first = channel.request(100.0)
+            # The second, much smaller flow re-arms the timer earlier; the
+            # original arming for t=100 was computed when the big flow ran
+            # alone and is superseded on completion re-arms.
+            yield sim.timeout(1.0)
+            second = channel.request(1.0)
+            yield sim.all_of([first, second])
+
+        sim.run(sim.process(proc()))
+        assert sim.now == pytest.approx(101.0)
+        sim.run()  # drain whatever stale entries remain
+        assert sim.now == pytest.approx(101.0)
+
+    def test_process_failure_propagates_with_stale_timers_in_heap(self):
+        """A failing process surfaces its error even while the channel holds
+        lazily-invalidated timer entries."""
+        sim = Simulator()
+        channel = Channel(sim, 1.0)
+
+        def victim():
+            yield channel.request(50.0)
+
+        def saboteur():
+            yield sim.timeout(1.0)
+            channel.request(0.5)  # forces a timer re-arm (stale entry behind)
+            raise RuntimeError("boom mid-contention")
+
+        victim_process = sim.process(victim())
+        sim.process(saboteur())
+        with pytest.raises(RuntimeError, match="boom mid-contention"):
+            sim.run()  # drain: the unobserved failure must surface
+        assert victim_process.triggered and not victim_process.failed
+
+    def test_channel_usable_after_failure_run(self):
+        sim = Simulator()
+        channel = Channel(sim, 2.0)
+
+        def bad():
+            yield channel.request(1.0)
+            raise ValueError("late failure")
+
+        with pytest.raises(ValueError):
+            sim.run(sim.process(bad()))
+        done = channel.request(4.0)
+        sim.run(done)
+        assert done.triggered
+
+
 class TestFifoChannel:
     def test_requests_serialize(self, sim):
         channel = Channel(sim, 10.0, discipline="fifo")
@@ -186,3 +369,22 @@ class TestValidation:
     def test_negative_latency_rejected(self, sim):
         with pytest.raises(ConfigurationError):
             Channel(sim, 1.0, latency=-0.1)
+
+
+class TestVirtualClockRebase:
+    def test_slack_does_not_inherit_previous_busy_periods(self):
+        """After a huge busy period and an idle gap, the completion slack is
+        relative to the new busy period's work -- two distinguishable flows
+        must not be collapsed into one completion batch by stale magnitude."""
+        sim = Simulator()
+        channel = Channel(sim, 1e9)
+        sim.run(channel.request(40e12))  # 40 TB busy period, then idle
+        start = sim.now
+        times = {}
+        channel.request(2e4).add_callback(lambda _e: times.setdefault("small", sim.now))
+        channel.request(4e4).add_callback(lambda _e: times.setdefault("large", sim.now))
+        sim.run()
+        # Processor sharing: small finishes at 2*2e4/C, large at (2e4+4e4)/C.
+        assert times["small"] - start == pytest.approx(4e4 / 1e9, rel=1e-6)
+        assert times["large"] - start == pytest.approx(6e4 / 1e9, rel=1e-6)
+        assert times["small"] < times["large"]

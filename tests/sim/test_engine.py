@@ -361,3 +361,98 @@ class TestTimeMonotonicity:
 
         sim.run(sim.process(proc()))
         assert sim.now == pytest.approx(sum(delays))
+
+
+class TestScheduledCallbackCancellation:
+    def test_cancelled_callback_never_runs(self):
+        from repro.sim.engine import Simulator
+
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule_cancellable(1.0, lambda: fired.append("cancelled"))
+        sim.schedule(2.0, lambda: fired.append("kept"))
+        handle.cancel()
+        sim.run()
+        assert fired == ["kept"]
+
+    def test_cancelled_entry_does_not_advance_clock(self):
+        from repro.sim.engine import Simulator
+
+        sim = Simulator()
+        handle = sim.schedule_cancellable(50.0, lambda: None)
+        sim.schedule(1.0, lambda: None)
+        handle.cancel()
+        sim.run()
+        assert sim.now == pytest.approx(1.0)
+
+    def test_cancelled_entries_do_not_count_as_processed(self):
+        from repro.sim.engine import Simulator
+
+        sim = Simulator()
+        handle = sim.schedule_cancellable(1.0, lambda: None)
+        handle.cancel()
+        sim.schedule(2.0, lambda: None)
+        sim.run()
+        assert sim.events_processed == 1
+
+    def test_deadlock_detection_sees_through_cancelled_entries(self):
+        from repro.sim.engine import Simulator
+
+        sim = Simulator()
+        handle = sim.schedule_cancellable(1.0, lambda: None)
+        handle.cancel()
+        waited = sim.event("never")
+        with pytest.raises(SimulationError, match="deadlock"):
+            sim.run(waited)
+
+
+class TestBarrier:
+    def test_fires_after_all_arrivals(self, sim):
+        from repro.sim.engine import Barrier
+
+        barrier = Barrier(sim, count=2, name="pair")
+        sim.schedule(1.0, barrier.arrive)
+        sim.schedule(3.0, barrier.arrive)
+        sim.run(barrier)
+        assert sim.now == pytest.approx(3.0)
+
+    def test_add_registers_late_constituents(self, sim):
+        from repro.sim.engine import Barrier
+
+        barrier = Barrier(sim, name="grow")
+        barrier.add(2)
+        sim.schedule(1.0, barrier.arrive)
+        sim.schedule(2.0, barrier.arrive)
+        sim.run(barrier)
+        assert barrier.triggered
+
+    def test_over_arrival_raises(self, sim):
+        from repro.sim.engine import Barrier
+
+        barrier = Barrier(sim, count=1)
+        sim.schedule(1.0, barrier.arrive)
+        sim.schedule(2.0, barrier.arrive)
+        with pytest.raises(SimulationError, match="more arrivals"):
+            sim.run()
+
+    def test_add_after_trigger_raises(self, sim):
+        from repro.sim.engine import Barrier
+
+        barrier = Barrier(sim, count=1)
+        sim.schedule(1.0, barrier.arrive)
+        sim.run(barrier)
+        with pytest.raises(SimulationError, match="already triggered"):
+            barrier.add()
+
+    def test_process_can_wait_on_barrier(self, sim):
+        from repro.sim.engine import Barrier
+
+        barrier = Barrier(sim, count=2)
+        sim.schedule(1.0, barrier.arrive)
+        sim.schedule(4.0, barrier.arrive)
+
+        def proc():
+            yield barrier
+            return sim.now
+
+        assert sim.run(sim.process(proc())) == pytest.approx(4.0)
