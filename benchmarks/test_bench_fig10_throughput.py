@@ -1,7 +1,25 @@
-"""Benchmark: regenerate Figure 10 (headline decoding-throughput comparison)."""
+"""Benchmark: regenerate Figure 10 (headline decoding-throughput comparison).
 
+Alongside the full fast-mode smoke, the 8-SmartSSD sweep is timed in the
+same two regimes as the serving benchmark:
+
+* **cold** -- an empty calibration store: every figure point pays a full
+  event-level simulation.  This is the number the representative-device
+  substrate targets (one simulated device instead of eight, slot-free
+  batched event delivery).
+* **warm** -- the store already holds the sweep's points: the run performs
+  zero ``measure()`` calls and only reconstructs tables.
+
+Both are gated by CI's bench-smoke job against ``BENCH_serving.json``.
+"""
+
+from repro.calibration import CalibrationStore
+from repro.calibration.store import clear_memory_layer
 from repro.experiments import fig10_throughput
 from repro.experiments.harness import format_tables
+
+#: The tracked sweep: HILOS on the paper's default eight-SmartSSD array.
+SWEEP_SYSTEMS = ["HILOS (8 SmartSSDs)"]
 
 
 def test_fig10(run_experiment, capsys):
@@ -19,3 +37,58 @@ def test_fig10(run_experiment, capsys):
     ] * 0.8
     # The FPGA-disabled platform trails FLEX(SSD) (paper: 0.64-0.94x).
     assert 0.6 < by_system[("FLEX(16 PCIe 3.0 SSDs)", 32768)] < 1.0
+
+
+def _assert_sweep_shape(tables):
+    rows = tables[0].to_dicts()
+    assert {r["system"] for r in rows} == set(SWEEP_SYSTEMS)
+    assert all(r["tokens_per_s"] > 0 for r in rows)
+
+
+def test_fig10_8ssd_cold(benchmark, tmp_path, capsys):
+    """Cold-store 8-SmartSSD sweep: every point simulated in-run."""
+    state = {"round": 0}
+
+    def setup():
+        state["round"] += 1
+        clear_memory_layer()
+        return (), {"store": CalibrationStore(tmp_path / f"cold{state['round']}")}
+
+    tables = benchmark.pedantic(
+        lambda store: fig10_throughput.run(
+            fast=True, systems=SWEEP_SYSTEMS, store=store
+        ),
+        setup=setup,
+        rounds=3,
+        iterations=1,
+    )
+    with capsys.disabled():
+        print("\n" + format_tables(tables))
+    _assert_sweep_shape(tables)
+    # Cold means cold: every point was measured in this run.
+    assert sum(tables[1].column("new_measurements")) > 0
+
+
+def test_fig10_8ssd_warm(benchmark, tmp_path):
+    """Warm-store 8-SmartSSD sweep: zero measurements, table-only cost."""
+    store_dir = tmp_path / "warm"
+    clear_memory_layer()
+    fig10_throughput.run(fast=True, systems=SWEEP_SYSTEMS, store=CalibrationStore(store_dir))
+
+    def setup():
+        # A fresh memory layer per round models a new process whose only
+        # warmth is the on-disk store.
+        clear_memory_layer()
+        return (), {"store": CalibrationStore(store_dir)}
+
+    tables = benchmark.pedantic(
+        lambda store: fig10_throughput.run(
+            fast=True, systems=SWEEP_SYSTEMS, store=store
+        ),
+        setup=setup,
+        rounds=3,
+        iterations=1,
+    )
+    _assert_sweep_shape(tables)
+    assert sum(tables[1].column("new_measurements")) == 0
+    assert all(cells > 0 for cells in tables[1].column("cached_points"))

@@ -42,7 +42,10 @@ def accelerator_feasibility(model) -> None:
 
 
 def sweep_devices(model) -> int:
-    print("device-count sweep (auto alpha, c=16):")
+    # symmetry="auto" (the measure() default) folds each homogeneous
+    # SmartSSD array to one representative device, so this sweep costs
+    # O(n_groups) instead of O(n_devices) simulated flows per point.
+    print("device-count sweep (auto alpha, c=16, representative devices):")
     best_n, best_tput = 0, 0.0
     for n_devices in (2, 4, 8, 16):
         system = HilosSystem(model, HilosConfig(n_devices=n_devices))

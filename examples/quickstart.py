@@ -7,6 +7,12 @@ automatically selected X-cache ratio, and the Equation 3 traffic reduction.
 Run with::
 
     python examples/quickstart.py
+
+By default the simulation substrate folds each homogeneous device array to
+one representative device (``symmetry="auto"``) -- numerically equivalent
+and much faster as device counts grow.  Set ``system.symmetry = "full"``
+(or ``SYMMETRY = "full"`` below) to force the reference full-array path,
+e.g. when inspecting per-device channels interactively.
 """
 
 from __future__ import annotations
@@ -20,6 +26,9 @@ from repro.models import get_model
 MODEL = "OPT-66B"
 BATCH = 16
 SEQ_LEN = 32768
+#: Simulation substrate mode: "auto" (representative-device folding),
+#: "full" (simulate every device), or "representative" (require folding).
+SYMMETRY = "auto"
 
 
 def main() -> None:
@@ -39,6 +48,7 @@ def main() -> None:
     ]
     baseline_tput = None
     for system in systems:
+        system.symmetry = SYMMETRY
         result = system.measure(BATCH, SEQ_LEN, n_steps=1, warmup_steps=1)
         if result.oom:
             print(f"{system.name:24s} CPU OOM")

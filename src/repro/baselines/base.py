@@ -105,6 +105,11 @@ class InferenceSystem(abc.ABC):
     name: str = "abstract"
     #: Where this framework keeps the KV cache (drives batch feasibility).
     kv_placement: KVPlacement = KVPlacement.STORAGE
+    #: Simulation symmetry mode passed to ``build_system`` by ``measure()``:
+    #: ``"auto"`` folds homogeneous device arrays to a representative device
+    #: (numerically equivalent, O(n_groups) instead of O(n_devices));
+    #: ``"full"`` forces the reference full-array path.
+    symmetry: str = "auto"
     #: Per-layer fixed overhead: kernel launches, framework bookkeeping.
     per_layer_overhead_s: float = 0.003
     #: Delivered bandwidth of the framework's pinned-buffer weight pipeline.
@@ -215,7 +220,7 @@ class InferenceSystem(abc.ABC):
             return MeasuredResult.out_of_memory(
                 self.name, self.model.name, batch_size, seq_len, note="CPU OOM"
             )
-        system = build_system(self.hardware_config())
+        system = build_system(self.hardware_config(), symmetry=self.symmetry)
         recorder = PhaseRecorder(system.sim)
         ctx = StepContext(
             system=system,
@@ -280,12 +285,13 @@ class InferenceSystem(abc.ABC):
 
     @staticmethod
     def _storage_written(system: SystemModel) -> tuple[float, float]:
-        """(logical, physical) bytes written across every flash device."""
-        logical = sum(d.logical_bytes_written for d in system.ssds)
-        physical = sum(d.physical_bytes_written for d in system.ssds)
-        logical += sum(d.flash.logical_bytes_written for d in system.smartssds)
-        physical += sum(d.flash.physical_bytes_written for d in system.smartssds)
-        return logical, physical
+        """(logical, physical) bytes written across the *logical* flash array.
+
+        Goes through the symmetric-group counters so representative-device
+        simulations report array-wide totals, not the lone simulated share.
+        """
+        counters = system.storage_counters()
+        return counters.logical_written, counters.physical_written
 
     # --- prefill (analytic, Section 6.4 / Figure 14) ------------------------------------------
 

@@ -47,8 +47,8 @@ class DeepSpeedUVM(InferenceSystem):
             self.hardware_config().host_dram_bytes,
         )
         ctx.system.dram.allocate(plan.dram_resident_bytes, what="DS+UVM resident state")
-        if plan.storage_resident_bytes and ctx.system.ssds:
-            share = plan.storage_resident_bytes / len(ctx.system.ssds)
+        if plan.storage_resident_bytes and ctx.system.ssd_group:
+            share = plan.storage_resident_bytes / ctx.system.ssd_group.size
             for ssd in ctx.system.ssds:
                 ssd.allocate(share)
 

@@ -24,10 +24,28 @@ grids) and when the on-disk format version changes.
 """
 
 from repro.calibration.fingerprint import system_fingerprint
-from repro.calibration.store import CalibrationStore, default_store
+from repro.calibration.store import CalibrationStore, default_store, resolve_store
 
 __all__ = [
     "CalibrationStore",
+    "FigurePointCache",
     "default_store",
+    "prewarm_step_grids",
+    "resolve_store",
     "system_fingerprint",
 ]
+
+
+def __getattr__(name: str):
+    # Lazy: figures/prewarm pull in the simulation stack, which would turn
+    # ``import repro`` (whose __init__ imports this package for the store)
+    # into a circular import at module load time.
+    if name == "FigurePointCache":
+        from repro.calibration.figures import FigurePointCache
+
+        return FigurePointCache
+    if name == "prewarm_step_grids":
+        from repro.calibration.prewarm import prewarm_step_grids
+
+        return prewarm_step_grids
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

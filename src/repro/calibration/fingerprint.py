@@ -52,25 +52,54 @@ def canonical_value(value: Any) -> Any:
     )
 
 
+#: Behaviour-affecting scalar knobs that live on the system object itself
+#: rather than in its model/hardware configs.  Reflected into the payload
+#: when present so two systems differing only in, say, their framework
+#: staging bandwidth cannot collide on one grid.
+_SYSTEM_TUNABLE_ATTRS = (
+    "per_layer_overhead_s",
+    "weight_staging_bandwidth",
+    "staging_bandwidth",
+    "uvm_bandwidth",
+)
+
+
 def fingerprint_payload(
     system: Any,
     batch_grid: tuple[int, ...],
     seq_grid: tuple[int, ...],
     n_steps: int,
     warmup_steps: int,
+    semantics: str = "billed-step",
 ) -> dict:
     """The canonical description that :func:`system_fingerprint` hashes.
 
     Exposed separately so the store can persist it next to each grid,
     making cache files self-describing (and collisions debuggable).
+
+    ``semantics`` names what the persisted cells *mean* (e.g. the serving
+    grids bill clamped batches at a scaled step time, figure points store
+    the raw step), so consumers with different cell semantics can never
+    serve each other's values even on identical (system, grid) inputs.
+    Besides model and hardware, the payload reflects the system's own
+    behavioural config (``system.config``, e.g. ``HilosConfig``'s feature
+    flags) and the scalar tunables above -- anything that could change a
+    measured number must change the fingerprint.
     """
     from repro import __version__
 
     return {
         "scheme": FINGERPRINT_SCHEME,
         "repro_version": __version__,
+        "semantics": semantics,
         "system_class": type(system).__name__,
         "system_name": getattr(system, "name", type(system).__name__),
+        "system_config": canonical_value(getattr(system, "config", None)),
+        "system_tunables": {
+            attr: canonical_value(getattr(system, attr))
+            for attr in _SYSTEM_TUNABLE_ATTRS
+            if isinstance(getattr(system, attr, None), (int, float))
+        },
         "model": canonical_value(system.model),
         "hardware": canonical_value(system.hardware_config()),
         "batch_grid": list(batch_grid),
@@ -86,8 +115,11 @@ def system_fingerprint(
     seq_grid: tuple[int, ...],
     n_steps: int = 1,
     warmup_steps: int = 0,
+    semantics: str = "billed-step",
 ) -> str:
     """Hex digest identifying one (system, measurement grid) combination."""
-    payload = fingerprint_payload(system, batch_grid, seq_grid, n_steps, warmup_steps)
+    payload = fingerprint_payload(
+        system, batch_grid, seq_grid, n_steps, warmup_steps, semantics=semantics
+    )
     rendered = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(rendered.encode("utf-8")).hexdigest()

@@ -5,12 +5,17 @@ Layout: one JSON file per fingerprint under the store root::
     <root>/<fingerprint>.json
     {
       "format": 1,
-      "repro_version": "1.0.0",
+      "repro_version": "1.1.0",
       "fingerprint": "ab12...",
       "description": { ...canonical fingerprint payload... },
       "step_seconds": {"16,4096": 8.579831, ...},
-      "prefill_seconds": {"16,8542": 112.4, ...}
+      "prefill_seconds": {"16,8542": 112.4, ...},
+      "breakdown_seconds": {"16,4096": {"load_kv": 5.1, ...}, ...}
     }
+
+``breakdown_seconds`` is optional (absent for serving grids): the figure
+harnesses persist per-phase second stacks next to each step cell so warm
+re-runs can regenerate the paper's breakdown charts without re-simulating.
 
 The in-memory layer is process-wide and keyed by (store root, fingerprint),
 so every experiment in one process (e.g. the serving system x policy sweep,
@@ -69,6 +74,20 @@ def default_store() -> "CalibrationStore":
     return CalibrationStore(default_store_dir())
 
 
+def resolve_store(
+    store: "CalibrationStore | None", use_store: bool
+) -> "CalibrationStore | None":
+    """The one precedence rule every experiment harness applies.
+
+    ``use_store=False`` wins over an explicit store -- "measure from
+    scratch" must mean exactly that; otherwise an explicit store is used
+    as given, and ``None`` falls back to the shared default store.
+    """
+    if not use_store:
+        return None
+    return store if store is not None else default_store()
+
+
 def clear_memory_layer() -> None:
     """Drop the process-wide layer (tests and long-lived daemons)."""
     _MEMORY.clear()
@@ -105,9 +124,31 @@ class CalibrationStore:
             return None
         step = payload.get("step_seconds")
         prefill = payload.get("prefill_seconds", {})
-        if not isinstance(step, dict) or not isinstance(prefill, dict):
+        breakdown = payload.get("breakdown_seconds", {})
+        if (
+            not isinstance(step, dict)
+            or not isinstance(prefill, dict)
+            or not isinstance(breakdown, dict)
+        ):
             return None
-        return {"step_seconds": dict(step), "prefill_seconds": dict(prefill)}
+        try:
+            # Normalize every cell eagerly: a syntactically-valid JSON file
+            # with malformed cells (bad grid keys, non-numeric values) is
+            # corruption and must read as a miss, not crash later loads.
+            entry = {
+                "step_seconds": {key: float(value) for key, value in step.items()},
+                "prefill_seconds": {key: float(value) for key, value in prefill.items()},
+                "breakdown_seconds": {
+                    key: {str(phase): float(v) for phase, v in value.items()}
+                    for key, value in breakdown.items()
+                },
+            }
+            for grids in entry.values():
+                for key in grids:
+                    _parse_grid_key(key)
+        except (AttributeError, TypeError, ValueError):
+            return None
+        return entry
 
     def _memory_key(self, fingerprint: str) -> tuple[str, str]:
         return (str(self.root.resolve()), fingerprint)
@@ -120,7 +161,9 @@ class CalibrationStore:
             entry = self._load_disk(fingerprint) or {
                 "step_seconds": {},
                 "prefill_seconds": {},
+                "breakdown_seconds": {},
             }
+            entry.setdefault("breakdown_seconds", {})
             _MEMORY[key] = entry
         return entry
 
@@ -142,6 +185,16 @@ class CalibrationStore:
             for key, value in entry["prefill_seconds"].items()
         }
 
+    def load_breakdown_grid(
+        self, fingerprint: str
+    ) -> dict[tuple[int, int], dict[str, float]]:
+        """All persisted per-phase breakdown stacks for a fingerprint."""
+        entry = self._entry(fingerprint)
+        return {
+            _parse_grid_key(key): {phase: float(v) for phase, v in value.items()}
+            for key, value in entry["breakdown_seconds"].items()
+        }
+
     # --- write side -------------------------------------------------------------
 
     def record(
@@ -150,6 +203,7 @@ class CalibrationStore:
         description: dict | None = None,
         step_cells: dict[tuple[int, int], float] | None = None,
         prefill_cells: dict[tuple[int, int], float] | None = None,
+        breakdown_cells: dict[tuple[int, int], dict[str, float]] | None = None,
         flush: bool = True,
     ) -> None:
         """Merge newly measured cells into the memory layer.
@@ -168,6 +222,9 @@ class CalibrationStore:
         if prefill_cells:
             for (batch, seq_len), value in prefill_cells.items():
                 entry["prefill_seconds"][_grid_key(batch, seq_len)] = value
+        if breakdown_cells:
+            for (batch, seq_len), value in breakdown_cells.items():
+                entry["breakdown_seconds"][_grid_key(batch, seq_len)] = dict(value)
         if flush:
             self._flush(fingerprint, entry, description)
             self._dirty.pop(fingerprint, None)
@@ -205,12 +262,15 @@ class CalibrationStore:
         on_disk = self._load_disk(fingerprint)
         step = dict(on_disk["step_seconds"]) if on_disk else {}
         prefill = dict(on_disk["prefill_seconds"]) if on_disk else {}
+        breakdown = dict(on_disk["breakdown_seconds"]) if on_disk else {}
         step.update(entry["step_seconds"])
         prefill.update(entry["prefill_seconds"])
+        breakdown.update(entry["breakdown_seconds"])
         # Adopt the merged view in the memory layer too, so this process
         # also benefits from cells a concurrent worker persisted.
         entry["step_seconds"] = step
         entry["prefill_seconds"] = prefill
+        entry["breakdown_seconds"] = breakdown
         payload = {
             "format": STORE_FORMAT,
             "repro_version": __version__,
@@ -218,6 +278,7 @@ class CalibrationStore:
             "description": description or {},
             "step_seconds": dict(sorted(step.items())),
             "prefill_seconds": dict(sorted(prefill.items())),
+            "breakdown_seconds": dict(sorted(breakdown.items())),
         }
         # Atomic replace: concurrent --jobs workers may flush the same
         # fingerprint; a torn read is impossible and last-writer-wins is

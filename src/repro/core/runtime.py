@@ -123,7 +123,7 @@ class HilosSystem(InferenceSystem):
         resident = alpha * x_bytes + (1.0 - alpha) * kv_bytes
         if self.weight_placement() is WeightPlacement.STORAGE:
             resident += self.model.weight_bytes()
-        share = resident / len(system.smartssds)
+        share = resident / system.smartssd_group.size
         for dev in system.smartssds:
             dev.flash.allocate(share)
         # Host DRAM: writeback buffers + activations only (Fig. 4c: low).
@@ -222,9 +222,13 @@ class HilosSystem(InferenceSystem):
     # --- concurrent attention paths ----------------------------------------------------------
 
     def _nsp_attention(self, ctx: StepContext, kv_bytes: float) -> Event:
-        """The (1-alpha) portion: flash P2P reads + accelerator pipelines."""
+        """The (1-alpha) portion: flash P2P reads + accelerator pipelines.
+
+        Striped evenly over the NSP array; in representative mode the single
+        simulated device carries one share and stands in for the group.
+        """
         system = ctx.system
-        share = kv_bytes / len(system.smartssds)
+        share = kv_bytes / system.smartssd_group.size
         done = Barrier(ctx.sim, name=LOAD_KV)
         for dev in system.smartssds:
             dev.p2p_read_into(share, LOAD_KV, done)

@@ -10,6 +10,12 @@ Configurations (all normalized to ``FLEX(SSD)``):
 MoE models (GLaM-143B) see smaller relative gains -- their KV-to-weight
 ratio is lower -- while longer contexts and bigger batches amplify the
 benefits.
+
+An extra ``ANS+WB+X (slow dev0)`` row degrades one SmartSSD's flash read
+bandwidth to half: striping stays uniform, so the slow device becomes the
+straggler every layer waits on.  The perturbed array is asymmetric, which
+makes the simulation substrate fall back from representative-device folding
+to the full-array path automatically (``symmetry="auto"``).
 """
 
 from __future__ import annotations
@@ -19,8 +25,25 @@ from repro.core.config import HilosConfig
 from repro.core.runtime import HilosSystem
 from repro.experiments.harness import Table
 from repro.models import get_model
+from repro.sim.topology import DevicePerturbation, HardwareConfig, host_pcie_for_gpu
 
 N_DEVICES = 16
+
+#: One device at half flash-read bandwidth: the straggler ablation.
+SLOW_DEVICE_SCALE = 0.5
+
+
+def _degraded_hardware() -> HardwareConfig:
+    """The evaluated 16-device array with SmartSSD 0 degraded."""
+    return HardwareConfig(
+        gpu="A100",
+        n_conventional_ssds=0,
+        n_smartssds=N_DEVICES,
+        host_pcie_bandwidth=host_pcie_for_gpu("A100"),
+        smartssd_perturbations=(
+            DevicePerturbation(0, flash_read_scale=SLOW_DEVICE_SCALE),
+        ),
+    )
 
 ABLATIONS = [
     ("ANS", HilosConfig(n_devices=N_DEVICES, use_xcache=False, use_delayed_writeback=False)),
@@ -38,23 +61,31 @@ FULL_POINTS = [
 ]
 
 
-def run(fast: bool = True) -> list[Table]:
-    """Normalized throughput for each ablation configuration."""
+def run(fast: bool = True, symmetry: str = "auto") -> list[Table]:
+    """Normalized throughput for each ablation configuration.
+
+    ``symmetry`` threads through to the simulation substrate; the
+    slow-device row is asymmetric and always takes the full-array path.
+    """
     points = FAST_POINTS if fast else FULL_POINTS
     table = Table(
         title="Fig 15 ablation study (normalized to FLEX(SSD))",
         columns=["model", "batch", "seq_len", "config", "tokens_per_s", "normalized"],
+        notes="(slow dev0): one SmartSSD at half flash-read bandwidth "
+        "(asymmetric array, full-array simulation path)",
     )
     for model_name, batch, seq_len in points:
         model = get_model(model_name)
-        flex = FlexGenSSD(model).measure(batch, seq_len, n_steps=1, warmup_steps=1)
+        flex_system = FlexGenSSD(model)
+        flex_system.symmetry = symmetry
+        flex = flex_system.measure(batch, seq_len, n_steps=1, warmup_steps=1)
         table.add_row(
             model_name, batch, seq_len, "FLEX(SSD)", flex.tokens_per_second, 1.0
         )
         for label, config in ABLATIONS:
-            result = HilosSystem(model, config).measure(
-                batch, seq_len, n_steps=1, warmup_steps=1
-            )
+            system = HilosSystem(model, config)
+            system.symmetry = symmetry
+            result = system.measure(batch, seq_len, n_steps=1, warmup_steps=1)
             table.add_row(
                 model_name,
                 batch,
@@ -63,6 +94,19 @@ def run(fast: bool = True) -> list[Table]:
                 result.tokens_per_second,
                 result.tokens_per_second / flex.tokens_per_second,
             )
+        straggler = HilosSystem(
+            model, HilosConfig(n_devices=N_DEVICES), hardware=_degraded_hardware()
+        )
+        straggler.symmetry = symmetry if symmetry != "representative" else "auto"
+        result = straggler.measure(batch, seq_len, n_steps=1, warmup_steps=1)
+        table.add_row(
+            model_name,
+            batch,
+            seq_len,
+            "ANS+WB+X (slow dev0)",
+            result.tokens_per_second,
+            result.tokens_per_second / flex.tokens_per_second,
+        )
     return [table]
 
 

@@ -6,11 +6,18 @@ Usage::
     python -m repro.experiments.runner fig10 fig15
     python -m repro.experiments.runner --all --full --jobs 4
     python -m repro.experiments.runner serving --fast --batch-grid 1,4,16
+    python -m repro.experiments.runner --prewarm --jobs 8
+    python -m repro.experiments.runner fig10 --symmetry full
 
 Independent experiments fan out across worker processes with ``--jobs N``;
 results print in request order as soon as each is ready.  Serving-specific
 knobs (calibration grids, calibration store directory) pass through to any
-experiment whose ``run()`` accepts them.
+experiment whose ``run()`` accepts them.  ``--prewarm`` measures the
+serving systems' missing calibration cells across ``--jobs`` processes
+before (or instead of) running experiments; ``--symmetry`` forces the
+simulation substrate mode for experiments that accept it ("auto" folds
+homogeneous device arrays to representative devices, "full" simulates
+every device).
 """
 
 from __future__ import annotations
@@ -93,6 +100,16 @@ def main(argv: list[str] | None = None) -> int:
         "--jobs", type=int, default=1, metavar="N",
         help="run independent experiments across N worker processes",
     )
+    parser.add_argument(
+        "--symmetry", choices=("auto", "full", "representative"), default=None,
+        help="simulation substrate mode for experiments that accept it "
+        "(auto folds homogeneous device arrays to representative devices)",
+    )
+    parser.add_argument(
+        "--prewarm", action="store_true",
+        help="measure the serving systems' missing calibration cells across "
+        "--jobs processes before (or instead of) running experiments",
+    )
     serving_throughput.add_calibration_cli(parser)
     args = parser.parse_args(argv)
     if args.list:
@@ -104,21 +121,52 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--fast and --full are mutually exclusive")
     if args.jobs < 1:
         parser.error("--jobs must be at least 1")
+    if args.prewarm and args.no_store:
+        parser.error("--prewarm requires the persistent store (conflicts with --no-store)")
     names = list(EXPERIMENTS) if args.all else args.experiments
-    if not names:
+    if not names and not args.prewarm:
         parser.error("no experiments requested (use --all or --list)")
     for name in names:
         if name not in EXPERIMENTS:
             parser.error(f"unknown experiment {name!r} (use --list)")
 
     kwargs = serving_throughput.calibration_kwargs(parser, args)
-    if kwargs and not any(
+    if args.symmetry is not None:
+        kwargs["symmetry"] = args.symmetry
+    if kwargs and names and not any(
         _supported_kwargs(EXPERIMENTS[name], kwargs) for name in names
     ):
         parser.error(
             "none of the requested experiments accept the given "
             f"calibration options ({', '.join(sorted(kwargs))})"
         )
+
+    if args.prewarm:
+        from repro.calibration.prewarm import prewarm_step_grids
+        from repro.serving.steptime import DEFAULT_BATCH_GRID, DEFAULT_SEQ_GRID
+
+        labels = (
+            serving_throughput.FULL_SYSTEMS if args.full
+            else serving_throughput.FAST_SYSTEMS
+        )
+        started = time.time()
+        reports = prewarm_step_grids(
+            labels,
+            batch_grid=kwargs.get("batch_grid", DEFAULT_BATCH_GRID),
+            seq_grid=kwargs.get("seq_grid", DEFAULT_SEQ_GRID),
+            store=kwargs.get("store"),
+            jobs=args.jobs,
+        )
+        elapsed = time.time() - started
+        for report in reports:
+            print(
+                f"[prewarm] {report.label}: {report.measured} measured, "
+                f"{report.already_cached} cached, {report.infeasible} infeasible "
+                f"of {report.total_cells} cells ({report.fingerprint[:16]})"
+            )
+        print(f"[prewarm completed in {elapsed:.1f}s across {args.jobs} jobs]")
+        if not names:
+            return 0
 
     fast = not args.full
     if args.jobs == 1 or len(names) == 1:

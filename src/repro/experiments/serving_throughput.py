@@ -19,7 +19,7 @@ from __future__ import annotations
 import argparse
 
 from repro.baselines.registry import build_inference_system
-from repro.calibration import CalibrationStore, default_store
+from repro.calibration import CalibrationStore, resolve_store
 from repro.experiments.harness import Table
 from repro.models import get_model
 from repro.serving import default_policies, drain_queue
@@ -57,21 +57,19 @@ def run(
     use_store: bool = True,
     batch_grid: tuple[int, ...] | None = None,
     seq_grid: tuple[int, ...] | None = None,
+    symmetry: str = "auto",
 ) -> list[Table]:
     """Drain one seeded queue through every (system, policy) pair.
 
     ``store`` overrides the calibration store (``use_store=False`` disables
     persistence entirely -- every run then measures from scratch); the grid
-    arguments override the default calibration grids.
+    arguments override the default calibration grids.  ``symmetry`` selects
+    the simulation substrate mode for calibration measurements ("auto"
+    folds symmetric device arrays to representative devices).
     """
     systems = systems or (FAST_SYSTEMS if fast else FULL_SYSTEMS)
     n_requests = n_requests or (FAST_REQUESTS if fast else FULL_REQUESTS)
-    if not use_store:
-        # ``use_store=False`` wins over an explicit store: "measure from
-        # scratch" must mean exactly that.
-        store = None
-    elif store is None:
-        store = default_store()
+    store = resolve_store(store, use_store)
     queue = sample_request_classes(n_requests, seed=seed)
     model = get_model(MODEL)
     table = Table(
@@ -105,6 +103,7 @@ def run(
     clamped_any = False
     for label in systems:
         system = build_inference_system(label, model)
+        system.symmetry = symmetry
         step_time = CalibratedStepTime(
             system,
             batch_grid=batch_grid or DEFAULT_BATCH_GRID,

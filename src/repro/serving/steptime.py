@@ -220,6 +220,37 @@ class CalibratedStepTime(StepTimeModel):
         if self.store is not None:
             self.store.flush_dirty()
 
+    def missing_cells(self) -> list[tuple[int, int]]:
+        """Grid cells not yet cached (hydrating from the store first).
+
+        The parallel pre-warmer (:mod:`repro.calibration.prewarm`) fans
+        exactly these cells across worker processes.
+        """
+        if not self._hydrated:
+            self.prewarm()
+        return [
+            (batch, seq_len)
+            for batch in self.batch_grid
+            for seq_len in self.seq_grid
+            if (batch, seq_len) not in self._cache
+        ]
+
+    def seed_cell(self, cell: tuple[int, int], step_seconds: float) -> None:
+        """Install an externally measured cell (pre-warmer merge path).
+
+        The value lands in the in-memory cache and -- when a store is
+        attached -- is recorded with a deferred flush, so a sweep boundary
+        (or the atexit hook) persists it alongside locally measured cells.
+        """
+        self._cache[cell] = step_seconds
+        if self.store is not None:
+            self.store.record(
+                self.fingerprint,
+                description=self._description(),
+                step_cells={cell: step_seconds},
+                flush=False,
+            )
+
     @property
     def calibration_points(self) -> int:
         """Number of grid cells currently cached (measured or store-loaded)."""

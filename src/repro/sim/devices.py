@@ -8,12 +8,69 @@ the host interconnect emerges naturally from the simulation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Any, Callable
 
 from repro.errors import CapacityError, ConfigurationError
 from repro.sim.channel import Channel, ComputeResource
 from repro.sim.engine import Barrier, Event, Simulator
 from repro.units import GB, GiB, TFLOPS
+
+
+@dataclass
+class SymmetricGroup:
+    """A group of interchangeable devices, possibly folded to a representative.
+
+    The paper's headline arrays stripe every transfer uniformly across
+    *identical* SmartSSDs (or conventional drives), so each member performs
+    exactly the same work on its own private channels.  In representative
+    mode the simulator instantiates **one** member and the group records the
+    logical ``size``; timing is unchanged (each member's channels would have
+    seen the identical request stream) and aggregate accounting is
+    reconstructed by multiplying the representative's counters by
+    :attr:`multiplier` (see :func:`repro.sim.metrics.mirrored_sum`).
+
+    In full mode ``devices`` holds all ``size`` members and the multiplier
+    is 1.0, so every accounting helper degrades to a plain sum -- the two
+    modes share one code path everywhere.
+    """
+
+    devices: list = field(default_factory=list)
+    size: int = 0
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise ConfigurationError("device group size must be non-negative")
+        if len(self.devices) not in (self.size, 1 if self.size else 0):
+            raise ConfigurationError(
+                f"device group must hold all {self.size} members or a single "
+                f"representative, not {len(self.devices)}"
+            )
+
+    @property
+    def representative(self) -> bool:
+        """Whether one simulated device stands in for the whole group."""
+        return self.size > len(self.devices)
+
+    @property
+    def multiplier(self) -> float:
+        """Logical devices per simulated device (1.0 in full-array mode)."""
+        if not self.devices:
+            return 1.0
+        return self.size / len(self.devices)
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __bool__(self) -> bool:
+        return self.size > 0
+
+    def __iter__(self):
+        return iter(self.devices)
+
+    def total(self, getter: Callable[[Any], float]) -> float:
+        """Aggregate ``getter`` over the *logical* array (mirrored sum)."""
+        return self.multiplier * sum(getter(device) for device in self.devices)
 
 
 @dataclass(frozen=True)

@@ -197,9 +197,15 @@ class Barrier(Event):
             raise SimulationError(f"barrier {self.name!r} already triggered")
         self._pending += count
 
-    def arrive(self) -> None:
-        """Record one completion; fires the barrier when all have arrived."""
-        self._pending -= 1
+    def arrive(self, count: int = 1) -> None:
+        """Record ``count`` completions; fires the barrier when all arrived.
+
+        Producers that learn of several completions at once (a representative
+        device standing in for a symmetric group, a channel finishing a batch
+        of equal flows) coalesce them into a single arrival call instead of
+        ticking the barrier once per constituent.
+        """
+        self._pending -= count
         if self._pending == 0:
             self.succeed(None)
         elif self._pending < 0:
@@ -360,11 +366,21 @@ class Simulator:
         the heap is exhausted or that time is reached), or ``None`` (drain
         the heap).  Drain/horizon runs re-raise the first failure no waiter
         observed, so fire-and-forget process errors are never lost.
+
+        Delivery is *batched*: every live callback sharing the earliest
+        timestamp is popped in one sweep (cancelled timer entries are
+        discarded in the same pass without dispatch overhead) and the batch
+        runs back-to-back in schedule order.  Callbacks scheduled *during* a
+        batch for the same timestamp land in the next sweep, which preserves
+        the strict (time, sequence) execution order of one-at-a-time
+        delivery while touching the heap and the clock once per timestamp
+        instead of once per event.
         """
         if isinstance(until, Event):
             stop_event = until
             while not stop_event.triggered:
-                if not self._heap:
+                batch = self._next_batch(float("inf"))
+                if batch is None:
                     if self._unobserved_failures:
                         # The deadlock is downstream of a process failure
                         # nobody observed; raise the root cause, not the
@@ -375,14 +391,17 @@ class Simulator:
                         "simulation ran out of events before the awaited "
                         f"event {stop_event.name!r} triggered (deadlock?)"
                     )
-                self._pop_and_run()
+                self._run_batch(batch, stop_event)
             if stop_event.failed:
                 self._discharge_failure(stop_event)
                 raise stop_event.exception
             return stop_event.value
         horizon = float("inf") if until is None else float(until)
-        while self._heap and self._heap[0][0] <= horizon:
-            self._pop_and_run()
+        while True:
+            batch = self._next_batch(horizon)
+            if batch is None:
+                break
+            self._run_batch(batch, None)
         if until is not None and horizon > self._now:
             self._now = horizon
         if self._unobserved_failures:
@@ -393,18 +412,64 @@ class Simulator:
             raise failed.exception
         return None
 
-    def _pop_and_run(self) -> None:
-        time, _, callback = heapq.heappop(self._heap)
-        if callback.__class__ is ScheduledCallback:
-            if callback.cancelled:
-                # Lazily-invalidated entry: drop it without advancing time,
-                # so a stale channel timer armed past the last real event can
-                # never stretch the simulated clock.
-                return
-            callback = callback.callback
-        if time < self._now - 1e-12:
+    def _next_batch(self, horizon: float) -> list[tuple[int, Callable[[], None]]] | None:
+        """Pop every live callback at the earliest live timestamp.
+
+        Returns ``None`` when no live entry exists at or before ``horizon``.
+        Cancelled :class:`ScheduledCallback` entries are dropped without
+        advancing the clock, so a stale channel timer armed past the last
+        real event can never stretch the simulated clock.
+        """
+        heap = self._heap
+        pop = heapq.heappop
+        while heap:
+            head_callback = heap[0][2]
+            if head_callback.__class__ is ScheduledCallback and head_callback.cancelled:
+                pop(heap)
+                continue
+            break
+        if not heap or heap[0][0] > horizon:
+            return None
+        batch_time = heap[0][0]
+        if batch_time < self._now - 1e-12:
             raise SimulationError("event heap produced a time in the past")
-        if time > self._now:
-            self._now = time
-        self._processed += 1
-        callback()
+        if batch_time > self._now:
+            self._now = batch_time
+        batch: list[tuple[int, Callable[[], None]]] = []
+        append = batch.append
+        while heap and heap[0][0] == batch_time:
+            _, sequence, callback = pop(heap)
+            if callback.__class__ is ScheduledCallback:
+                if callback.cancelled:
+                    continue
+                callback = callback.callback
+            append((sequence, callback))
+        return batch
+
+    def _run_batch(
+        self,
+        batch: list[tuple[int, Callable[[], None]]],
+        stop_event: Event | None,
+    ) -> None:
+        """Execute one same-timestamp batch in schedule order.
+
+        If the awaited ``stop_event`` triggers mid-batch, or a callback
+        raises, the unrun tail is pushed back (with its original sequence
+        numbers, so ordering is preserved) for a later ``run()`` call --
+        exactly the state one-at-a-time delivery would have left.
+        """
+        index = 0
+        n = len(batch)
+        try:
+            while index < n:
+                callback = batch[index][1]
+                index += 1
+                self._processed += 1
+                callback()
+                if stop_event is not None and stop_event.triggered:
+                    break
+        finally:
+            if index < n:
+                now = self._now
+                for sequence, callback in batch[index:]:
+                    heapq.heappush(self._heap, (now, sequence, callback))

@@ -21,6 +21,7 @@ the host interconnect.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 
 from repro.errors import CapacityError, ConfigurationError
@@ -46,6 +47,19 @@ class SSDSpec:
             raise ConfigurationError(f"SSD spec {self.name!r} must have positive sizes")
         if self.page_bytes <= 0:
             raise ConfigurationError(f"SSD spec {self.name!r} page size must be positive")
+
+    def scaled(self, read_scale: float = 1.0, write_scale: float = 1.0) -> "SSDSpec":
+        """A derived spec with bandwidths scaled (fig15-style perturbations)."""
+        if read_scale <= 0 or write_scale <= 0:
+            raise ConfigurationError(f"SSD spec {self.name!r}: scales must be positive")
+        if read_scale == 1.0 and write_scale == 1.0:
+            return self
+        return dataclasses.replace(
+            self,
+            name=f"{self.name}[x{read_scale:g}r/{write_scale:g}w]",
+            read_bandwidth=self.read_bandwidth * read_scale,
+            write_bandwidth=self.write_bandwidth * write_scale,
+        )
 
 
 #: Samsung PM9A3 3.84 TB (Table 1 baseline drive).

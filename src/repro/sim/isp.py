@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from repro.errors import ConfigurationError
 from repro.sim.flash import SSDSpec
-from repro.sim.topology import HardwareConfig
+from repro.sim.topology import DevicePerturbation, HardwareConfig
 from repro.units import GB, TB, pcie_bandwidth
 
 #: The envisioned ISP drive's NAND array: 16 TB over eight flash channels.
@@ -41,13 +41,17 @@ def isp_hardware_config(
     n_devices: int = 1,
     gpu: str = "A100",
     host_pcie_bandwidth: float = 25 * GB,
+    perturbations: tuple[DevicePerturbation, ...] = (),
 ) -> HardwareConfig:
     """A host populated with envisioned ISP devices instead of SmartSSDs.
 
     The ISP is modeled through the same NSP device abstraction: flash feeds
     an on-device accelerator through device DRAM, and only attention inputs
     and outputs cross the external link -- the architectural property both
-    device generations share.
+    device generations share.  A multi-ISP array is homogeneous and thus
+    folds to a representative device under ``symmetry="auto"`` exactly like
+    the SmartSSD arrays; ``perturbations`` degrade individual devices for
+    straggler studies (forcing the full-array path).
     """
     if n_devices < 1:
         raise ConfigurationError("need at least one ISP device")
@@ -59,6 +63,7 @@ def isp_hardware_config(
         smartssd_dram_bandwidth=ISP_DRAM_BANDWIDTH,
         smartssd_host_link_bandwidth=ISP_HOST_LINK_BANDWIDTH,
         host_pcie_bandwidth=host_pcie_bandwidth,
+        smartssd_perturbations=perturbations,
     )
 
 

@@ -14,6 +14,7 @@ percentage stacks rather than critical-path attribution.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable
 
 # Canonical phase tags used across all step models.
 LOAD_WEIGHT = "load_weight"
@@ -88,6 +89,56 @@ class PhaseRecorder:
         duration = self._sim.now - started_at
         self.breakdown.add(phase, duration)
         return duration
+
+
+def mirrored_sum(
+    devices: Iterable[Any], getter: Callable[[Any], float], multiplier: float = 1.0
+) -> float:
+    """Aggregate a per-device counter over a (possibly folded) device array.
+
+    Representative-device simulation runs one member of a symmetric group
+    and reconstructs array-wide metrics by multiplication: every member of
+    the group would have recorded exactly the representative's counters, so
+    ``multiplier x sum(simulated)`` *is* the array total (within float
+    round-off of summing ``n`` equal addends).  In full-array mode the
+    multiplier is 1.0 and this is a plain sum.
+    """
+    return multiplier * sum(getter(device) for device in devices)
+
+
+@dataclass(frozen=True)
+class StorageCounters:
+    """Array-wide flash byte counters, mirrored across symmetric groups.
+
+    Produced by :meth:`repro.sim.topology.SystemModel.storage_counters`;
+    the values cover the *logical* device array regardless of whether the
+    simulation ran every device or a representative per group.
+    """
+
+    logical_read: float = 0.0
+    logical_written: float = 0.0
+    physical_written: float = 0.0
+
+    def __add__(self, other: "StorageCounters") -> "StorageCounters":
+        return StorageCounters(
+            logical_read=self.logical_read + other.logical_read,
+            logical_written=self.logical_written + other.logical_written,
+            physical_written=self.physical_written + other.physical_written,
+        )
+
+    @staticmethod
+    def of_drives(drives: Iterable[Any], multiplier: float = 1.0) -> "StorageCounters":
+        """Counters for a group of :class:`~repro.sim.flash.SSD`-like drives."""
+        drives = list(drives)
+        return StorageCounters(
+            logical_read=mirrored_sum(drives, lambda d: d.logical_bytes_read, multiplier),
+            logical_written=mirrored_sum(
+                drives, lambda d: d.logical_bytes_written, multiplier
+            ),
+            physical_written=mirrored_sum(
+                drives, lambda d: d.physical_bytes_written, multiplier
+            ),
+        )
 
 
 @dataclass(frozen=True)

@@ -72,6 +72,45 @@ class TestFingerprint:
         with pytest.raises(ConfigurationError):
             canonical_value(object())
 
+    def test_sensitive_to_behavioral_config(self, tiny_mha):
+        """Feature flags that change measured numbers must change the
+        fingerprint (use_xcache, spill interval, per-layer overhead)."""
+        base = system_fingerprint(
+            HilosSystem(tiny_mha, HilosConfig(n_devices=2)), *GRID
+        )
+        assert (
+            system_fingerprint(
+                HilosSystem(tiny_mha, HilosConfig(n_devices=2, use_xcache=False)),
+                *GRID,
+            )
+            != base
+        )
+        assert (
+            system_fingerprint(
+                HilosSystem(
+                    tiny_mha,
+                    HilosConfig(n_devices=2, per_layer_overhead_s=0.05),
+                ),
+                *GRID,
+            )
+            != base
+        )
+        assert (
+            system_fingerprint(
+                HilosSystem(tiny_mha, HilosConfig(n_devices=2, spill_interval=4)),
+                *GRID,
+            )
+            != base
+        )
+
+    def test_sensitive_to_cell_semantics(self, system):
+        """Serving grids (billed steps) and figure points (raw steps) must
+        never collide on one store file for the same (system, grid)."""
+        billed = system_fingerprint(system, *GRID, semantics="billed-step")
+        raw = system_fingerprint(system, *GRID, semantics="raw-step+breakdown")
+        assert billed != raw
+        assert system_fingerprint(system, *GRID) == billed  # default
+
 
 class TestStoreRoundTrip:
     def test_round_trip_across_memory_clear(self, tmp_path):

@@ -98,3 +98,43 @@ class TestServingWarmCache:
             fast=True, batch_grid=(1, 4, 16), seq_grid=(256, 4096, 16384)
         )
         assert default[1].column("fingerprint") != custom[1].column("fingerprint")
+
+
+class TestFigureWarmCache:
+    """fig10/fig11 route through the calibration store like serving does."""
+
+    FIG10_SYSTEMS = ["FLEX(SSD)", "HILOS (8 SmartSSDs)"]
+
+    def test_fig10_warm_rerun_measures_nothing(self):
+        from repro.experiments import fig10_throughput
+
+        cold = fig10_throughput.run(fast=True, systems=self.FIG10_SYSTEMS)
+        assert sum(cold[1].column("new_measurements")) > 0
+        clear_memory_layer()  # a new process: only the on-disk store is warm
+        warm = fig10_throughput.run(fast=True, systems=self.FIG10_SYSTEMS)
+        assert sum(warm[1].column("new_measurements")) == 0
+        assert warm[0].rows == cold[0].rows
+
+    def test_fig11_warm_rerun_reproduces_tables(self):
+        from repro.experiments import fig11_batch_sensitivity
+
+        cold = fig11_batch_sensitivity.run(fast=True)
+        clear_memory_layer()
+        warm = fig11_batch_sensitivity.run(fast=True)
+        assert warm[0].rows == cold[0].rows
+        assert warm[1].rows == cold[1].rows
+
+    def test_fig10_symmetry_modes_agree(self):
+        """--symmetry full and the default representative path must produce
+        the same figure (numerical equivalence, end to end)."""
+        from repro.experiments import fig10_throughput
+
+        folded = fig10_throughput.run(
+            fast=True, systems=self.FIG10_SYSTEMS, use_store=False
+        )
+        full = fig10_throughput.run(
+            fast=True, systems=self.FIG10_SYSTEMS, symmetry="full", use_store=False
+        )
+        for row_folded, row_full in zip(folded[0].rows, full[0].rows):
+            assert row_folded[:4] == row_full[:4]
+            assert row_folded[4] == pytest.approx(row_full[4], rel=1e-9)

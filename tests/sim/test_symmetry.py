@@ -1,0 +1,300 @@
+"""Property tests: representative-device folding is equivalent to the full array.
+
+The representative fast path must be *numerically indistinguishable* from
+simulating every device of a symmetric array:
+
+* striped-transfer completion times match to 1e-9 relative tolerance (in
+  practice they are bit-identical -- each member's private channels see the
+  identical request stream);
+* array-wide byte counters (logical/physical, reads/writes) match;
+* per-device energy proxies (busy-seconds x active power) match for every
+  member of the full array;
+* asymmetric arrays (per-device perturbations) transparently fall back to
+  the full-array path under ``symmetry="auto"`` and refuse
+  ``symmetry="representative"``.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.sim.devices import SymmetricGroup
+from repro.sim.flash import SMARTSSD_FLASH
+from repro.sim.topology import DevicePerturbation, HardwareConfig, build_system
+from repro.units import GB, MiB
+
+REL = 1e-9
+
+#: Nominal active power (W) used by the per-device energy proxy below; the
+#: exact constant is irrelevant -- equality of busy-seconds is what the
+#: property asserts, energy is busy-seconds times a shared constant.
+DEVICE_ACTIVE_W = 13.0
+
+
+def _symmetric_configs():
+    return st.builds(
+        lambda n_smart, n_conv, flash_scale, link_bw, uplink_bw: HardwareConfig(
+            n_conventional_ssds=n_conv,
+            n_smartssds=n_smart,
+            smartssd_flash_spec=SMARTSSD_FLASH.scaled(
+                read_scale=flash_scale, write_scale=flash_scale
+            ),
+            smartssd_host_link_bandwidth=link_bw * GB,
+            expansion_uplink_bandwidth=uplink_bw * GB,
+        ),
+        n_smart=st.integers(min_value=1, max_value=8),
+        n_conv=st.integers(min_value=0, max_value=4),
+        flash_scale=st.floats(min_value=0.25, max_value=4.0),
+        link_bw=st.floats(min_value=1.0, max_value=8.0),
+        uplink_bw=st.floats(min_value=4.0, max_value=32.0),
+    )
+
+
+def _run_striped_workload(system, sizes):
+    """Drive every striped composite transfer; returns per-op finish times."""
+    times = []
+    for size in sizes:
+        n_bytes = size * MiB
+        if system.ssd_group:
+            system.sim.run(system.read_ssds_to_host(n_bytes))
+            times.append(system.sim.now)
+            system.sim.run(system.write_ssds_from_host(n_bytes, granule=64 * 1024))
+            times.append(system.sim.now)
+        if system.smartssd_group:
+            system.sim.run(system.host_to_nsp(n_bytes))
+            times.append(system.sim.now)
+            system.sim.run(system.gds_read_to_gpu(n_bytes))
+            times.append(system.sim.now)
+            system.sim.run(system.write_nsp_from_host(n_bytes, granule=4096))
+            times.append(system.sim.now)
+            # Per-device P2P reads run concurrently (one share per device),
+            # exactly as the runtime's NSP attention path issues them.
+            share = n_bytes / system.smartssd_group.size
+            p2p = [dev.p2p_read(share) for dev in system.smartssds]
+            system.sim.run(system.sim.all_of(p2p))
+            times.append(system.sim.now)
+    return times
+
+
+def _per_device_energy(system):
+    """(smartssd energies, ssd energies) over the *logical* array.
+
+    Energy proxy: device busy-seconds times a shared active-power constant.
+    In representative mode the lone device's value is replicated
+    ``group.size`` times -- the mirror the property compares against.
+    """
+
+    def smartssd_busy(dev):
+        return (
+            dev.flash.read_channel.busy_seconds
+            + dev.flash.write_channel.busy_seconds
+            + dev.host_link.busy_seconds
+            + dev.fpga_dram.busy_seconds
+        )
+
+    def ssd_busy(dev):
+        return dev.read_channel.busy_seconds + dev.write_channel.busy_seconds
+
+    smart = [DEVICE_ACTIVE_W * smartssd_busy(dev) for dev in system.smartssds]
+    conv = [DEVICE_ACTIVE_W * ssd_busy(dev) for dev in system.ssds]
+    if system.smartssd_group.representative:
+        smart = smart * system.smartssd_group.size
+    if system.ssd_group.representative:
+        conv = conv * system.ssd_group.size
+    return smart, conv
+
+
+class TestRepresentativeEquivalence:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        config=_symmetric_configs(),
+        sizes=st.lists(
+            st.floats(min_value=0.5, max_value=512.0), min_size=1, max_size=3
+        ),
+    )
+    def test_striped_workloads_match_full_array(self, config, sizes):
+        full = build_system(config, symmetry="full")
+        folded = build_system(config, symmetry="auto")
+        if config.n_smartssds > 1:
+            assert folded.smartssd_group.representative
+        full_times = _run_striped_workload(full, sizes)
+        folded_times = _run_striped_workload(folded, sizes)
+        # Completion times: every striped op finishes at the same instant.
+        assert folded_times == pytest.approx(full_times, rel=REL)
+        # Total bytes moved across the logical array.
+        full_counters = full.storage_counters()
+        folded_counters = folded.storage_counters()
+        assert folded_counters.logical_read == pytest.approx(
+            full_counters.logical_read, rel=REL
+        )
+        assert folded_counters.logical_written == pytest.approx(
+            full_counters.logical_written, rel=REL
+        )
+        assert folded_counters.physical_written == pytest.approx(
+            full_counters.physical_written, rel=REL
+        )
+        # Shared channels carry identical aggregate work either way.
+        assert folded.host_pcie.total_work == pytest.approx(
+            full.host_pcie.total_work, rel=REL
+        )
+        if full.expansion_uplink is not None:
+            assert folded.expansion_uplink.total_work == pytest.approx(
+                full.expansion_uplink.total_work, rel=REL
+            )
+        # Per-device energy: the representative's mirrored value matches
+        # every member of the full array.
+        full_smart, full_conv = _per_device_energy(full)
+        folded_smart, folded_conv = _per_device_energy(folded)
+        assert folded_smart == pytest.approx(full_smart, rel=REL)
+        assert folded_conv == pytest.approx(full_conv, rel=REL)
+
+    def test_aggregate_bandwidth_figures_match(self):
+        config = HardwareConfig(n_conventional_ssds=0, n_smartssds=8)
+        full = build_system(config, symmetry="full")
+        folded = build_system(config, symmetry="representative")
+        assert folded.aggregate_nsp_internal_bandwidth() == pytest.approx(
+            full.aggregate_nsp_internal_bandwidth(), rel=REL
+        )
+        assert folded.effective_host_bandwidth() == pytest.approx(
+            full.effective_host_bandwidth(), rel=REL
+        )
+
+
+class TestEndToEndEquivalence:
+    @pytest.mark.parametrize("n_devices", [2, 8])
+    def test_hilos_measure_is_mode_invariant(self, n_devices):
+        """The full HILOS decode step: identical step time, breakdown, and
+        storage counters in both simulation modes."""
+        from repro.core.config import HilosConfig
+        from repro.core.runtime import HilosSystem
+        from repro.models import get_model
+
+        model = get_model("OPT-30B")
+        results = {}
+        for mode in ("full", "representative"):
+            system = HilosSystem(model, HilosConfig(n_devices=n_devices))
+            system.symmetry = mode
+            results[mode] = (
+                system.measure(4, 8192, n_steps=1, warmup_steps=0),
+                system.last_system,
+            )
+        full, full_system = results["full"]
+        rep, rep_system = results["representative"]
+        assert rep_system.symmetry_mode == "representative"
+        assert rep.step_seconds == pytest.approx(full.step_seconds, rel=REL)
+        assert rep.tokens_per_second == pytest.approx(full.tokens_per_second, rel=REL)
+        for phase, seconds in full.breakdown.seconds.items():
+            assert rep.breakdown.seconds[phase] == pytest.approx(seconds, rel=REL)
+        full_counters = full_system.storage_counters()
+        rep_counters = rep_system.storage_counters()
+        assert rep_counters.logical_read == pytest.approx(
+            full_counters.logical_read, rel=REL
+        )
+        assert rep_counters.physical_written == pytest.approx(
+            full_counters.physical_written, rel=REL
+        )
+
+    def test_flexgen_measure_is_mode_invariant(self):
+        from repro.baselines.flexgen import FlexGenSSD
+        from repro.models import get_model
+
+        results = {}
+        for mode in ("full", "representative"):
+            system = FlexGenSSD(get_model("OPT-30B"))
+            system.symmetry = mode
+            results[mode] = system.measure(4, 8192, n_steps=1, warmup_steps=0)
+        assert results["representative"].step_seconds == pytest.approx(
+            results["full"].step_seconds, rel=REL
+        )
+        assert results["representative"].storage_physical_written == pytest.approx(
+            results["full"].storage_physical_written, rel=REL
+        )
+
+
+class TestAsymmetricFallback:
+    def _perturbed(self, n_devices: int = 4) -> HardwareConfig:
+        return HardwareConfig(
+            n_conventional_ssds=0,
+            n_smartssds=n_devices,
+            smartssd_perturbations=(DevicePerturbation(1, flash_read_scale=0.5),),
+        )
+
+    def test_auto_falls_back_to_full_array(self):
+        system = build_system(self._perturbed(), symmetry="auto")
+        assert not system.smartssd_group.representative
+        assert len(system.smartssds) == 4
+        assert system.symmetry_mode == "full"
+        # The perturbation really landed on device 1 only.
+        assert system.smartssds[1].flash.spec.read_bandwidth == pytest.approx(
+            0.5 * system.smartssds[0].flash.spec.read_bandwidth
+        )
+
+    def test_representative_mode_refuses_asymmetric_arrays(self):
+        with pytest.raises(ConfigurationError, match="homogeneous"):
+            build_system(self._perturbed(), symmetry="representative")
+
+    def test_identity_perturbations_still_fold(self):
+        config = HardwareConfig(
+            n_conventional_ssds=0,
+            n_smartssds=4,
+            smartssd_perturbations=(DevicePerturbation(0),),
+        )
+        system = build_system(config, symmetry="auto")
+        assert system.smartssd_group.representative
+
+    def test_straggler_slows_the_array_down(self):
+        """A half-speed device must actually hurt: the barrier waits for the
+        straggler's share, so the striped read takes about twice as long."""
+        symmetric = build_system(
+            HardwareConfig(n_conventional_ssds=0, n_smartssds=4), symmetry="full"
+        )
+        degraded = build_system(self._perturbed(), symmetry="auto")
+        n_bytes = 4 * GB
+        symmetric.sim.run(symmetric.gds_read_to_gpu(n_bytes))
+        degraded.sim.run(degraded.gds_read_to_gpu(n_bytes))
+        assert degraded.sim.now > symmetric.sim.now * 1.2
+
+    def test_perturbation_validation(self):
+        with pytest.raises(ConfigurationError, match="only 2 SmartSSDs"):
+            HardwareConfig(
+                n_conventional_ssds=0,
+                n_smartssds=2,
+                smartssd_perturbations=(DevicePerturbation(5),),
+            )
+        with pytest.raises(ConfigurationError, match="more than once"):
+            HardwareConfig(
+                n_conventional_ssds=0,
+                n_smartssds=2,
+                smartssd_perturbations=(
+                    DevicePerturbation(0, flash_read_scale=0.5),
+                    DevicePerturbation(0, host_link_scale=0.5),
+                ),
+            )
+        with pytest.raises(ConfigurationError, match="positive"):
+            DevicePerturbation(0, flash_read_scale=0.0)
+
+
+class TestSymmetricGroup:
+    def test_multiplier_and_total(self):
+        group = SymmetricGroup(devices=["rep"], size=8)
+        assert group.representative
+        assert group.multiplier == pytest.approx(8.0)
+        assert group.total(lambda _d: 3.0) == pytest.approx(24.0)
+        assert len(group) == 8
+
+    def test_full_group_multiplier_is_one(self):
+        group = SymmetricGroup(devices=["a", "b"], size=2)
+        assert not group.representative
+        assert group.multiplier == pytest.approx(1.0)
+
+    def test_invalid_shapes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SymmetricGroup(devices=["a", "b"], size=4)
+
+    def test_empty_group_is_falsy(self):
+        group = SymmetricGroup(devices=[], size=0)
+        assert not group
+        assert group.total(lambda _d: 1.0) == 0.0

@@ -92,7 +92,10 @@ class TestStripedTransfers:
     def test_write_nsp_granule_amplification(self):
         system = build_system(n_smartssds=4, n_conventional_ssds=0)
         system.sim.run(system.write_nsp_from_host(4 * 4096, granule=256))
-        total_physical = sum(d.flash.physical_bytes_written for d in system.smartssds)
+        # Array-wide counters are mirrored across the symmetric group, so the
+        # total is the same whether one representative or all four devices
+        # were simulated.
+        total_physical = system.smartssd_flash_counters().physical_written
         assert total_physical == pytest.approx(4 * 16 * 4096)
 
     def test_dram_to_gpu_uses_host_pcie(self):
@@ -105,6 +108,22 @@ class TestStripedTransfers:
 class TestMixedTopology:
     def test_system_can_hold_both_device_kinds(self):
         system = build_system(n_conventional_ssds=2, n_smartssds=2)
+        assert system.ssd_group.size == 2
+        assert system.smartssd_group.size == 2
+        assert system.expansion_uplink is not None
+
+    def test_full_mode_instantiates_every_device(self):
+        system = build_system(
+            HardwareConfig(n_conventional_ssds=2, n_smartssds=2), symmetry="full"
+        )
         assert len(system.ssds) == 2
         assert len(system.smartssds) == 2
-        assert system.expansion_uplink is not None
+        assert system.symmetry_mode == "full"
+
+    def test_auto_mode_folds_symmetric_arrays(self):
+        system = build_system(n_conventional_ssds=2, n_smartssds=2)
+        assert len(system.ssds) == 1
+        assert len(system.smartssds) == 1
+        assert system.symmetry_mode == "representative"
+        assert system.ssd_group.multiplier == pytest.approx(2.0)
+        assert system.smartssd_group.multiplier == pytest.approx(2.0)

@@ -99,9 +99,7 @@ class TestAlphaModelAgainstSimulation:
         # single simulated step are attention traffic; the counters must
         # land exactly on the analytic per-step volume.
         assert system.last_system is not None
-        simulated = sum(
-            dev.flash.logical_bytes_read for dev in system.last_system.smartssds
-        )
+        simulated = system.last_system.smartssd_flash_counters().logical_read
         expected_per_layer = xcache_step_traffic(model, batch, seq_len, 0.5)
         expected_total = expected_per_layer.storage_read * model.n_layers
         assert simulated == pytest.approx(expected_total, rel=1e-9)
