@@ -21,6 +21,11 @@ from repro.calibration.store import clear_memory_layer
 from repro.experiments import serving_throughput
 from repro.experiments.harness import format_tables
 
+#: The preemption benchmark's scenario: bursty Poisson arrivals into a KV
+#: budget of four Long final contexts, optimistic admission, chunked prefill.
+PREEMPTION_REQUESTS = 64
+PREEMPTION_SEED = 7
+
 
 def _assert_throughput_shape(tables):
     rows = tables[0].to_dicts()
@@ -78,3 +83,75 @@ def test_serving_throughput_warm(benchmark, tmp_path):
     _assert_throughput_shape(tables)
     assert all(n == 0 for n in tables[1].column("new_measurements"))
     assert all(cells > 0 for cells in tables[1].column("prewarmed_cells"))
+
+
+def _preemption_drain(store):
+    """Optimistic-admission drain under pressure: the `serving-preemption`
+    gate.  Poisson arrivals, a four-Long-context KV budget, 512-token
+    chunked prefill -- the full new scheduling surface in one number."""
+    from repro.baselines.registry import build_inference_system
+    from repro.models import get_model
+    from repro.serving import (
+        CapacityBudget,
+        ContinuousBatching,
+        OfflineServingScheduler,
+        PoissonArrivals,
+    )
+    from repro.serving.steptime import CalibratedStepTime
+    from repro.workloads import sample_request_classes
+    from repro.workloads.requests import LONG
+
+    model = get_model(serving_throughput.MODEL)
+    system = build_inference_system("HILOS (8 SmartSSDs)", model)
+    one_long = model.kv_cache_bytes(1, LONG.total_tokens)
+    scheduler = OfflineServingScheduler(
+        system,
+        ContinuousBatching(
+            serving_throughput.BATCH_SLOTS, admission="optimistic"
+        ),
+        step_time=CalibratedStepTime(system, store=store),
+        budget=CapacityBudget(one_long * 4.0, "four long slots (bench)"),
+        prefill_chunk_tokens=512,
+    )
+    report = scheduler.drain(
+        sample_request_classes(PREEMPTION_REQUESTS, seed=PREEMPTION_SEED),
+        arrivals=PoissonArrivals(rate_per_second=0.02, seed=PREEMPTION_SEED),
+    )
+    scheduler.step_time.flush()
+    return report, scheduler.step_time
+
+
+def _assert_preemption_shape(result):
+    report, _ = result
+    assert report.all_completed
+    assert report.preemptions > 0, "the gate must exercise the eviction path"
+    assert report.peak_kv_reserved_bytes <= report.kv_capacity_bytes
+
+
+def test_serving_preemption_cold(benchmark, tmp_path):
+    """Cold preemption drain: calibration measured in-run."""
+    state = {"round": 0}
+
+    def setup():
+        state["round"] += 1
+        clear_memory_layer()
+        return (CalibrationStore(tmp_path / f"pcold{state['round']}"),), {}
+
+    result = benchmark.pedantic(_preemption_drain, setup=setup, rounds=3, iterations=1)
+    _assert_preemption_shape(result)
+    assert result[1].measurement_count > 0
+
+
+def test_serving_preemption_warm(benchmark, tmp_path):
+    """Warm preemption drain: the store holds the grid, zero measurements."""
+    store_dir = tmp_path / "pwarm"
+    clear_memory_layer()
+    _preemption_drain(CalibrationStore(store_dir))
+
+    def setup():
+        clear_memory_layer()
+        return (CalibrationStore(store_dir),), {}
+
+    result = benchmark.pedantic(_preemption_drain, setup=setup, rounds=3, iterations=1)
+    _assert_preemption_shape(result)
+    assert result[1].measurement_count == 0

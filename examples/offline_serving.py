@@ -1,9 +1,16 @@
-"""Offline serving demo: drain a mixed 200-request queue under 3 policies.
+"""Serving demo: offline drain, then a bursty online scenario.
 
-Samples the Azure-derived Short/Medium/Long request mix, then drains the
-same queue through HILOS (8 SmartSSDs) and the FLEX(SSD) baseline under
-FCFS fixed-batch, length-bucketed, and capacity-aware continuous batching,
-printing per-policy tokens/s, mean/p95 request latency, and tokens/s/$.
+Act one samples the Azure-derived Short/Medium/Long request mix and drains
+the same 200-request queue through HILOS (8 SmartSSDs) and the FLEX(SSD)
+baseline under FCFS fixed-batch, length-bucketed, and capacity-aware
+continuous batching, printing per-policy tokens/s, mean/p95 request
+latency, and tokens/s/$.
+
+Act two replays the queue as a seeded Poisson arrival stream against a
+deliberately tightened KV budget and compares reserve-mode continuous
+batching with optimistic admission (chunked prefill, youngest-first
+recompute-on-readmit preemption) -- the admission policy, not the device,
+sets the throughput under pressure.
 
 Run with::
 
@@ -16,8 +23,17 @@ from collections import Counter
 
 from repro import HilosConfig, HilosSystem, get_model
 from repro.baselines.flexgen import FlexGenSSD
-from repro.serving import default_policies, drain_queue
+from repro.serving import (
+    CapacityBudget,
+    ContinuousBatching,
+    OfflineServingScheduler,
+    PoissonArrivals,
+    default_policies,
+    drain_queue,
+)
+from repro.serving.steptime import CalibratedStepTime
 from repro.workloads import sample_request_classes
+from repro.workloads.requests import LONG
 
 MODEL = "OPT-66B"
 N_REQUESTS = 200
@@ -65,6 +81,54 @@ def main() -> None:
             f"{system_name}: continuous batching should beat FCFS fixed-batch "
             "on a heterogeneous queue"
         )
+
+    online_act(model, queue)
+
+
+def online_act(model, queue) -> None:
+    """Bursty Poisson arrivals against a tight KV budget: reserve vs
+    optimistic admission on HILOS."""
+    system = HilosSystem(model, HilosConfig(n_devices=8))
+    step_time = CalibratedStepTime(system)
+    # Tighten the budget to ~6 Long final contexts so admission accounting
+    # actually matters (the default flash-array budget swallows the queue).
+    one_long = model.kv_cache_bytes(1, LONG.total_tokens)
+    budget = CapacityBudget(one_long * 6.0, "six long slots (demo)")
+    arrivals = PoissonArrivals(rate_per_second=0.02, seed=SEED)
+
+    print("\nbursty Poisson arrivals (0.02 req/s, seeded), KV budget capped "
+          "at six Long contexts, prefill chunked at 512 tokens:")
+    print(f"{'policy':24s} {'tok/s':>8s} {'p95 lat':>10s} {'preempt':>8s} "
+          f"{'wasted tok':>11s}")
+    results = {}
+    for admission in ("reserve", "optimistic"):
+        scheduler = OfflineServingScheduler(
+            system,
+            ContinuousBatching(BATCH_SLOTS, admission=admission),
+            step_time=step_time,
+            budget=budget,
+            prefill_chunk_tokens=512,
+        )
+        report = scheduler.drain(list(queue), arrivals=arrivals)
+        results[admission] = report
+        print(
+            f"{report.policy:24s} {report.tokens_per_second:8.3f} "
+            f"{report.p95_latency_seconds / 3600:9.2f}h "
+            f"{report.preemptions:8d} {report.wasted_prefill_tokens:11d}"
+        )
+    gain = (
+        results["optimistic"].tokens_per_second
+        / results["reserve"].tokens_per_second
+    )
+    if gain >= 1.0:
+        print(f"optimistic admission sustains {gain:.2f}x reserve-mode "
+              "throughput under the tightened budget")
+    else:
+        # Possible when recompute waste exceeds the packing gain (e.g.
+        # after tweaking the budget/rate/seed above): that trade-off is
+        # the point of the comparison, not an error.
+        print(f"preemption thrash cost optimistic admission {1 / gain:.2f}x "
+              "here -- wasted recompute outweighed the denser packing")
 
 
 if __name__ == "__main__":

@@ -6,6 +6,8 @@ Usage::
     python -m repro.experiments.runner fig10 fig15
     python -m repro.experiments.runner --all --full --jobs 4
     python -m repro.experiments.runner serving --fast --batch-grid 1,4,16
+    python -m repro.experiments.runner serving --arrival poisson:0.1 \
+        --admission optimistic --prefill-chunk 512
     python -m repro.experiments.runner --prewarm --jobs 8
     python -m repro.experiments.runner fig10 --symmetry full
 
@@ -111,6 +113,7 @@ def main(argv: list[str] | None = None) -> int:
         "--jobs processes before (or instead of) running experiments",
     )
     serving_throughput.add_calibration_cli(parser)
+    serving_throughput.add_serving_cli(parser)
     args = parser.parse_args(argv)
     if args.list:
         for name, module in EXPERIMENTS.items():
@@ -131,6 +134,7 @@ def main(argv: list[str] | None = None) -> int:
             parser.error(f"unknown experiment {name!r} (use --list)")
 
     kwargs = serving_throughput.calibration_kwargs(parser, args)
+    kwargs.update(serving_throughput.serving_kwargs(parser, args))
     if args.symmetry is not None:
         kwargs["symmetry"] = args.symmetry
     if kwargs and names and not any(

@@ -12,6 +12,12 @@ system's measured cells are pre-warmed from (and persisted to) a
 fingerprint-keyed store, so a system is measured once ever -- across the
 system x policy sweep, across experiments in one process, and across
 re-runs of ``python -m repro.experiments.runner serving``.
+
+Scenario knobs go beyond the offline drain: ``--arrival`` feeds the queue
+through a Poisson / fixed-rate / trace-replay arrival process,
+``--admission optimistic`` switches continuous batching to optimistic
+admission with recompute-on-readmit preemption, and ``--prefill-chunk``
+interleaves chunked prefill with running decodes.
 """
 
 from __future__ import annotations
@@ -20,9 +26,11 @@ import argparse
 
 from repro.baselines.registry import build_inference_system
 from repro.calibration import CalibrationStore, resolve_store
+from repro.errors import ConfigurationError
 from repro.experiments.harness import Table
 from repro.models import get_model
-from repro.serving import default_policies, drain_queue
+from repro.serving import TraceReplay, default_policies, drain_queue, parse_arrival_spec
+from repro.serving.policies import ADMISSION_MODES
 from repro.serving.steptime import (
     DEFAULT_BATCH_GRID,
     DEFAULT_SEQ_GRID,
@@ -58,6 +66,9 @@ def run(
     batch_grid: tuple[int, ...] | None = None,
     seq_grid: tuple[int, ...] | None = None,
     symmetry: str = "auto",
+    admission: str = "reserve",
+    arrival: str | None = None,
+    prefill_chunk: int | None = None,
 ) -> list[Table]:
     """Drain one seeded queue through every (system, policy) pair.
 
@@ -65,15 +76,34 @@ def run(
     persistence entirely -- every run then measures from scratch); the grid
     arguments override the default calibration grids.  ``symmetry`` selects
     the simulation substrate mode for calibration measurements ("auto"
-    folds symmetric device arrays to representative devices).
+    folds symmetric device arrays to representative devices).  ``admission``
+    picks the continuous-batching accounting, ``arrival`` is an arrival
+    spec (``poisson:RATE[:SEED]``, ``rate:RATE``, ``trace:PATH``), and
+    ``prefill_chunk`` enables chunked prefill at that many tokens.
     """
     systems = systems or (FAST_SYSTEMS if fast else FULL_SYSTEMS)
     n_requests = n_requests or (FAST_REQUESTS if fast else FULL_REQUESTS)
     store = resolve_store(store, use_store)
-    queue = sample_request_classes(n_requests, seed=seed)
+    arrivals = parse_arrival_spec(arrival, seed=seed)
+    if isinstance(arrivals, TraceReplay) and arrivals.classes is not None:
+        # A fully-specified trace (classes on every line) *is* the
+        # workload: replay exactly what was recorded.
+        queue = arrivals.request_classes()
+        n_requests = len(queue)
+    else:
+        if isinstance(arrivals, TraceReplay) and len(arrivals.times) < n_requests:
+            # Fail before any calibration work, not deep in the first drain.
+            raise ConfigurationError(
+                f"arrival trace holds {len(arrivals.times)} timestamps but "
+                f"the queue has {n_requests} requests; shrink the queue "
+                "(--requests) or record request classes in the trace"
+            )
+        queue = sample_request_classes(n_requests, seed=seed)
     model = get_model(MODEL)
+    scenario = "offline (all at t=0)" if arrivals is None else arrival
     table = Table(
-        title=f"Offline serving throughput ({MODEL}, {n_requests} mixed requests)",
+        title=f"Serving throughput ({MODEL}, {n_requests} mixed requests, "
+        f"arrivals: {scenario})",
         columns=[
             "system",
             "policy",
@@ -82,10 +112,22 @@ def run(
             "mean_latency_s",
             "p95_latency_s",
             "peak_kv_gb",
+            "preemptions",
+            "wasted_prefill",
             "tokens_per_s_per_usd",
         ],
         notes="seeded Azure Short/Medium/Long mix; continuous batching is "
-        "capacity-aware against the system's KV cache home",
+        "capacity-aware against the system's KV cache home"
+        + (
+            "; optimistic admission preempts youngest-first on overflow"
+            if admission == "optimistic"
+            else ""
+        )
+        + (
+            f"; prefill chunked at {prefill_chunk} tokens"
+            if prefill_chunk
+            else ""
+        ),
     )
     calibration = Table(
         title="Calibration cache utilisation",
@@ -112,7 +154,12 @@ def run(
         )
         prewarmed = step_time.prewarm()
         for report in drain_queue(
-            system, default_policies(BATCH_SLOTS), queue, step_time=step_time
+            system,
+            default_policies(BATCH_SLOTS, admission=admission),
+            queue,
+            step_time=step_time,
+            arrivals=arrivals,
+            prefill_chunk_tokens=prefill_chunk,
         ):
             table.add_row(
                 label,
@@ -122,6 +169,8 @@ def run(
                 report.mean_latency_seconds,
                 report.p95_latency_seconds,
                 report.peak_kv_reserved_bytes / 1e9,
+                report.preemptions,
+                report.wasted_prefill_tokens,
                 report.tokens_per_second_per_usd,
             )
             clamped_any = clamped_any or bool(report.step_time_notes)
@@ -164,6 +213,54 @@ def add_calibration_cli(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def add_serving_cli(parser: argparse.ArgumentParser) -> None:
+    """Install the serving-scenario knobs shared by this CLI and the runner's."""
+    parser.add_argument(
+        "--admission", choices=ADMISSION_MODES, default=None,
+        help="continuous-batching accounting: reserve final-context KV up "
+        "front (default) or admit optimistically with youngest-first "
+        "recompute-on-readmit preemption",
+    )
+    parser.add_argument(
+        "--arrival", type=str, default=None, metavar="SPEC",
+        help="arrival process: poisson:RATE[:SEED], rate:RATE, trace:PATH "
+        "(a JSONL trace naming a request class on every line replaces the "
+        "sampled workload), or offline (default: all requests at t=0)",
+    )
+    parser.add_argument(
+        "--prefill-chunk", type=int, default=None, metavar="TOKENS",
+        help="chunk prefill at TOKENS per scheduling round so admissions "
+        "stop stalling running decodes (default: whole-prompt prefill)",
+    )
+
+
+def serving_kwargs(parser: argparse.ArgumentParser, args: argparse.Namespace) -> dict:
+    """Validate the shared serving-scenario flags into ``run()`` kwargs."""
+    kwargs: dict = {}
+    if getattr(args, "admission", None) is not None:
+        kwargs["admission"] = args.admission
+    if getattr(args, "arrival", None) is not None:
+        try:
+            if args.arrival.startswith("trace:"):
+                # Defer the (possibly huge) trace read to run(); only check
+                # the schedule file is actually there.
+                import os
+
+                path = args.arrival.partition(":")[2]
+                if not path or not os.path.exists(path):
+                    parser.error(f"arrival trace not found: {path!r}")
+            else:
+                parse_arrival_spec(args.arrival)
+        except ConfigurationError as exc:
+            parser.error(str(exc))
+        kwargs["arrival"] = args.arrival
+    if getattr(args, "prefill_chunk", None) is not None:
+        if args.prefill_chunk < 1:
+            parser.error("--prefill-chunk must be at least 1 token")
+        kwargs["prefill_chunk"] = args.prefill_chunk
+    return kwargs
+
+
 def calibration_kwargs(parser: argparse.ArgumentParser, args: argparse.Namespace) -> dict:
     """Validate the shared calibration flags into ``run()`` keyword args.
 
@@ -171,8 +268,6 @@ def calibration_kwargs(parser: argparse.ArgumentParser, args: argparse.Namespace
     can forward it to any ``run()`` that accepts a subset.  Conflicts and
     malformed grids become argparse usage errors.
     """
-    from repro.errors import ConfigurationError
-
     if args.no_store and args.calibration_dir is not None:
         parser.error("--no-store conflicts with --calibration-dir")
     kwargs: dict = {}
@@ -197,6 +292,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--requests", type=int, default=None, help="queue length")
     parser.add_argument("--seed", type=int, default=SEED, help="queue sampling seed")
     add_calibration_cli(parser)
+    add_serving_cli(parser)
     args = parser.parse_args(argv)
     from repro.experiments.harness import format_tables
 
@@ -205,6 +301,7 @@ def main(argv: list[str] | None = None) -> int:
         n_requests=args.requests,
         seed=args.seed,
         **calibration_kwargs(parser, args),
+        **serving_kwargs(parser, args),
     )
     print(format_tables(tables))
     return 0

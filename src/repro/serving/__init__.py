@@ -1,23 +1,46 @@
-"""Offline multi-request serving on top of the HILOS simulator.
+"""Multi-request serving on top of the HILOS simulator.
 
 This package turns the single-point ``measure()`` surface into a serving
 scenario: a heterogeneous queue of Short/Medium/Long requests (the
 Azure-derived mix of :mod:`repro.workloads.requests`) is drained through any
 evaluated system under a scheduling policy, and the drain reports
-per-request latency plus aggregate tokens/s and tokens/s/$.
+per-request latency plus aggregate tokens/s and tokens/s/$.  Beyond the
+classic offline all-at-time-zero drain, arrival processes (Poisson,
+fixed-rate, JSONL trace replay) feed the queue over simulated time,
+continuous batching can admit optimistically with recompute-on-readmit
+preemption, and prefill can be chunked so admissions stop stalling
+running decodes.
 
 Typical use::
 
     from repro import HilosConfig, HilosSystem, get_model
-    from repro.serving import OfflineServingScheduler, ContinuousBatching
+    from repro.serving import (
+        ContinuousBatching, OfflineServingScheduler, PoissonArrivals,
+    )
     from repro.workloads import sample_request_classes
 
     system = HilosSystem(get_model("OPT-66B"), HilosConfig(n_devices=8))
-    scheduler = OfflineServingScheduler(system, ContinuousBatching(16))
-    report = scheduler.drain(sample_request_classes(200, seed=7))
-    print(report.tokens_per_second, report.p95_latency_seconds)
+    scheduler = OfflineServingScheduler(
+        system,
+        ContinuousBatching(16, admission="optimistic"),
+        prefill_chunk_tokens=512,
+    )
+    report = scheduler.drain(
+        sample_request_classes(200, seed=7),
+        arrivals=PoissonArrivals(rate_per_second=0.05, seed=7),
+    )
+    print(report.tokens_per_second, report.p95_latency_seconds,
+          report.preemptions)
 """
 
+from repro.serving.arrivals import (
+    AllAtOnce,
+    ArrivalProcess,
+    FixedRateArrivals,
+    PoissonArrivals,
+    TraceReplay,
+    parse_arrival_spec,
+)
 from repro.serving.budget import (
     BudgetTracker,
     CapacityBudget,
@@ -40,22 +63,28 @@ from repro.serving.steptime import (
 )
 
 __all__ = [
+    "AllAtOnce",
     "AnalyticStepTime",
+    "ArrivalProcess",
     "BudgetTracker",
     "CalibratedStepTime",
     "CapacityBudget",
     "ContinuousBatching",
     "FCFSFixedBatch",
+    "FixedRateArrivals",
     "LengthBucketedBatch",
     "OfflineServingScheduler",
+    "PoissonArrivals",
     "SchedulingPolicy",
     "ServingReport",
     "ServingRequest",
     "StepTimeModel",
+    "TraceReplay",
     "capacity_budget_for",
     "default_policies",
     "drain_queue",
     "make_request_queue",
+    "parse_arrival_spec",
     "percentile",
     "system_cost_model",
 ]

@@ -1,0 +1,237 @@
+"""Request arrival processes for the serving simulation.
+
+The offline drain's implicit all-at-time-zero queue is one point in a much
+larger scenario space: bursty open-loop load, steady fixed-rate feeds, and
+recorded production schedules all stress admission policy differently.  An
+:class:`ArrivalProcess` assigns each queued request an arrival timestamp;
+the scheduler then delivers requests into the waiting queue at those
+simulated times (sleeping on the engine's event heap when the system runs
+dry before the next arrival).
+
+Everything here is deterministic under a fixed seed: :class:`PoissonArrivals`
+draws its exponential gaps from a private ``random.Random(seed)`` created
+per call, so two drains of the same process produce byte-identical
+schedules regardless of interleaving.
+"""
+
+from __future__ import annotations
+
+import abc
+import json
+import random
+from pathlib import Path
+from typing import Sequence
+
+from repro.errors import ConfigurationError, SchedulingError
+from repro.serving.request import ServingRequest
+from repro.workloads.requests import REQUEST_CLASSES, RequestClass
+
+
+class ArrivalProcess(abc.ABC):
+    """Assigns arrival timestamps to a queue of serving requests."""
+
+    @abc.abstractmethod
+    def arrival_times(self, n: int) -> list[float]:
+        """Non-decreasing arrival timestamps for ``n`` requests."""
+
+    def assign(self, queue: Sequence[ServingRequest]) -> list[ServingRequest]:
+        """Stamp ``queue`` (in request-id order) with this process's times."""
+        times = self.arrival_times(len(queue))
+        if len(times) != len(queue):
+            raise SchedulingError(
+                f"{type(self).__name__} produced {len(times)} times for "
+                f"{len(queue)} requests"
+            )
+        if any(b < a for a, b in zip(times, times[1:])):
+            raise SchedulingError(
+                f"{type(self).__name__} produced decreasing arrival times"
+            )
+        for request, time in zip(queue, times):
+            if time < 0:
+                raise SchedulingError(
+                    f"negative arrival time {time} for request {request.request_id}"
+                )
+            request.arrival_time = float(time)
+        return list(queue)
+
+
+class AllAtOnce(ArrivalProcess):
+    """The classic offline queue: every request arrives at time zero."""
+
+    def arrival_times(self, n: int) -> list[float]:
+        return [0.0] * n
+
+
+class FixedRateArrivals(ArrivalProcess):
+    """Deterministic open-loop feed: one request every ``1/rate`` seconds."""
+
+    def __init__(self, rate_per_second: float, start: float = 0.0) -> None:
+        if rate_per_second <= 0:
+            raise ConfigurationError("arrival rate must be positive")
+        if start < 0:
+            raise ConfigurationError("arrival start time must be non-negative")
+        self.rate_per_second = rate_per_second
+        self.start = start
+
+    def arrival_times(self, n: int) -> list[float]:
+        gap = 1.0 / self.rate_per_second
+        return [self.start + i * gap for i in range(n)]
+
+
+class PoissonArrivals(ArrivalProcess):
+    """Memoryless open-loop load: exponential inter-arrival gaps.
+
+    A fresh ``random.Random(seed)`` is built on every :meth:`arrival_times`
+    call, so the schedule is a pure function of ``(rate, seed, n)`` --
+    draining the same process under several policies replays the identical
+    schedule.
+    """
+
+    def __init__(self, rate_per_second: float, seed: int = 0) -> None:
+        if rate_per_second <= 0:
+            raise ConfigurationError("arrival rate must be positive")
+        self.rate_per_second = rate_per_second
+        self.seed = seed
+
+    def arrival_times(self, n: int) -> list[float]:
+        rng = random.Random(self.seed)
+        times: list[float] = []
+        now = 0.0
+        for _ in range(n):
+            now += rng.expovariate(self.rate_per_second)
+            times.append(now)
+        return times
+
+
+class TraceReplay(ArrivalProcess):
+    """Replay a recorded arrival schedule (e.g. a production trace).
+
+    Construct from an explicit list of timestamps or from a JSONL file via
+    :meth:`from_jsonl`, one object per line::
+
+        {"arrival_time": 0.0, "class": "Short"}
+        {"arrival_time": 1.7, "class": "Long"}
+
+    ``arrival_time`` is required; ``class`` is optional and, when present
+    on every line, :meth:`request_classes` rebuilds the traced workload so
+    a trace fully specifies a scenario (schedule *and* shapes).
+    """
+
+    def __init__(
+        self,
+        times: Sequence[float],
+        classes: Sequence[RequestClass] | None = None,
+    ) -> None:
+        if not times:
+            raise ConfigurationError("arrival trace is empty")
+        ordered = [float(t) for t in times]
+        if any(t < 0 for t in ordered):
+            raise ConfigurationError("arrival trace contains negative times")
+        if any(b < a for a, b in zip(ordered, ordered[1:])):
+            raise ConfigurationError("arrival trace times must be non-decreasing")
+        if classes is not None and len(classes) != len(ordered):
+            raise ConfigurationError(
+                f"trace has {len(ordered)} times but {len(classes)} classes"
+            )
+        self.times = ordered
+        self.classes = list(classes) if classes is not None else None
+
+    @classmethod
+    def from_jsonl(cls, path: str | Path) -> "TraceReplay":
+        """Load a trace from a JSONL schedule file."""
+        times: list[float] = []
+        classes: list[RequestClass] = []
+        saw_class = False
+        with open(path, "r", encoding="utf-8") as handle:
+            for lineno, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise ConfigurationError(
+                        f"{path}:{lineno}: invalid JSON ({exc})"
+                    ) from None
+                if "arrival_time" not in record:
+                    raise ConfigurationError(
+                        f"{path}:{lineno}: missing 'arrival_time'"
+                    )
+                try:
+                    times.append(float(record["arrival_time"]))
+                except (TypeError, ValueError):
+                    raise ConfigurationError(
+                        f"{path}:{lineno}: 'arrival_time' must be a number, "
+                        f"got {record['arrival_time']!r}"
+                    ) from None
+                name = record.get("class")
+                if name is not None:
+                    saw_class = True
+                    if name not in REQUEST_CLASSES:
+                        known = ", ".join(REQUEST_CLASSES)
+                        raise ConfigurationError(
+                            f"{path}:{lineno}: unknown request class {name!r} "
+                            f"(known: {known})"
+                        )
+                    classes.append(REQUEST_CLASSES[name])
+                elif saw_class:
+                    raise ConfigurationError(
+                        f"{path}:{lineno}: missing 'class' (earlier lines set it; "
+                        "a trace must name classes on every line or none)"
+                    )
+        if saw_class and len(classes) != len(times):
+            # A class-less prefix followed by classed lines.
+            raise ConfigurationError(
+                f"{path}: only {len(classes)} of {len(times)} lines name a "
+                "request class; name it on every line or none"
+            )
+        return cls(times, classes if saw_class else None)
+
+    def request_classes(self) -> list[RequestClass]:
+        """The traced request shapes (requires ``class`` on every line)."""
+        if self.classes is None:
+            raise SchedulingError(
+                "trace carries no request classes; sample a workload and use "
+                "the trace for timestamps only"
+            )
+        return list(self.classes)
+
+    def arrival_times(self, n: int) -> list[float]:
+        if n > len(self.times):
+            raise SchedulingError(
+                f"trace holds {len(self.times)} arrivals but {n} were requested"
+            )
+        return self.times[:n]
+
+
+def parse_arrival_spec(spec: str | None, seed: int = 0) -> ArrivalProcess | None:
+    """Parse a CLI arrival spec into an :class:`ArrivalProcess`.
+
+    Accepted forms: ``poisson:RATE`` (seeded with ``seed``),
+    ``poisson:RATE:SEED``, ``rate:RATE``, ``trace:PATH``, and ``None`` /
+    ``"offline"`` for the implicit all-at-time-zero queue (returns ``None``
+    so callers can keep the legacy no-arrivals path).
+    """
+    if spec is None or spec == "offline":
+        return None
+    kind, _, rest = spec.partition(":")
+    try:
+        if kind == "poisson":
+            rate, _, seed_part = rest.partition(":")
+            return PoissonArrivals(
+                float(rate), seed=int(seed_part) if seed_part else seed
+            )
+        if kind == "rate":
+            return FixedRateArrivals(float(rest))
+        if kind == "trace":
+            if not rest:
+                raise ConfigurationError("trace spec needs a path (trace:PATH)")
+            return TraceReplay.from_jsonl(rest)
+    except ValueError:
+        raise ConfigurationError(
+            f"malformed arrival spec {spec!r} (bad number)"
+        ) from None
+    raise ConfigurationError(
+        f"unknown arrival spec {spec!r}; expected poisson:RATE[:SEED], "
+        "rate:RATE, trace:PATH, or offline"
+    )

@@ -1,7 +1,9 @@
 """KV-capacity budgets for admission control.
 
-Continuous batching admits a request only when the KV cache it will have
-grown by its final token still fits the serving system's cache home.  The
+Reserve-mode admission takes a request only when the KV cache it will have
+grown by its final token still fits the serving system's cache home;
+optimistic admission charges just the current footprint and relies on
+preemption (see :mod:`repro.serving.scheduler`) to resolve overflow.  The
 budget is derived from the same placement rules
 :mod:`repro.analysis.capacity` applies to single measurements:
 
@@ -77,10 +79,19 @@ def capacity_budget_for(system: InferenceSystem) -> CapacityBudget:
 class BudgetTracker:
     """Running reservation ledger against a :class:`CapacityBudget`.
 
-    Requests reserve their *final*-context KV bytes at admission and release
-    them at completion, so in-flight growth can never burst past the budget.
-    ``peak_reserved_bytes`` lets tests assert the invariant held for a whole
-    drain.
+    Two admission accountings share the ledger:
+
+    * *reserve* -- requests hold their **final**-context KV bytes from
+      admission to completion (:meth:`reserve`), so in-flight growth can
+      never burst past the budget;
+    * *optimistic* -- requests hold only their **current**-context bytes
+      (:meth:`occupy`), re-marked after every generated token
+      (:meth:`update`); overflow is possible by construction and the
+      scheduler resolves it by preempting the youngest request before the
+      step that would burst (:meth:`growth_bytes` prices that check).
+
+    ``peak_reserved_bytes`` lets tests assert the budget invariant held
+    for a whole drain under either accounting.
     """
 
     budget: CapacityBudget
@@ -90,20 +101,21 @@ class BudgetTracker:
     _held: dict[int, float] = field(default_factory=dict)
 
     def fits(self, request: ServingRequest, extra_bytes: float = 0.0) -> bool:
-        """Whether admitting ``request`` keeps reservations within budget.
+        """Whether a final-context reservation stays within budget.
 
         ``extra_bytes`` accounts for co-admitted requests whose reservations
         are decided but not yet recorded (the policies' admission loops).
         """
-        need = request.kv_reservation_bytes(self.model)
+        return self.fits_bytes(request.kv_reservation_bytes(self.model), extra_bytes)
+
+    def fits_bytes(self, need: float, extra_bytes: float = 0.0) -> bool:
+        """Whether holding ``need`` more bytes stays within budget."""
         return (
             self.reserved_bytes + extra_bytes + need
             <= self.budget.kv_capacity_bytes
         )
 
-    def reserve(self, request: ServingRequest) -> None:
-        """Record an admission; refuses to overcommit."""
-        need = request.kv_reservation_bytes(self.model)
+    def _record(self, request: ServingRequest, need: float) -> None:
         if self.reserved_bytes + need > self.budget.kv_capacity_bytes:
             raise SchedulingError(
                 f"request {request.request_id} overcommits the KV budget "
@@ -114,6 +126,41 @@ class BudgetTracker:
         self._held[request.request_id] = need
         self.reserved_bytes += need
         self.peak_reserved_bytes = max(self.peak_reserved_bytes, self.reserved_bytes)
+
+    def reserve(self, request: ServingRequest) -> None:
+        """Record a final-context admission; refuses to overcommit."""
+        self._record(request, request.kv_reservation_bytes(self.model))
+
+    def occupy(self, request: ServingRequest) -> None:
+        """Record an optimistic admission at the post-prefill footprint.
+
+        The held figure covers the context the prefill pass is about to
+        build (prompt plus any previously generated tokens for a preempted
+        readmission) *and* the token it emits on completion, so promotion
+        out of prefill never moves the ledger past what admission checked;
+        decode growth is re-marked by :meth:`update`.
+        """
+        self._record(request, request.kv_admission_bytes(self.model))
+
+    def update(self, request: ServingRequest) -> None:
+        """Re-mark an occupied request at its (grown) current context."""
+        try:
+            held = self._held[request.request_id]
+        except KeyError:
+            raise SchedulingError(
+                f"request {request.request_id} updated without a reservation"
+            ) from None
+        now = request.kv_current_bytes(self.model)
+        self._held[request.request_id] = now
+        self.reserved_bytes += now - held
+        self.peak_reserved_bytes = max(self.peak_reserved_bytes, self.reserved_bytes)
+
+    def growth_bytes(self, request: ServingRequest) -> float:
+        """Bytes the next generated token appends to ``request``'s cache."""
+        return float(
+            self.model.kv_cache_bytes(1, request.context_tokens + 1)
+            - self.model.kv_cache_bytes(1, request.context_tokens)
+        )
 
     def release(self, request: ServingRequest) -> None:
         """Return a completed request's reservation to the pool."""

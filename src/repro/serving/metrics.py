@@ -57,6 +57,12 @@ class ServingReport:
     kv_capacity_bytes: float
     system_cost_usd: float
     tokens_per_second_per_usd: float
+    #: Total evictions across the drain (optimistic admission only; zero
+    #: under reserve-mode accounting).
+    preemptions: int = 0
+    #: Context tokens whose KV preemptions dropped and readmission prefills
+    #: had to recompute -- the work optimistic admission gambled away.
+    wasted_prefill_tokens: int = 0
     requests: list[ServingRequest] = field(default_factory=list, repr=False)
     #: Structured warnings from the step-time model (e.g. queries clamped to
     #: the calibration grid edge); empty when the drain stayed on-grid.
@@ -113,6 +119,8 @@ def build_report(
         kv_capacity_bytes=kv_capacity_bytes,
         system_cost_usd=cost.total_usd(),
         tokens_per_second_per_usd=cost_efficiency(tokens_per_second, cost),
+        preemptions=sum(r.preemption_count for r in requests),
+        wasted_prefill_tokens=sum(r.wasted_prefill_tokens for r in requests),
         requests=list(requests),
         step_time_notes=dict(step_time_notes or {}),
     )

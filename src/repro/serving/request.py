@@ -2,11 +2,17 @@
 
 A :class:`ServingRequest` wraps one of the workload
 :class:`~repro.workloads.requests.RequestClass` shapes with the mutable
-lifecycle state the scheduler drives: admission into a batch, prefill (which
-produces the first output token), per-iteration decode progress, and
-completion.  All timestamps are simulated seconds from the drain's start;
-offline queues arrive in full at time zero, so a request's latency is its
-total time in the system.
+lifecycle state the scheduler drives: arrival, admission into a batch,
+(possibly chunked) prefill -- whose completion produces the next output
+token -- per-iteration decode progress, preemption, and completion.  All
+timestamps are simulated seconds from the drain's start; a request's
+latency is its arrival-to-completion time, so offline all-at-time-zero
+queues and online arrival processes share one accounting.
+
+Preemption is recompute-on-readmit: an evicted request drops its KV cache
+(and any partial prefill progress) but keeps the tokens it already emitted;
+readmission re-runs prefill over the full current context (prompt plus
+generated tokens) before decoding resumes.
 """
 
 from __future__ import annotations
@@ -20,15 +26,29 @@ from repro.workloads.requests import RequestClass
 
 @dataclass
 class ServingRequest:
-    """One in-flight request of an offline serving drain."""
+    """One in-flight request of a serving drain."""
 
     request_id: int
     request_class: RequestClass
     arrival_time: float = 0.0
+    #: First admission out of the waiting queue (stable across preemptions;
+    #: queueing time is measured against this).
     admitted_time: float | None = None
+    #: Most recent (re)admission -- the youngest-first preemption order key.
+    last_admitted_time: float | None = None
     first_token_time: float | None = None
     completion_time: float | None = None
     tokens_generated: int = 0
+    #: Prompt/context tokens whose KV the current (chunked) prefill pass has
+    #: already computed; reset to zero when the request is preempted.
+    prefill_tokens_done: int = 0
+    #: Times this request was evicted from the engine to resolve a KV
+    #: budget overflow (optimistic admission only).
+    preemption_count: int = 0
+    #: Context tokens whose KV was dropped by preemptions and had to be
+    #: recomputed by a readmission prefill -- the throughput cost of
+    #: admitting optimistically.
+    wasted_prefill_tokens: int = 0
 
     @property
     def input_tokens(self) -> int:
@@ -51,6 +71,20 @@ class ServingRequest:
         return self.request_class.total_tokens
 
     @property
+    def prefill_target_tokens(self) -> int:
+        """Context tokens the current prefill pass must compute KV for.
+
+        A fresh request prefills its prompt; a preempted request recomputes
+        prompt *plus* every token it had generated before eviction.
+        """
+        return self.context_tokens
+
+    @property
+    def prefill_remaining_tokens(self) -> int:
+        """Prefill tokens still to process before decode can (re)start."""
+        return self.prefill_target_tokens - self.prefill_tokens_done
+
+    @property
     def admitted(self) -> bool:
         """Whether the request has been pulled out of the waiting queue."""
         return self.admitted_time is not None
@@ -62,31 +96,76 @@ class ServingRequest:
 
     @property
     def latency_seconds(self) -> float:
-        """Arrival-to-completion time (the offline per-request latency)."""
+        """Arrival-to-completion time."""
         if self.completion_time is None:
             raise SchedulingError(f"request {self.request_id} has not completed")
         return self.completion_time - self.arrival_time
 
     @property
     def queueing_seconds(self) -> float:
-        """Time spent waiting before the scheduler admitted the request."""
+        """Time spent waiting before the scheduler first admitted the request.
+
+        Preempted requests do not re-accrue queueing time: readmissions
+        update only :attr:`last_admitted_time`.
+        """
         if self.admitted_time is None:
             raise SchedulingError(f"request {self.request_id} was never admitted")
         return self.admitted_time - self.arrival_time
 
+    def record_preemption(self, dropped_tokens: int) -> None:
+        """Account one eviction dropping ``dropped_tokens`` of computed KV.
+
+        The request's emitted tokens survive (they were already delivered);
+        only the cache state is lost, so readmission pays a recompute
+        prefill over the full current context.
+        """
+        self.preemption_count += 1
+        self.wasted_prefill_tokens += dropped_tokens
+        self.prefill_tokens_done = 0
+
     def kv_reservation_bytes(self, model: ModelConfig) -> float:
         """KV bytes this request occupies at its *final* context length.
 
-        Admission reserves the full final footprint up front so a batch can
-        never outgrow the device budget mid-decode (offline serving has no
-        preemption to fall back on).
+        Reserve-mode admission holds the full final footprint up front so a
+        batch can never outgrow the device budget mid-decode.
         """
         return float(model.kv_cache_bytes(1, self.final_context_tokens))
 
+    def kv_current_bytes(self, model: ModelConfig) -> float:
+        """KV bytes at the *current* context length."""
+        return float(model.kv_cache_bytes(1, self.context_tokens))
 
-def make_request_queue(classes: list[RequestClass]) -> list[ServingRequest]:
-    """Wrap sampled request classes as an arrival-ordered offline queue."""
+    def kv_admission_bytes(self, model: ModelConfig) -> float:
+        """KV bytes charged at optimistic admission: the current context
+        plus the token the prefill pass emits on completion.
+
+        Charging the post-prefill footprint up front keeps every ledger
+        movement fits-checked -- admission here, decode growth by the
+        scheduler's pre-iteration overflow check -- so the budget can
+        never burst, while still being a small fraction of the final
+        footprint reserve-mode admission would demand.
+        """
+        return float(model.kv_cache_bytes(1, self.context_tokens + 1))
+
+
+def make_request_queue(
+    classes: list[RequestClass], arrival_times: list[float] | None = None
+) -> list[ServingRequest]:
+    """Wrap sampled request classes as an id-ordered request queue.
+
+    Without ``arrival_times`` the queue is the classic offline
+    all-at-time-zero drain; with it, request ``i`` arrives at
+    ``arrival_times[i]`` (see :mod:`repro.serving.arrivals`).
+    """
+    if arrival_times is not None and len(arrival_times) != len(classes):
+        raise SchedulingError(
+            f"{len(arrival_times)} arrival times for {len(classes)} requests"
+        )
     return [
-        ServingRequest(request_id=i, request_class=cls)
+        ServingRequest(
+            request_id=i,
+            request_class=cls,
+            arrival_time=0.0 if arrival_times is None else float(arrival_times[i]),
+        )
         for i, cls in enumerate(classes)
     ]

@@ -1,12 +1,22 @@
-"""The offline serving scheduler: drains a request queue through a system.
+"""The serving scheduler: drives a request queue through a system.
 
 :class:`OfflineServingScheduler` runs a request-level discrete-event
-simulation on :mod:`repro.sim.engine`: the whole queue arrives at time zero,
-the policy admits requests at scheduling points, admissions pay a prefill
-pass (which emits each request's first output token), and decoding advances
-one token per running request per iteration, with the iteration's duration
-supplied by a :class:`~repro.serving.steptime.StepTimeModel` calibrated
-against the full event-level system simulation.
+simulation on :mod:`repro.sim.engine`.  Requests enter the waiting queue at
+their arrival times (all at time zero for the classic offline drain, or per
+an :class:`~repro.serving.arrivals.ArrivalProcess`), the policy admits
+requests at scheduling points, admissions pay a prefill pass -- whole, or
+split into token chunks interleaved with decode iterations -- whose
+completion emits the request's next output token, and decoding advances one
+token per running request per iteration, with every duration supplied by a
+:class:`~repro.serving.steptime.StepTimeModel` calibrated against the full
+event-level system simulation.
+
+Request lifecycle (the admission/preemption state machine)::
+
+    pending --arrival--> waiting --admit--> prefilling --chunks done-->
+    running --last token--> finished
+                  ^                                |
+                  +------- preempt (optimistic) ---+
 
 Execution semantics per policy family:
 
@@ -16,6 +26,14 @@ Execution semantics per policy family:
   batch drains;
 * iteration-level policies bill only the live requests at their **mean**
   context (no padding), and completed requests' slots refill immediately.
+
+Under ``admission="optimistic"`` (see
+:class:`~repro.serving.policies.ContinuousBatching`) requests are admitted
+against their *current* KV footprint; before every decode iteration the
+scheduler checks that one more token per running request still fits the
+budget, and resolves overflow by evicting the youngest admitted request
+(recompute-on-readmit: its KV is dropped, it rejoins the waiting queue
+front, and readmission re-runs prefill over its full context).
 """
 
 from __future__ import annotations
@@ -26,6 +44,7 @@ from typing import Iterable, Sequence
 from repro.baselines.base import InferenceSystem
 from repro.calibration import CalibrationStore
 from repro.errors import ConfigurationError, SchedulingError
+from repro.serving.arrivals import ArrivalProcess
 from repro.serving.budget import BudgetTracker, CapacityBudget, capacity_budget_for
 from repro.serving.metrics import ServingReport, build_report
 from repro.serving.policies import SchedulingPolicy
@@ -36,7 +55,16 @@ from repro.workloads.requests import RequestClass
 
 
 class OfflineServingScheduler:
-    """Drains heterogeneous offline queues through one inference system."""
+    """Drains heterogeneous request queues through one inference system.
+
+    ``prefill_chunk_tokens`` enables chunked prefill: each scheduling
+    round processes at most that many prompt tokens per prefilling request
+    before the next decode iteration runs, so a long admission stalls
+    running decodes for one chunk instead of a whole prompt.  ``None``
+    (the default) prefills whole prompts in one pass -- exactly the
+    chunked path with an unbounded chunk, so a chunk size at or above
+    every prompt length reproduces the unchunked schedule bit for bit.
+    """
 
     def __init__(
         self,
@@ -44,11 +72,15 @@ class OfflineServingScheduler:
         policy: SchedulingPolicy,
         step_time: StepTimeModel | None = None,
         budget: CapacityBudget | None = None,
+        prefill_chunk_tokens: int | None = None,
     ) -> None:
+        if prefill_chunk_tokens is not None and prefill_chunk_tokens < 1:
+            raise ConfigurationError("prefill chunk size must be >= 1 token")
         self.system = system
         self.policy = policy
         self.step_time = step_time or CalibratedStepTime(system)
         self.budget = budget or capacity_budget_for(system)
+        self.prefill_chunk_tokens = prefill_chunk_tokens
 
     # --- queue construction ----------------------------------------------------
 
@@ -57,24 +89,44 @@ class OfflineServingScheduler:
     ) -> list[ServingRequest]:
         if not requests:
             raise SchedulingError("cannot drain an empty request queue")
-        if isinstance(requests[0], ServingRequest):
+        expected: type = (
+            ServingRequest
+            if isinstance(requests[0], ServingRequest)
+            else RequestClass
+        )
+        for index, request in enumerate(requests):
+            if not isinstance(request, expected):
+                raise SchedulingError(
+                    f"mixed request queue: element {index} is "
+                    f"{type(request).__name__}, expected {expected.__name__} "
+                    "(queues must be all RequestClass or all ServingRequest)"
+                )
+        if expected is ServingRequest:
             return list(requests)  # type: ignore[arg-type]
         return make_request_queue(list(requests))  # type: ignore[arg-type]
 
     # --- the drain -------------------------------------------------------------
 
     def drain(
-        self, requests: Sequence[RequestClass] | Sequence[ServingRequest]
+        self,
+        requests: Sequence[RequestClass] | Sequence[ServingRequest],
+        arrivals: ArrivalProcess | None = None,
     ) -> ServingReport:
-        """Run the queue to empty and return aggregate + per-request metrics."""
+        """Run the queue to empty and return aggregate + per-request metrics.
+
+        ``arrivals`` stamps the queue with an arrival schedule before the
+        simulation starts; without it requests keep the arrival times they
+        carry (zero for queues built from bare :class:`RequestClass`
+        shapes -- the classic offline drain).
+        """
         queue = self._as_queue(requests)
+        if arrivals is not None:
+            arrivals.assign(queue)
         sim = Simulator()
         tracker = BudgetTracker(budget=self.budget, model=self.system.model)
         # Snapshot the (shared, monotonic) clamp counters so this drain's
         # report covers only its own off-grid queries, not earlier drains'.
-        clamp_summary = getattr(self.step_time, "grid_clamp_summary", None)
-        clamp_counters = getattr(self.step_time, "clamp_counters", None)
-        counters_before = clamp_counters() if clamp_counters is not None else None
+        counters_before = self.step_time.clamp_counters()
         process = sim.process(
             self._drain_process(sim, queue, tracker),
             name=f"{self.policy.name}.drain",
@@ -87,11 +139,7 @@ class OfflineServingScheduler:
             makespan_seconds=sim.now,
             peak_kv_reserved_bytes=tracker.peak_reserved_bytes,
             kv_capacity_bytes=self.budget.kv_capacity_bytes,
-            step_time_notes=(
-                clamp_summary(since=counters_before)
-                if clamp_summary is not None
-                else {}
-            ),
+            step_time_notes=self.step_time.grid_clamp_summary(since=counters_before),
         )
 
     def _drain_process(
@@ -100,47 +148,153 @@ class OfflineServingScheduler:
         queue: list[ServingRequest],
         tracker: BudgetTracker,
     ):
-        waiting = deque(queue)
+        # Requests whose arrival time has not been reached yet, in arrival
+        # order; they surface into ``waiting`` at scheduling points, and an
+        # idle engine sleeps on the simulator until the next arrival.
+        pending = deque(
+            sorted(queue, key=lambda r: (r.arrival_time, r.request_id))
+        )
+        waiting: deque[ServingRequest] = deque()
+        prefilling: list[ServingRequest] = []
         running: list[ServingRequest] = []
         batch_slots = 0
-        while waiting or running:
-            admitted = self.policy.admit(waiting, running, tracker)
-            if admitted:
-                for request in admitted:
+        optimistic = self.policy.admission == "optimistic"
+        while pending or waiting or prefilling or running:
+            while pending and pending[0].arrival_time <= sim.now:
+                waiting.append(pending.popleft())
+            admitted = self.policy.admit(waiting, running + prefilling, tracker)
+            for request in admitted:
+                if optimistic:
+                    tracker.occupy(request)
+                else:
                     tracker.reserve(request)
+                if request.admitted_time is None:
                     request.admitted_time = sim.now
-                yield sim.timeout(self._prefill_seconds(admitted))
-                for request in admitted:
-                    # Prefill emits each admitted request's first token.
-                    request.first_token_time = sim.now
-                    request.tokens_generated = 1
-                running.extend(admitted)
-                if self.policy.padded:
-                    # Slot count of the formed batch, captured before any
-                    # prefill-completers retire: their slots idle (and are
-                    # billed) until the whole batch drains.
-                    batch_slots = len(running)
+                request.last_admitted_time = sim.now
+            prefilling.extend(admitted)
+            if self.policy.padded and admitted:
+                # Slot count of the formed batch, captured before any
+                # prefill-completers retire: their slots idle (and are
+                # billed) until the whole batch drains.
+                batch_slots = len(running) + len(prefilling)
+            progressed = bool(admitted)
+            if prefilling:
+                yield sim.timeout(self._prefill_chunk_seconds(prefilling))
+                self._advance_prefill(
+                    sim, prefilling, running, tracker if optimistic else None
+                )
                 self._retire_finished(sim, running, tracker)
-            if not running:
-                if admitted:
-                    # Every admitted request completed during prefill
-                    # (single-output-token shapes); progress was made, so
-                    # go back to the policy for the next wave.
-                    continue
+                progressed = True
+            if running:
+                if optimistic:
+                    self._resolve_overflow(sim, running, prefilling, waiting, tracker)
+                if running:
+                    yield sim.timeout(self._iteration_seconds(running, batch_slots))
+                    for request in running:
+                        request.tokens_generated += 1
+                        if optimistic:
+                            tracker.update(request)
+                    self._retire_finished(sim, running, tracker)
+                progressed = True
+            if progressed:
+                continue
+            # Nothing active and nothing admitted: either the engine is
+            # genuinely idle until the next arrival, or admission is stuck.
+            if waiting:
                 raise SchedulingError(
                     f"policy {self.policy.name!r} admitted nothing with "
                     f"{len(waiting)} requests waiting (starvation)"
                 )
-            yield sim.timeout(self._iteration_seconds(running, batch_slots))
-            for request in running:
+            yield sim.timeout(pending[0].arrival_time - sim.now)
+
+    # --- chunked prefill -------------------------------------------------------
+
+    def _chunk_tokens(self, request: ServingRequest) -> int:
+        """Prefill tokens ``request`` processes in the current round."""
+        remaining = request.prefill_remaining_tokens
+        if self.prefill_chunk_tokens is None:
+            return remaining
+        return min(self.prefill_chunk_tokens, remaining)
+
+    def _prefill_chunk_seconds(self, prefilling: list[ServingRequest]) -> float:
+        longest = max(self._chunk_tokens(r) for r in prefilling)
+        return self.step_time.prefill_seconds(len(prefilling), longest)
+
+    def _advance_prefill(
+        self,
+        sim: Simulator,
+        prefilling: list[ServingRequest],
+        running: list[ServingRequest],
+        tracker: BudgetTracker | None,
+    ) -> None:
+        """Credit one chunk to every prefilling request; promote completers.
+
+        Completing a prefill emits the request's next output token (the
+        forward pass over the context produces the following token's
+        logits): the first token for a fresh admission, the resumption
+        token for a preempted readmission.  Under optimistic accounting
+        (``tracker`` given) the emitted token is re-marked immediately, so
+        the overflow check before the next decode iteration sees the true
+        ledger, not one stale by a token per promotion.
+        """
+        for request in list(prefilling):
+            request.prefill_tokens_done += self._chunk_tokens(request)
+            if request.prefill_remaining_tokens == 0:
+                if request.first_token_time is None:
+                    request.first_token_time = sim.now
                 request.tokens_generated += 1
-            self._retire_finished(sim, running, tracker)
+                if tracker is not None:
+                    tracker.update(request)
+                prefilling.remove(request)
+                running.append(request)
+
+    # --- preemption ------------------------------------------------------------
+
+    def _resolve_overflow(
+        self,
+        sim: Simulator,
+        running: list[ServingRequest],
+        prefilling: list[ServingRequest],
+        waiting: "deque[ServingRequest]",
+        tracker: BudgetTracker,
+    ) -> None:
+        """Preempt until the next decode iteration's KV growth fits.
+
+        The next iteration appends one token per running request; while
+        that projected growth overflows the budget, the youngest admitted
+        request (latest *re*admission, ties broken by id -- prefilling
+        admissions are the youngest of all) is evicted
+        recompute-on-readmit: its reservation is released, its KV and
+        partial prefill progress are dropped, and it rejoins the *front*
+        of the waiting queue so it resumes before never-admitted work.
+        Evicting youngest-first keeps the oldest requests' caches intact,
+        bounding the recompute loss to the work least progressed.
+        """
+        while True:
+            growth = sum(tracker.growth_bytes(r) for r in running)
+            if tracker.fits_bytes(growth):
+                return
+            candidates = running + prefilling
+            if len(candidates) <= 1:
+                raise SchedulingError(
+                    f"KV budget ({self.budget.description}) cannot absorb one "
+                    "decode token of the sole admitted request; preemption "
+                    "cannot help -- the budget is too small for this workload"
+                )
+            victim = max(
+                candidates, key=lambda r: (r.last_admitted_time, r.request_id)
+            )
+            if victim in running:
+                running.remove(victim)
+                dropped = victim.context_tokens
+            else:
+                prefilling.remove(victim)
+                dropped = victim.prefill_tokens_done
+            tracker.release(victim)
+            victim.record_preemption(dropped)
+            waiting.appendleft(victim)
 
     # --- timing helpers --------------------------------------------------------
-
-    def _prefill_seconds(self, admitted: list[ServingRequest]) -> float:
-        longest_prompt = max(r.input_tokens for r in admitted)
-        return self.step_time.prefill_seconds(len(admitted), longest_prompt)
 
     def _iteration_seconds(
         self, running: list[ServingRequest], batch_slots: int
@@ -173,6 +327,8 @@ def drain_queue(
     store: "CalibrationStore | None" = None,
     batch_grid: tuple[int, ...] | None = None,
     seq_grid: tuple[int, ...] | None = None,
+    arrivals: ArrivalProcess | None = None,
+    prefill_chunk_tokens: int | None = None,
 ) -> list[ServingReport]:
     """Drain the same queue under several policies on one system.
 
@@ -181,6 +337,8 @@ def drain_queue(
     state never leaks between drains.  ``store`` (plus optional grid
     overrides) builds the default :class:`CalibratedStepTime` against a
     persistent calibration cache so repeated sweeps skip re-measuring.
+    ``arrivals`` and ``prefill_chunk_tokens`` pass through to every drain;
+    seeded arrival processes replay the identical schedule per policy.
     """
     if step_time is None:
         grids = {}
@@ -196,8 +354,13 @@ def drain_queue(
         )
     reports = []
     for policy in policies:
-        scheduler = OfflineServingScheduler(system, policy, step_time=step_time)
-        reports.append(scheduler.drain(list(requests)))
+        scheduler = OfflineServingScheduler(
+            system,
+            policy,
+            step_time=step_time,
+            prefill_chunk_tokens=prefill_chunk_tokens,
+        )
+        reports.append(scheduler.drain(list(requests), arrivals=arrivals))
     flush = getattr(step_time, "flush", None)
     if flush is not None:
         flush()

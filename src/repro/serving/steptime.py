@@ -51,7 +51,14 @@ def parse_grid(spec: str, name: str = "grid") -> tuple[int, ...]:
 
 
 class StepTimeModel(abc.ABC):
-    """Cost model for one batched decode iteration and one prefill pass."""
+    """Cost model for one batched decode iteration and one prefill pass.
+
+    Clamp accounting is part of the interface (not a ``CalibratedStepTime``
+    private): the scheduler snapshots :meth:`clamp_counters` before a drain
+    and embeds :meth:`grid_clamp_summary` in the report, so any custom
+    model gets its off-grid warnings surfaced by overriding the two
+    no-op defaults below -- no ``getattr`` probing involved.
+    """
 
     @abc.abstractmethod
     def step_seconds(self, batch_size: int, seq_len: int) -> float:
@@ -61,6 +68,22 @@ class StepTimeModel(abc.ABC):
     @abc.abstractmethod
     def prefill_seconds(self, batch_size: int, seq_len: int) -> float:
         """Seconds to prefill ``batch_size`` prompts of ``seq_len`` tokens."""
+
+    def clamp_counters(self) -> dict:
+        """Monotonic query/clamp counters for windowed (per-drain) accounting.
+
+        Models without a bounded calibration domain have nothing to clamp;
+        the default empty snapshot pairs with the default empty summary.
+        """
+        return {}
+
+    def grid_clamp_summary(self, since: dict | None = None) -> dict:
+        """Structured warning about queries outside the model's domain.
+
+        ``since`` is an earlier :meth:`clamp_counters` snapshot windowing
+        the counts to one drain.  The default reports nothing.
+        """
+        return {}
 
 
 class AnalyticStepTime(StepTimeModel):

@@ -1,0 +1,182 @@
+"""Tests for the arrival processes feeding the serving simulation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError, SchedulingError
+from repro.serving.arrivals import (
+    AllAtOnce,
+    FixedRateArrivals,
+    PoissonArrivals,
+    TraceReplay,
+    parse_arrival_spec,
+)
+from repro.serving.request import make_request_queue
+from repro.workloads.requests import LONG, MEDIUM, SHORT
+
+
+class TestAllAtOnce:
+    def test_everything_arrives_at_time_zero(self):
+        assert AllAtOnce().arrival_times(4) == [0.0, 0.0, 0.0, 0.0]
+
+
+class TestFixedRate:
+    def test_equal_gaps_at_the_requested_rate(self):
+        times = FixedRateArrivals(rate_per_second=2.0).arrival_times(4)
+        assert times == [0.0, 0.5, 1.0, 1.5]
+
+    def test_start_offset(self):
+        times = FixedRateArrivals(rate_per_second=1.0, start=10.0).arrival_times(2)
+        assert times == [10.0, 11.0]
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FixedRateArrivals(0.0)
+        with pytest.raises(ConfigurationError):
+            FixedRateArrivals(1.0, start=-1.0)
+
+
+class TestPoisson:
+    def test_seeded_schedule_is_reproducible(self):
+        first = PoissonArrivals(0.5, seed=11).arrival_times(64)
+        second = PoissonArrivals(0.5, seed=11).arrival_times(64)
+        assert first == second  # byte-identical, not approximately equal
+
+    def test_one_instance_replays_across_calls(self):
+        process = PoissonArrivals(0.5, seed=11)
+        assert process.arrival_times(32) == process.arrival_times(32)
+
+    def test_different_seeds_differ(self):
+        assert (
+            PoissonArrivals(0.5, seed=1).arrival_times(16)
+            != PoissonArrivals(0.5, seed=2).arrival_times(16)
+        )
+
+    def test_times_are_non_decreasing_and_positive(self):
+        times = PoissonArrivals(3.0, seed=5).arrival_times(100)
+        assert all(t > 0 for t in times)
+        assert all(b >= a for a, b in zip(times, times[1:]))
+
+    def test_mean_gap_matches_rate(self):
+        times = PoissonArrivals(4.0, seed=7).arrival_times(4000)
+        mean_gap = times[-1] / len(times)
+        assert mean_gap == pytest.approx(1 / 4.0, rel=0.1)
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PoissonArrivals(-1.0)
+
+
+class TestTraceReplay:
+    def test_replays_recorded_times(self):
+        trace = TraceReplay([0.0, 1.5, 4.0])
+        assert trace.arrival_times(2) == [0.0, 1.5]
+
+    def test_too_short_trace_rejected(self):
+        with pytest.raises(SchedulingError, match="holds 2"):
+            TraceReplay([0.0, 1.0]).arrival_times(3)
+
+    def test_decreasing_times_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TraceReplay([1.0, 0.5])
+
+    def test_jsonl_round_trip_with_classes(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        records = [
+            {"arrival_time": 0.0, "class": "Short"},
+            {"arrival_time": 2.5, "class": "Long"},
+            {"arrival_time": 2.5, "class": "Medium"},
+        ]
+        path.write_text("\n".join(json.dumps(r) for r in records) + "\n")
+        trace = TraceReplay.from_jsonl(path)
+        assert trace.arrival_times(3) == [0.0, 2.5, 2.5]
+        assert trace.request_classes() == [SHORT, LONG, MEDIUM]
+
+    def test_jsonl_without_classes_has_times_only(self, tmp_path):
+        path = tmp_path / "times.jsonl"
+        path.write_text('{"arrival_time": 0.5}\n{"arrival_time": 1.0}\n')
+        trace = TraceReplay.from_jsonl(path)
+        assert trace.arrival_times(2) == [0.5, 1.0]
+        with pytest.raises(SchedulingError, match="no request classes"):
+            trace.request_classes()
+
+    def test_jsonl_unknown_class_rejected_with_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"arrival_time": 0.0, "class": "Gigantic"}\n')
+        with pytest.raises(ConfigurationError, match="bad.jsonl:1"):
+            TraceReplay.from_jsonl(path)
+
+    def test_jsonl_missing_time_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"class": "Short"}\n')
+        with pytest.raises(ConfigurationError, match="arrival_time"):
+            TraceReplay.from_jsonl(path)
+
+    def test_jsonl_non_numeric_time_rejected_with_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"arrival_time": 0.0}\n{"arrival_time": "fast"}\n')
+        with pytest.raises(ConfigurationError, match="bad.jsonl:2"):
+            TraceReplay.from_jsonl(path)
+
+    def test_short_times_only_trace_fails_before_calibration(self, tmp_path):
+        from repro.experiments import serving_throughput
+
+        path = tmp_path / "short.jsonl"
+        path.write_text('{"arrival_time": 0.0}\n{"arrival_time": 1.0}\n')
+        with pytest.raises(ConfigurationError, match="holds 2 timestamps"):
+            serving_throughput.run(
+                fast=True, use_store=False, arrival=f"trace:{path}"
+            )
+
+    def test_jsonl_partial_classes_rejected(self, tmp_path):
+        path = tmp_path / "partial.jsonl"
+        path.write_text(
+            '{"arrival_time": 0.0, "class": "Short"}\n{"arrival_time": 1.0}\n'
+        )
+        with pytest.raises(ConfigurationError, match="every line or none"):
+            TraceReplay.from_jsonl(path)
+
+
+class TestAssign:
+    def test_stamps_queue_in_request_id_order(self):
+        queue = make_request_queue([SHORT, MEDIUM, LONG])
+        FixedRateArrivals(1.0).assign(queue)
+        assert [r.arrival_time for r in queue] == [0.0, 1.0, 2.0]
+
+    def test_make_request_queue_accepts_arrival_times(self):
+        queue = make_request_queue([SHORT, LONG], arrival_times=[0.0, 3.0])
+        assert [r.arrival_time for r in queue] == [0.0, 3.0]
+        with pytest.raises(SchedulingError):
+            make_request_queue([SHORT], arrival_times=[0.0, 1.0])
+
+
+class TestParseSpec:
+    def test_offline_and_none_mean_no_process(self):
+        assert parse_arrival_spec(None) is None
+        assert parse_arrival_spec("offline") is None
+
+    def test_poisson_spec_with_default_and_explicit_seed(self):
+        process = parse_arrival_spec("poisson:2.5", seed=9)
+        assert isinstance(process, PoissonArrivals)
+        assert process.rate_per_second == 2.5
+        assert process.seed == 9
+        assert parse_arrival_spec("poisson:2.5:3").seed == 3
+
+    def test_rate_spec(self):
+        process = parse_arrival_spec("rate:0.25")
+        assert isinstance(process, FixedRateArrivals)
+        assert process.rate_per_second == 0.25
+
+    def test_trace_spec(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"arrival_time": 0.0}\n')
+        process = parse_arrival_spec(f"trace:{path}")
+        assert isinstance(process, TraceReplay)
+
+    def test_malformed_specs_rejected(self):
+        for spec in ("poisson:fast", "rate:", "trace:", "blizzard:3"):
+            with pytest.raises(ConfigurationError):
+                parse_arrival_spec(spec)

@@ -75,6 +75,25 @@ class TestLengthBucketedBatch:
         running = make_request_queue([SHORT])
         assert LengthBucketedBatch(4).admit(waiting, running, tracker_for(model)) == []
 
+    def test_bucket_age_keyed_on_arrival_time_not_request_id(self, model):
+        """With arrival processes, request ids are no longer
+        arrival-ordered: the bucket whose oldest member *arrived* first
+        wins, even if a younger-arriving class holds the smaller id."""
+        waiting = queue_of(SHORT, LONG, SHORT)
+        # id 0 (Short) arrived last; id 1 (Long) arrived first.
+        waiting[0].arrival_time = 9.0
+        waiting[1].arrival_time = 1.0
+        waiting[2].arrival_time = 9.0
+        admitted = LengthBucketedBatch(4).admit(waiting, [], tracker_for(model))
+        assert {r.request_class.name for r in admitted} == {"Long"}
+
+    def test_bucket_tie_breaks_deterministically_on_request_id(self, model):
+        # Equal arrival times: the bucket holding the smaller id wins, so
+        # repeated drains of the same queue pick the same bucket.
+        waiting = queue_of(MEDIUM, SHORT)
+        admitted = LengthBucketedBatch(4).admit(waiting, [], tracker_for(model))
+        assert {r.request_class.name for r in admitted} == {"Medium"}
+
 
 class TestContinuousBatching:
     def test_tops_up_free_slots_only(self, model):
@@ -103,6 +122,34 @@ class TestContinuousBatching:
         assert [r.request_class.name for r in admitted] == ["Long", "Short"]
         # The next Short would fit alone, but the queue stays FCFS.
         assert waiting[0].request_class.name == "Short"
+
+    def test_too_big_head_blocks_instead_of_being_skipped(self, model):
+        """A head that does not fit must stop admission entirely, even
+        when everything behind it would fit."""
+        one_long = make_request_queue([LONG])[0].kv_reservation_bytes(model)
+        one_short = make_request_queue([SHORT])[0].kv_reservation_bytes(model)
+        tracker = tracker_for(model, capacity_bytes=one_long * 0.9)
+        assert one_short < one_long * 0.9  # the Shorts alone would fit
+        waiting = queue_of(LONG, SHORT, SHORT)
+        admitted = ContinuousBatching(8).admit(waiting, [], tracker)
+        assert admitted == []
+        assert [r.request_class.name for r in waiting] == ["Long", "Short", "Short"]
+
+    def test_optimistic_admission_charges_current_context(self, model):
+        from repro.workloads.requests import RequestClass
+
+        # Small prompt, long output: three prompts fit the budget but not
+        # even one final context, so the two accountings disagree.
+        growthy_class = RequestClass("Growthy", input_tokens=32, output_tokens=600)
+        growthy = make_request_queue([growthy_class] * 3)
+        prompt_bytes = growthy[0].kv_current_bytes(model)
+        tracker = tracker_for(model, capacity_bytes=prompt_bytes * 3.2)
+        waiting = deque(growthy)
+        assert ContinuousBatching(8).admit(deque(growthy), [], tracker) == []
+        admitted = ContinuousBatching(8, admission="optimistic").admit(
+            waiting, [], tracker
+        )
+        assert len(admitted) == 3
 
 
 class TestBudgetTracker:

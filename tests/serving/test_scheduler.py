@@ -1,4 +1,4 @@
-"""Deterministic queue-drain tests for the offline serving scheduler."""
+"""Deterministic queue-drain tests for the serving scheduler."""
 
 from __future__ import annotations
 
@@ -6,18 +6,21 @@ import pytest
 
 from repro.core.config import HilosConfig
 from repro.core.runtime import HilosSystem
-from repro.errors import SchedulingError
+from repro.errors import ConfigurationError, SchedulingError
 from repro.serving import (
     AnalyticStepTime,
     CalibratedStepTime,
     CapacityBudget,
     ContinuousBatching,
     FCFSFixedBatch,
+    FixedRateArrivals,
     OfflineServingScheduler,
+    PoissonArrivals,
+    StepTimeModel,
     default_policies,
     drain_queue,
 )
-from repro.serving.request import make_request_queue
+from repro.serving.request import ServingRequest, make_request_queue
 from repro.workloads import sample_request_classes
 from repro.workloads.requests import LONG, SHORT, RequestClass
 
@@ -209,3 +212,225 @@ class TestCapacityConstrainedDrain:
         )
         with pytest.raises(SchedulingError):
             scheduler.drain([])
+
+
+class TestQueueValidation:
+    """Every element is type-checked, not just the head (the old code
+    crashed deep inside the drain on mixed queues)."""
+
+    def test_serving_request_amid_classes_rejected_with_index(self, system):
+        mixed = [SHORT, LONG, make_request_queue([SHORT])[0], LONG]
+        scheduler = OfflineServingScheduler(
+            system, ContinuousBatching(4), step_time=unit_steps()
+        )
+        with pytest.raises(SchedulingError, match="element 2"):
+            scheduler.drain(mixed)
+
+    def test_class_amid_serving_requests_rejected_with_index(self, system):
+        mixed = make_request_queue([SHORT, SHORT]) + [LONG]  # type: ignore[list-item]
+        scheduler = OfflineServingScheduler(
+            system, ContinuousBatching(4), step_time=unit_steps()
+        )
+        with pytest.raises(SchedulingError, match="element 2"):
+            scheduler.drain(mixed)
+
+    def test_arbitrary_garbage_rejected_at_its_index(self, system):
+        scheduler = OfflineServingScheduler(
+            system, ContinuousBatching(4), step_time=unit_steps()
+        )
+        with pytest.raises(SchedulingError, match="element 0"):
+            scheduler.drain(["not a request", SHORT])  # type: ignore[list-item]
+
+
+class TestStepTimeInterface:
+    """Clamp accounting is part of the StepTimeModel interface: a custom
+    model participates without the scheduler probing via getattr."""
+
+    def test_custom_model_defaults_to_empty_notes(self, system):
+        class FlatModel(StepTimeModel):
+            def step_seconds(self, batch_size, seq_len):
+                return 1.0
+
+            def prefill_seconds(self, batch_size, seq_len):
+                return 0.0
+
+        report = OfflineServingScheduler(
+            system, ContinuousBatching(4), step_time=FlatModel()
+        ).drain([SHORT, SHORT])
+        assert report.step_time_notes == {}
+
+    def test_custom_clamp_summary_lands_in_the_report(self, system):
+        class WarningModel(StepTimeModel):
+            def step_seconds(self, batch_size, seq_len):
+                return 1.0
+
+            def prefill_seconds(self, batch_size, seq_len):
+                return 0.0
+
+            def clamp_counters(self):
+                return {"queries": 0}
+
+            def grid_clamp_summary(self, since=None):
+                return {"clamped_queries": 7, "window": since}
+
+        report = OfflineServingScheduler(
+            system, ContinuousBatching(4), step_time=WarningModel()
+        ).drain([SHORT])
+        assert report.step_time_notes["clamped_queries"] == 7
+        assert report.step_time_notes["window"] == {"queries": 0}
+
+
+class TestArrivalDrains:
+    def test_engine_idles_until_first_arrival(self, system):
+        scheduler = OfflineServingScheduler(
+            system, ContinuousBatching(2), step_time=unit_steps()
+        )
+        report = scheduler.drain(
+            [SHORT], arrivals=FixedRateArrivals(1.0, start=5.0)
+        )
+        request = report.requests[0]
+        assert request.arrival_time == pytest.approx(5.0)
+        assert request.admitted_time == pytest.approx(5.0)
+        # 100 output tokens: first at prefill, 99 decode iterations.
+        assert report.makespan_seconds == pytest.approx(5.0 + 99.0)
+        assert request.latency_seconds == pytest.approx(99.0)
+
+    def test_late_arrival_joins_at_iteration_boundary(self, system):
+        quick = RequestClass("Quick", input_tokens=16, output_tokens=4)
+        scheduler = OfflineServingScheduler(
+            system, ContinuousBatching(2), step_time=unit_steps()
+        )
+        report = scheduler.drain(
+            make_request_queue([quick, quick], arrival_times=[0.0, 1.5])
+        )
+        late = report.requests[1]
+        # Arrives mid-iteration at 1.5; the scheduler only acts at the next
+        # boundary (t=2), so queueing time is the 0.5s remainder.
+        assert late.admitted_time == pytest.approx(2.0)
+        assert late.queueing_seconds == pytest.approx(0.5)
+
+    def test_seeded_poisson_drain_is_byte_identical(self, system):
+        """ISSUE acceptance: two invocations of the same seeded
+        Poisson-arrival drain produce byte-identical reports."""
+        queue = sample_request_classes(32, seed=13)
+        arrivals = PoissonArrivals(rate_per_second=0.2, seed=13)
+
+        def run():
+            return OfflineServingScheduler(
+                system,
+                ContinuousBatching(4, admission="optimistic"),
+                step_time=unit_steps(),
+            ).drain(list(queue), arrivals=arrivals)
+
+        first, second = run(), run()
+        assert repr(first) == repr(second)
+        assert repr(first.requests) == repr(second.requests)
+        assert first == second
+
+    def test_arrival_process_spans_the_makespan(self, system):
+        queue = sample_request_classes(16, seed=2)
+        arrivals = PoissonArrivals(rate_per_second=0.05, seed=4)
+        report = OfflineServingScheduler(
+            system, ContinuousBatching(4), step_time=unit_steps()
+        ).drain(list(queue), arrivals=arrivals)
+        assert report.all_completed
+        last_arrival = max(r.arrival_time for r in report.requests)
+        assert report.makespan_seconds >= last_arrival
+        for request in report.requests:
+            assert request.admitted_time >= request.arrival_time
+
+
+class TestChunkedPrefill:
+    def test_invalid_chunk_size_rejected(self, system):
+        with pytest.raises(ConfigurationError):
+            OfflineServingScheduler(
+                system,
+                ContinuousBatching(2),
+                step_time=unit_steps(),
+                prefill_chunk_tokens=0,
+            )
+
+    def test_chunk_at_least_prompt_is_bit_identical_to_unchunked(self, system):
+        """ISSUE acceptance: chunk size >= every prompt length reproduces
+        the unchunked drain exactly (same code path, unbounded chunk)."""
+        queue = sample_request_classes(24, seed=3)
+        step_time = AnalyticStepTime(
+            base_seconds=1.0,
+            per_token_seconds=1e-4,
+            prefill_per_token_seconds=1e-3,
+        )
+
+        def run(chunk):
+            return OfflineServingScheduler(
+                system,
+                ContinuousBatching(8),
+                step_time=step_time,
+                prefill_chunk_tokens=chunk,
+            ).drain(list(queue))
+
+        unchunked = run(None)
+        chunked = run(max(LONG.input_tokens, 8192))
+        assert repr(unchunked) == repr(chunked)
+        assert repr(unchunked.requests) == repr(chunked.requests)
+
+    def test_chunking_bounds_the_decode_stall(self, system):
+        """Hand-computable: an 8-token chunk caps how long a late admission
+        stalls the running decode, where unchunked prefill stalls it for
+        the whole 16-token prompt."""
+        step_time = AnalyticStepTime(
+            base_seconds=1.0,
+            per_token_seconds=0.0,
+            prefill_per_token_seconds=1.0,
+        )
+        first = RequestClass("First", input_tokens=8, output_tokens=3)
+        late = RequestClass("Late", input_tokens=16, output_tokens=2)
+        queue = [
+            lambda: make_request_queue([first, late], arrival_times=[0.0, 1.5])
+        ]
+
+        def run(chunk):
+            return OfflineServingScheduler(
+                system,
+                ContinuousBatching(2),
+                step_time=step_time,
+                prefill_chunk_tokens=chunk,
+            ).drain(queue[0]())
+
+        unchunked = run(None)
+        # t0 admit First, prefill 8s -> token1@8; decode -> token2@9;
+        # t9 admit Late, prefill 16s -> t25 (First stalled the whole
+        # prompt); decode -> First token3 and Late token2, both @26.
+        assert unchunked.requests[0].completion_time == pytest.approx(26.0)
+        assert unchunked.requests[1].completion_time == pytest.approx(26.0)
+        chunked = run(8)
+        # t9 admit Late, chunk of 8 -> t17 (half done); decode -> First
+        # token3@18: the stall shrank from 16s to one 8-token chunk.  Late
+        # pays one extra decode boundary (27 vs 26) for not blocking First.
+        assert chunked.requests[0].completion_time == pytest.approx(18.0)
+        assert chunked.requests[1].completion_time == pytest.approx(27.0)
+
+    def test_chunked_totals_conserved(self, system):
+        queue = sample_request_classes(24, seed=9)
+        report = OfflineServingScheduler(
+            system,
+            ContinuousBatching(8),
+            step_time=unit_steps(),
+            prefill_chunk_tokens=256,
+        ).drain(list(queue))
+        assert report.all_completed
+        for request in report.requests:
+            assert request.tokens_generated == request.output_tokens
+
+    def test_drain_queue_passes_arrivals_and_chunking_through(self, system):
+        queue = sample_request_classes(12, seed=1)
+        reports = drain_queue(
+            system,
+            default_policies(4),
+            queue,
+            step_time=unit_steps(),
+            arrivals=FixedRateArrivals(0.5),
+            prefill_chunk_tokens=512,
+        )
+        for report in reports:
+            assert report.all_completed
+            assert max(r.arrival_time for r in report.requests) > 0.0
