@@ -155,3 +155,83 @@ def test_serving_preemption_warm(benchmark, tmp_path):
     result = benchmark.pedantic(_preemption_drain, setup=setup, rounds=3, iterations=1)
     _assert_preemption_shape(result)
     assert result[1].measurement_count == 0
+
+
+#: The cluster benchmark's scenario: a 4-node HILOS fleet draining one
+#: Poisson stream under join-shortest-queue placement.
+CLUSTER_NODES = 4
+CLUSTER_REQUESTS = 64
+CLUSTER_SEED = 7
+
+
+def _cluster_drain(store):
+    """Fleet drain: the ``serving-cluster`` gate.  One Poisson queue, four
+    symmetric HILOS-8 nodes (sharing one calibrated step-time grid through
+    the store), JSQ routing, fleet report with per-node breakdowns."""
+    from repro.models import get_model
+    from repro.serving import (
+        ClusterScheduler,
+        ContinuousBatching,
+        LeastOutstandingTokens,
+        PoissonArrivals,
+    )
+    from repro.serving.cluster import build_fleet
+    from repro.workloads import sample_request_classes
+
+    model = get_model(serving_throughput.MODEL)
+    fleet = build_fleet(
+        model, ["HILOS (8 SmartSSDs)"] * CLUSTER_NODES, store=store
+    )
+    scheduler = ClusterScheduler(
+        fleet,
+        ContinuousBatching(serving_throughput.BATCH_SLOTS),
+        router=LeastOutstandingTokens(),
+    )
+    report = scheduler.drain(
+        sample_request_classes(CLUSTER_REQUESTS, seed=CLUSTER_SEED),
+        arrivals=PoissonArrivals(rate_per_second=0.1, seed=CLUSTER_SEED),
+    )
+    step_time = fleet[0].step_time
+    step_time.flush()
+    return report, step_time
+
+
+def _assert_cluster_shape(result):
+    report, _ = result
+    assert report.all_completed
+    assert report.router == "jsq"
+    assert len(report.node_reports) == CLUSTER_NODES
+    # JSQ over a 64-request stream leaves no node idle.
+    assert all(node.n_requests > 0 for node in report.node_reports)
+    assert sum(node.completed for node in report.node_reports) == CLUSTER_REQUESTS
+    assert report.tokens_per_second_per_usd > 0
+
+
+def test_serving_cluster_cold(benchmark, tmp_path):
+    """Cold fleet drain: the shared grid is measured in-run (once, not
+    once per node -- symmetric nodes share one step-time model)."""
+    state = {"round": 0}
+
+    def setup():
+        state["round"] += 1
+        clear_memory_layer()
+        return (CalibrationStore(tmp_path / f"ccold{state['round']}"),), {}
+
+    result = benchmark.pedantic(_cluster_drain, setup=setup, rounds=3, iterations=1)
+    _assert_cluster_shape(result)
+    assert result[1].measurement_count > 0
+
+
+def test_serving_cluster_warm(benchmark, tmp_path):
+    """Warm fleet drain: the store holds the grid, zero measurements."""
+    store_dir = tmp_path / "cwarm"
+    clear_memory_layer()
+    _cluster_drain(CalibrationStore(store_dir))
+
+    def setup():
+        clear_memory_layer()
+        return (CalibrationStore(store_dir),), {}
+
+    result = benchmark.pedantic(_cluster_drain, setup=setup, rounds=3, iterations=1)
+    _assert_cluster_shape(result)
+    assert result[1].measurement_count == 0

@@ -39,6 +39,10 @@ class FigurePoint:
     seq_len: int
     effective_batch: int
     step_seconds: float
+    #: Prefill latency captured at measurement time (fig14's split); cached
+    #: alongside the step time because the analytic prefill model can read
+    #: state ``measure()`` mutates (e.g. HILOS's selected alpha).
+    prefill_seconds: float = 0.0
     breakdown: Breakdown = field(default_factory=Breakdown)
     oom: bool = False
     note: str = ""
@@ -83,6 +87,7 @@ class FigurePointCache:
         #: (store hits do not count); zero on a warm re-run.
         self.measurement_count = 0
         self._step: dict[tuple[int, int], float] = {}
+        self._prefill: dict[tuple[int, int], float] = {}
         self._breakdown: dict[tuple[int, int], dict[str, float]] = {}
         self._fingerprint: str | None = None
         self._hydrated = store is None
@@ -91,7 +96,9 @@ class FigurePointCache:
     #: effective_batch / step), unlike the serving grids, which bill
     #: clamped batches at a scaled step; distinct fingerprint semantics
     #: keep the two cell meanings from ever colliding on one store file.
-    SEMANTICS = "raw-step+breakdown"
+    #: The prefill suffix marks cells whose prefill sibling is recorded in
+    #: the same measurement (fig14's split needs both halves coherent).
+    SEMANTICS = "raw-step+prefill+breakdown"
 
     @property
     def fingerprint(self) -> str:
@@ -111,6 +118,7 @@ class FigurePointCache:
         """Hydrate the point cache from the store; returns cells now cached."""
         if self.store is not None:
             self._step.update(self.store.load_step_grid(self.fingerprint))
+            self._prefill.update(self.store.load_prefill_grid(self.fingerprint))
             self._breakdown.update(self.store.load_breakdown_grid(self.fingerprint))
         self._hydrated = True
         return len(self._step)
@@ -145,7 +153,12 @@ class FigurePointCache:
                 note="CPU OOM",
             )
         key = (batch, seq_len)
-        if key not in self._step:
+        if key not in self._step or key not in self._prefill:
+            # Defensive guard: record() always writes a key's step and
+            # prefill cells together, but a hand-edited or truncated store
+            # file could hydrate one without the other -- treat that as a
+            # miss so both halves come from one coherent measurement
+            # (prefill reads measure()-mutated state).
             result = self.system.measure(
                 batch, seq_len, n_steps=self.n_steps, warmup_steps=self.warmup_steps
             )
@@ -158,10 +171,12 @@ class FigurePointCache:
                     seq_len=seq_len,
                     effective_batch=0,
                     step_seconds=float("inf"),
+                    prefill_seconds=float("inf"),
                     oom=True,
                     note=result.note,
                 )
             self._step[key] = result.step_seconds
+            self._prefill[key] = result.prefill_seconds
             self._breakdown[key] = dict(result.breakdown.seconds)
             if self.store is not None:
                 self.store.record(
@@ -175,6 +190,7 @@ class FigurePointCache:
                         semantics=self.SEMANTICS,
                     ),
                     step_cells={key: self._step[key]},
+                    prefill_cells={key: self._prefill[key]},
                     breakdown_cells={key: self._breakdown[key]},
                     flush=False,
                 )
@@ -183,6 +199,7 @@ class FigurePointCache:
             seq_len=seq_len,
             effective_batch=effective,
             step_seconds=self._step[key],
+            prefill_seconds=self._prefill[key],
             breakdown=Breakdown(seconds=dict(self._breakdown.get(key, {}))),
         )
 

@@ -16,11 +16,19 @@ bandwidth to half: striping stays uniform, so the slow device becomes the
 straggler every layer waits on.  The perturbed array is asymmetric, which
 makes the simulation substrate fall back from representative-device folding
 to the full-array path automatically (``symmetry="auto"``).
+
+Every configuration routes through a
+:class:`~repro.calibration.figures.FigurePointCache` (each ablation -- and
+the perturbed straggler array -- has its own fingerprint, since the
+fingerprint hashes the full hardware config), so warm re-runs of the sweep
+measure **nothing**.
 """
 
 from __future__ import annotations
 
 from repro.baselines.flexgen import FlexGenSSD
+from repro.calibration import CalibrationStore, resolve_store
+from repro.calibration.figures import FigurePointCache
 from repro.core.config import HilosConfig
 from repro.core.runtime import HilosSystem
 from repro.experiments.harness import Table
@@ -61,52 +69,83 @@ FULL_POINTS = [
 ]
 
 
-def run(fast: bool = True, symmetry: str = "auto") -> list[Table]:
+def run(
+    fast: bool = True,
+    symmetry: str = "auto",
+    store: CalibrationStore | None = None,
+    use_store: bool = True,
+) -> list[Table]:
     """Normalized throughput for each ablation configuration.
 
     ``symmetry`` threads through to the simulation substrate; the
     slow-device row is asymmetric and always takes the full-array path.
+    ``store`` overrides the calibration store; ``use_store=False`` disables
+    persistence entirely (every run then measures from scratch).
     """
     points = FAST_POINTS if fast else FULL_POINTS
+    store = resolve_store(store, use_store)
     table = Table(
         title="Fig 15 ablation study (normalized to FLEX(SSD))",
         columns=["model", "batch", "seq_len", "config", "tokens_per_s", "normalized"],
         notes="(slow dev0): one SmartSSD at half flash-read bandwidth "
         "(asymmetric array, full-array simulation path)",
     )
+    grids_by_model: dict[str, tuple[set, set]] = {}
     for model_name, batch, seq_len in points:
+        batches, seqs = grids_by_model.setdefault(model_name, (set(), set()))
+        batches.add(batch)
+        seqs.add(seq_len)
+    new_measurements = 0
+    for model_name, (batches, seqs) in grids_by_model.items():
         model = get_model(model_name)
+        # One system instance (and one cache) per configuration per model,
+        # hoisted out of the point loop so fingerprints cover the sweep.
         flex_system = FlexGenSSD(model)
         flex_system.symmetry = symmetry
-        flex = flex_system.measure(batch, seq_len, n_steps=1, warmup_steps=1)
-        table.add_row(
-            model_name, batch, seq_len, "FLEX(SSD)", flex.tokens_per_second, 1.0
-        )
+        systems = [("FLEX(SSD)", flex_system)]
         for label, config in ABLATIONS:
             system = HilosSystem(model, config)
             system.symmetry = symmetry
-            result = system.measure(batch, seq_len, n_steps=1, warmup_steps=1)
-            table.add_row(
-                model_name,
-                batch,
-                seq_len,
-                label,
-                result.tokens_per_second,
-                result.tokens_per_second / flex.tokens_per_second,
-            )
+            systems.append((label, system))
         straggler = HilosSystem(
             model, HilosConfig(n_devices=N_DEVICES), hardware=_degraded_hardware()
         )
         straggler.symmetry = symmetry if symmetry != "representative" else "auto"
-        result = straggler.measure(batch, seq_len, n_steps=1, warmup_steps=1)
-        table.add_row(
-            model_name,
-            batch,
-            seq_len,
-            "ANS+WB+X (slow dev0)",
-            result.tokens_per_second,
-            result.tokens_per_second / flex.tokens_per_second,
-        )
+        systems.append(("ANS+WB+X (slow dev0)", straggler))
+        caches = {
+            label: FigurePointCache(
+                system,
+                batch_grid=tuple(sorted(batches)),
+                seq_grid=tuple(sorted(seqs)),
+                store=store,
+            )
+            for label, system in systems
+        }
+        for point_model, batch, seq_len in points:
+            if point_model != model_name:
+                continue
+            flex = caches["FLEX(SSD)"].measure(batch, seq_len)
+            table.add_row(
+                model_name, batch, seq_len, "FLEX(SSD)",
+                flex.tokens_per_second, 1.0,
+            )
+            for label, _ in systems[1:]:
+                point = caches[label].measure(batch, seq_len)
+                table.add_row(
+                    model_name,
+                    batch,
+                    seq_len,
+                    label,
+                    point.tokens_per_second,
+                    point.tokens_per_second / flex.tokens_per_second,
+                )
+        for cache in caches.values():
+            cache.flush()
+            new_measurements += cache.measurement_count
+    table.notes += (
+        f"; {new_measurements} new measurements this run "
+        "(zero on a warm calibration store)"
+    )
     return [table]
 
 

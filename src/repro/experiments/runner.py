@@ -8,6 +8,8 @@ Usage::
     python -m repro.experiments.runner serving --fast --batch-grid 1,4,16
     python -m repro.experiments.runner serving --arrival poisson:0.1 \
         --admission optimistic --prefill-chunk 512
+    python -m repro.experiments.runner serving --nodes 4 --router jsq \
+        --arrival poisson:0.1
     python -m repro.experiments.runner --prewarm --jobs 8
     python -m repro.experiments.runner fig10 --symmetry full
 

@@ -16,8 +16,11 @@ re-runs of ``python -m repro.experiments.runner serving``.
 Scenario knobs go beyond the offline drain: ``--arrival`` feeds the queue
 through a Poisson / fixed-rate / trace-replay arrival process,
 ``--admission optimistic`` switches continuous batching to optimistic
-admission with recompute-on-readmit preemption, and ``--prefill-chunk``
-interleaves chunked prefill with running decodes.
+admission with recompute-on-readmit preemption, ``--prefill-chunk``
+interleaves chunked prefill with running decodes, and ``--nodes N
+--router rr|jsq|bestfit`` shards the queue across an N-node fleet of each
+system (one cluster drain per policy, with fleet tokens/s/$ and a
+per-node breakdown table).
 """
 
 from __future__ import annotations
@@ -30,7 +33,9 @@ from repro.errors import ConfigurationError
 from repro.experiments.harness import Table
 from repro.models import get_model
 from repro.serving import TraceReplay, default_policies, drain_queue, parse_arrival_spec
+from repro.serving.cluster import ClusterScheduler, build_fleet
 from repro.serving.policies import ADMISSION_MODES
+from repro.serving.routers import ROUTER_SPECS, parse_router_spec
 from repro.serving.steptime import (
     DEFAULT_BATCH_GRID,
     DEFAULT_SEQ_GRID,
@@ -69,6 +74,8 @@ def run(
     admission: str = "reserve",
     arrival: str | None = None,
     prefill_chunk: int | None = None,
+    nodes: int = 1,
+    router: str = "rr",
 ) -> list[Table]:
     """Drain one seeded queue through every (system, policy) pair.
 
@@ -80,7 +87,17 @@ def run(
     picks the continuous-batching accounting, ``arrival`` is an arrival
     spec (``poisson:RATE[:SEED]``, ``rate:RATE``, ``trace:PATH``), and
     ``prefill_chunk`` enables chunked prefill at that many tokens.
+
+    ``nodes`` > 1 turns every system row into an N-node fleet of that
+    system draining the *same* queue through a
+    :class:`~repro.serving.cluster.ClusterScheduler` under the ``router``
+    placement policy (``rr`` | ``jsq`` | ``bestfit``); the report table
+    then carries fleet-level tokens/s and tokens/s/$ and a third table
+    breaks each drain down per node.  ``nodes=1`` is the unchanged legacy
+    single-host sweep.
     """
+    if nodes < 1:
+        raise ConfigurationError("a serving sweep needs at least one node")
     systems = systems or (FAST_SYSTEMS if fast else FULL_SYSTEMS)
     n_requests = n_requests or (FAST_REQUESTS if fast else FULL_REQUESTS)
     store = resolve_store(store, use_store)
@@ -101,9 +118,10 @@ def run(
         queue = sample_request_classes(n_requests, seed=seed)
     model = get_model(MODEL)
     scenario = "offline (all at t=0)" if arrivals is None else arrival
+    fleet_suffix = f", {nodes}-node fleets via {router}" if nodes > 1 else ""
     table = Table(
         title=f"Serving throughput ({MODEL}, {n_requests} mixed requests, "
-        f"arrivals: {scenario})",
+        f"arrivals: {scenario}{fleet_suffix})",
         columns=[
             "system",
             "policy",
@@ -142,27 +160,68 @@ def run(
         notes="new_measurements is zero when the store already holds the "
         "system's grid (warm re-run)",
     )
+    per_node = (
+        Table(
+            title=f"Per-node breakdown ({nodes}-node fleets, router: {router})",
+            columns=[
+                "system",
+                "policy",
+                "node",
+                "requests",
+                "completed",
+                "tokens_per_s",
+                "preemptions",
+                "wasted_prefill",
+                "peak_kv_gb",
+            ],
+            notes="per-node tokens/s are over the fleet makespan and sum to "
+            "the fleet rate",
+        )
+        if nodes > 1
+        else None
+    )
     clamped_any = False
     for label in systems:
-        system = build_inference_system(label, model)
-        system.symmetry = symmetry
-        step_time = CalibratedStepTime(
-            system,
-            batch_grid=batch_grid or DEFAULT_BATCH_GRID,
-            seq_grid=seq_grid or DEFAULT_SEQ_GRID,
-            store=store,
-        )
-        prewarmed = step_time.prewarm()
-        for report in drain_queue(
-            system,
-            default_policies(BATCH_SLOTS, admission=admission),
-            queue,
-            step_time=step_time,
-            arrivals=arrivals,
-            prefill_chunk_tokens=prefill_chunk,
-        ):
+        if nodes > 1:
+            fleet = build_fleet(
+                model,
+                [label] * nodes,
+                store=store,
+                batch_grid=batch_grid,
+                seq_grid=seq_grid,
+                symmetry=symmetry,
+                prefill_chunk_tokens=prefill_chunk,
+            )
+            step_time = fleet[0].step_time  # shared across the symmetric fleet
+            prewarmed = step_time.prewarm()
+            reports = [
+                ClusterScheduler(
+                    fleet, policy, router=parse_router_spec(router)
+                ).drain(list(queue), arrivals=arrivals)
+                for policy in default_policies(BATCH_SLOTS, admission=admission)
+            ]
+            step_time.flush()
+        else:
+            system = build_inference_system(label, model)
+            system.symmetry = symmetry
+            step_time = CalibratedStepTime(
+                system,
+                batch_grid=batch_grid or DEFAULT_BATCH_GRID,
+                seq_grid=seq_grid or DEFAULT_SEQ_GRID,
+                store=store,
+            )
+            prewarmed = step_time.prewarm()
+            reports = drain_queue(
+                system,
+                default_policies(BATCH_SLOTS, admission=admission),
+                queue,
+                step_time=step_time,
+                arrivals=arrivals,
+                prefill_chunk_tokens=prefill_chunk,
+            )
+        for report in reports:
             table.add_row(
-                label,
+                report.system if nodes > 1 else label,
                 report.policy,
                 report.completed,
                 report.tokens_per_second,
@@ -174,6 +233,19 @@ def run(
                 report.tokens_per_second_per_usd,
             )
             clamped_any = clamped_any or bool(report.step_time_notes)
+            if nodes > 1:
+                for breakdown in report.node_reports:
+                    per_node.add_row(
+                        report.system,
+                        report.policy,
+                        breakdown.node,
+                        breakdown.n_requests,
+                        breakdown.completed,
+                        breakdown.tokens_per_second,
+                        breakdown.preemptions,
+                        breakdown.wasted_prefill_tokens,
+                        breakdown.peak_kv_reserved_bytes / 1e9,
+                    )
         calibration.add_row(
             label,
             step_time.fingerprint[:16],
@@ -187,7 +259,10 @@ def run(
             "; some queries fell outside the calibration grid and were "
             "clamped to its edge -- consider --batch-grid/--seq-grid"
         )
-    return [table, calibration]
+    tables = [table, calibration]
+    if nodes > 1:
+        tables.append(per_node)
+    return tables
 
 
 def add_calibration_cli(parser: argparse.ArgumentParser) -> None:
@@ -232,6 +307,17 @@ def add_serving_cli(parser: argparse.ArgumentParser) -> None:
         help="chunk prefill at TOKENS per scheduling round so admissions "
         "stop stalling running decodes (default: whole-prompt prefill)",
     )
+    parser.add_argument(
+        "--nodes", type=int, default=None, metavar="N",
+        help="drain the queue across an N-node fleet of each system "
+        "(cluster scheduling; default: a single node)",
+    )
+    parser.add_argument(
+        "--router", choices=sorted(ROUTER_SPECS), default=None,
+        help="fleet placement policy: rr (round-robin), jsq (join the "
+        "shortest queue by outstanding tokens), bestfit (KV-headroom "
+        "best fit); only meaningful with --nodes > 1",
+    )
 
 
 def serving_kwargs(parser: argparse.ArgumentParser, args: argparse.Namespace) -> dict:
@@ -258,6 +344,14 @@ def serving_kwargs(parser: argparse.ArgumentParser, args: argparse.Namespace) ->
         if args.prefill_chunk < 1:
             parser.error("--prefill-chunk must be at least 1 token")
         kwargs["prefill_chunk"] = args.prefill_chunk
+    if getattr(args, "nodes", None) is not None:
+        if args.nodes < 1:
+            parser.error("--nodes must be at least 1")
+        kwargs["nodes"] = args.nodes
+    if getattr(args, "router", None) is not None:
+        if getattr(args, "nodes", None) in (None, 1):
+            parser.error("--router requires --nodes > 1 (a fleet to route over)")
+        kwargs["router"] = args.router
     return kwargs
 
 

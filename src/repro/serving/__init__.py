@@ -11,7 +11,15 @@ continuous batching can admit optimistically with recompute-on-readmit
 preemption, and prefill can be chunked so admissions stop stalling
 running decodes.
 
-Typical use::
+Serving scales past one host: a :class:`~repro.serving.cluster.ClusterScheduler`
+drains one queue across N :class:`~repro.serving.engine.Node`\\ s on a
+shared discrete-event simulation, with a pluggable
+:class:`~repro.serving.routers.Router` (round-robin, join-shortest-queue,
+KV-headroom best fit) placing each request at its arrival time.  A 1-node
+cluster reproduces the single-host :class:`OfflineServingScheduler`
+schedule bit for bit.
+
+Single host::
 
     from repro import HilosConfig, HilosSystem, get_model
     from repro.serving import (
@@ -31,6 +39,29 @@ Typical use::
     )
     print(report.tokens_per_second, report.p95_latency_seconds,
           report.preemptions)
+
+Two-node fleet, one queue, join-shortest-queue placement::
+
+    from repro.serving import (
+        ClusterScheduler, ContinuousBatching, LeastOutstandingTokens, Node,
+    )
+
+    nodes = [
+        Node(HilosSystem(get_model("OPT-66B"), HilosConfig(n_devices=8)),
+             name="node0"),
+        Node(HilosSystem(get_model("OPT-66B"), HilosConfig(n_devices=8)),
+             name="node1"),
+    ]
+    fleet = ClusterScheduler(
+        nodes, ContinuousBatching(16), router=LeastOutstandingTokens(),
+    )
+    report = fleet.drain(
+        sample_request_classes(200, seed=7),
+        arrivals=PoissonArrivals(rate_per_second=0.05, seed=7),
+    )
+    print(report.tokens_per_second_per_usd)          # fleet tokens/s/$
+    for node in report.node_reports:                 # per-node breakdown
+        print(node.node, node.completed, node.tokens_per_second)
 """
 
 from repro.serving.arrivals import (
@@ -46,7 +77,14 @@ from repro.serving.budget import (
     CapacityBudget,
     capacity_budget_for,
 )
-from repro.serving.metrics import ServingReport, percentile, system_cost_model
+from repro.serving.cluster import ClusterScheduler, as_request_queue, build_fleet
+from repro.serving.engine import Node, NodeEngine
+from repro.serving.metrics import (
+    NodeBreakdown,
+    ServingReport,
+    percentile,
+    system_cost_model,
+)
 from repro.serving.policies import (
     ContinuousBatching,
     FCFSFixedBatch,
@@ -55,6 +93,13 @@ from repro.serving.policies import (
     default_policies,
 )
 from repro.serving.request import ServingRequest, make_request_queue
+from repro.serving.routers import (
+    BestFitKV,
+    LeastOutstandingTokens,
+    RoundRobin,
+    Router,
+    parse_router_spec,
+)
 from repro.serving.scheduler import OfflineServingScheduler, drain_queue
 from repro.serving.steptime import (
     AnalyticStepTime,
@@ -66,25 +111,36 @@ __all__ = [
     "AllAtOnce",
     "AnalyticStepTime",
     "ArrivalProcess",
+    "BestFitKV",
     "BudgetTracker",
     "CalibratedStepTime",
     "CapacityBudget",
+    "ClusterScheduler",
     "ContinuousBatching",
     "FCFSFixedBatch",
     "FixedRateArrivals",
+    "LeastOutstandingTokens",
     "LengthBucketedBatch",
+    "Node",
+    "NodeBreakdown",
+    "NodeEngine",
     "OfflineServingScheduler",
     "PoissonArrivals",
+    "RoundRobin",
+    "Router",
     "SchedulingPolicy",
     "ServingReport",
     "ServingRequest",
     "StepTimeModel",
     "TraceReplay",
+    "as_request_queue",
+    "build_fleet",
     "capacity_budget_for",
     "default_policies",
     "drain_queue",
     "make_request_queue",
     "parse_arrival_spec",
+    "parse_router_spec",
     "percentile",
     "system_cost_model",
 ]

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import abc
 import json
+import math
 import random
 from pathlib import Path
 from typing import Sequence
@@ -125,6 +126,10 @@ class TraceReplay(ArrivalProcess):
         if not times:
             raise ConfigurationError("arrival trace is empty")
         ordered = [float(t) for t in times]
+        if any(not math.isfinite(t) for t in ordered):
+            raise ConfigurationError(
+                "arrival trace contains non-finite times (nan/inf)"
+            )
         if any(t < 0 for t in ordered):
             raise ConfigurationError("arrival trace contains negative times")
         if any(b < a for a, b in zip(ordered, ordered[1:])):
@@ -138,7 +143,15 @@ class TraceReplay(ArrivalProcess):
 
     @classmethod
     def from_jsonl(cls, path: str | Path) -> "TraceReplay":
-        """Load a trace from a JSONL schedule file."""
+        """Load a trace from a JSONL schedule file.
+
+        Every line is validated before the trace is returned -- malformed
+        JSON, non-object lines, missing / non-numeric / non-finite /
+        negative / decreasing ``arrival_time`` values, and unknown or
+        inconsistently-present ``class`` names all raise a
+        :class:`~repro.errors.ConfigurationError` naming the offending
+        line, so a bad trace fails at load time instead of mid-drain.
+        """
         times: list[float] = []
         classes: list[RequestClass] = []
         saw_class = False
@@ -153,17 +166,41 @@ class TraceReplay(ArrivalProcess):
                     raise ConfigurationError(
                         f"{path}:{lineno}: invalid JSON ({exc})"
                     ) from None
+                if not isinstance(record, dict):
+                    raise ConfigurationError(
+                        f"{path}:{lineno}: expected a JSON object per line, "
+                        f"got {type(record).__name__}"
+                    )
                 if "arrival_time" not in record:
                     raise ConfigurationError(
                         f"{path}:{lineno}: missing 'arrival_time'"
                     )
-                try:
-                    times.append(float(record["arrival_time"]))
-                except (TypeError, ValueError):
+                raw = record["arrival_time"]
+                if isinstance(raw, bool) or not isinstance(raw, (int, float)):
                     raise ConfigurationError(
                         f"{path}:{lineno}: 'arrival_time' must be a number, "
-                        f"got {record['arrival_time']!r}"
-                    ) from None
+                        f"got {raw!r}"
+                    )
+                time = float(raw)
+                if not math.isfinite(time):
+                    # Python's json module accepts NaN/Infinity literals;
+                    # NaN would sail through every ordering comparison and
+                    # only blow up deep inside the drain.
+                    raise ConfigurationError(
+                        f"{path}:{lineno}: 'arrival_time' must be finite, "
+                        f"got {raw!r}"
+                    )
+                if time < 0:
+                    raise ConfigurationError(
+                        f"{path}:{lineno}: negative 'arrival_time' {raw!r}"
+                    )
+                if times and time < times[-1]:
+                    raise ConfigurationError(
+                        f"{path}:{lineno}: 'arrival_time' {raw!r} decreases "
+                        f"(previous line had {times[-1]!r}); traces must be "
+                        "non-decreasing"
+                    )
+                times.append(time)
                 name = record.get("class")
                 if name is not None:
                     saw_class = True
@@ -179,6 +216,8 @@ class TraceReplay(ArrivalProcess):
                         f"{path}:{lineno}: missing 'class' (earlier lines set it; "
                         "a trace must name classes on every line or none)"
                     )
+        if not times:
+            raise ConfigurationError(f"{path}: arrival trace is empty")
         if saw_class and len(classes) != len(times):
             # A class-less prefix followed by classed lines.
             raise ConfigurationError(

@@ -1,0 +1,286 @@
+"""Cluster serving: drain one request queue across a simulated fleet.
+
+The paper's Section 6.6 comparison treats the 2-node vLLM deployment as a
+cost line; this module makes multi-host serving a *scheduling target*.  A
+:class:`ClusterScheduler` owns N :class:`~repro.serving.engine.Node`\\ s
+and one :class:`~repro.serving.routers.Router`; ``drain()`` runs every
+node's :class:`~repro.serving.engine.NodeEngine` as a process on one
+shared discrete-event simulator, a dispatcher process routes each request
+to a node at its arrival time, and the per-node outcomes merge into a
+fleet-level :class:`~repro.serving.metrics.ServingReport` (per-node
+breakdowns, preemption/wasted-prefill totals, fleet tokens/s/$).
+
+**Bit-identity guarantee.** A 1-node cluster skips the dispatcher and
+preloads the whole arrival-ordered queue into the single engine, which
+then runs exactly the legacy ``OfflineServingScheduler`` loop -- same
+per-request admission, token and completion times, same report.  The
+legacy scheduler is itself a thin shim over a 1-node cluster, and the
+property tests in ``tests/serving/test_cluster.py`` assert the identity
+across policies, arrival processes, and chunking.
+
+(The multi-node dispatcher routes at true arrival times; when an arrival
+ties exactly with a node's iteration boundary, heap order -- deterministic
+but not legacy-defined -- decides whether the request joins that boundary
+or the next.  Only the 1-node preloaded path carries the bit-identity
+guarantee, which is why it exists as a distinct fast path.)
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import ConfigurationError, SchedulingError
+from repro.models.config import ModelConfig
+from repro.serving.arrivals import ArrivalProcess
+from repro.serving.engine import Node, NodeEngine
+from repro.serving.metrics import (
+    ServingReport,
+    build_fleet_report,
+    build_report,
+    node_breakdown,
+)
+from repro.serving.policies import ContinuousBatching, SchedulingPolicy
+from repro.serving.request import ServingRequest, make_request_queue
+from repro.serving.routers import Router, RoundRobin
+from repro.sim.engine import Simulator
+from repro.workloads.requests import RequestClass
+
+#: Slot count of the default policy when a cluster is built without one.
+DEFAULT_BATCH_SLOTS = 16
+
+
+def as_request_queue(
+    requests: Sequence[RequestClass] | Sequence[ServingRequest],
+) -> list[ServingRequest]:
+    """Validate and normalise a drain's input queue.
+
+    Every element is type-checked (mixed queues raise with the offending
+    index); bare :class:`RequestClass` shapes are wrapped as an id-ordered
+    all-at-time-zero queue.
+    """
+    if not requests:
+        raise SchedulingError("cannot drain an empty request queue")
+    expected: type = (
+        ServingRequest if isinstance(requests[0], ServingRequest) else RequestClass
+    )
+    for index, request in enumerate(requests):
+        if not isinstance(request, expected):
+            raise SchedulingError(
+                f"mixed request queue: element {index} is "
+                f"{type(request).__name__}, expected {expected.__name__} "
+                "(queues must be all RequestClass or all ServingRequest)"
+            )
+    if expected is ServingRequest:
+        return list(requests)  # type: ignore[arg-type]
+    return make_request_queue(list(requests))  # type: ignore[arg-type]
+
+
+class ClusterScheduler:
+    """Drains one request queue across N nodes on a shared simulator.
+
+    ``policy`` is shared by every node's admission loop (policies are
+    consulted with per-node queues and ledgers, so one instance serves the
+    whole fleet); it defaults to iteration-level continuous batching at
+    :data:`DEFAULT_BATCH_SLOTS` slots.  ``router`` picks the placement
+    policy (default round-robin).  All nodes must serve the same model --
+    one queue means one tokenizer and one KV-per-token arithmetic.
+    """
+
+    def __init__(
+        self,
+        nodes: Sequence[Node],
+        policy: SchedulingPolicy | None = None,
+        router: Router | None = None,
+    ) -> None:
+        self.nodes = list(nodes)
+        if not self.nodes:
+            raise ConfigurationError("a cluster needs at least one node")
+        names = [node.name for node in self.nodes]
+        if len(set(names)) != len(names):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise ConfigurationError(
+                f"duplicate node names in cluster: {', '.join(dupes)} "
+                "(name= disambiguates nodes sharing a system label)"
+            )
+        models = {id(node.system.model): node.system.model for node in self.nodes}
+        if len({m.name for m in models.values()}) > 1:
+            raise ConfigurationError(
+                "cluster nodes serve different models ("
+                + ", ".join(sorted({m.name for m in models.values()}))
+                + "); one queue requires one model"
+            )
+        self.policy = policy or ContinuousBatching(DEFAULT_BATCH_SLOTS)
+        self.router = router or RoundRobin()
+
+    # --- the drain -------------------------------------------------------------
+
+    def drain(
+        self,
+        requests: Sequence[RequestClass] | Sequence[ServingRequest],
+        arrivals: ArrivalProcess | None = None,
+    ) -> ServingReport:
+        """Run the queue to empty across the fleet; return the fleet report.
+
+        ``arrivals`` stamps the queue with an arrival schedule before the
+        simulation starts; without it requests keep the arrival times they
+        carry (zero for queues built from bare :class:`RequestClass`
+        shapes -- the classic offline drain).
+        """
+        queue = as_request_queue(requests)
+        if arrivals is not None:
+            arrivals.assign(queue)
+        self.router.reset()
+        sim = Simulator()
+        engines = [NodeEngine(node, self.policy, sim) for node in self.nodes]
+        # Snapshot the (shared, monotonic) clamp counters so this drain's
+        # report covers only its own off-grid queries; distinct models only,
+        # since symmetric fleets legitimately share one step-time instance.
+        step_times = {id(n.step_time): n.step_time for n in self.nodes}
+        counters_before = {
+            key: model.clamp_counters() for key, model in step_times.items()
+        }
+        ordered = sorted(queue, key=lambda r: (r.arrival_time, r.request_id))
+        processes = []
+        if len(engines) == 1:
+            # Single node: no routing decision exists.  Preload the whole
+            # queue so the engine runs the legacy scheduler loop verbatim
+            # (this path carries the bit-identity guarantee).
+            engines[0].preload(ordered)
+            engines[0].finish_arrivals()
+        else:
+            processes.append(
+                sim.process(self._dispatch(sim, ordered, engines), name="cluster.route")
+            )
+        processes.extend(
+            sim.process(engine.run(), name=f"{engine.node.name}.drain")
+            for engine in engines
+        )
+        if len(processes) == 1:
+            sim.run(processes[0])
+        else:
+            sim.run(sim.all_of(processes))
+        notes = self._step_time_notes(step_times, counters_before)
+        breakdowns = tuple(
+            node_breakdown(
+                engine.node.name,
+                engine.node.system,
+                engine.assigned,
+                makespan_seconds=sim.now,
+                peak_kv_reserved_bytes=engine.tracker.peak_reserved_bytes,
+                kv_capacity_bytes=engine.node.budget.kv_capacity_bytes,
+            )
+            for engine in engines
+        )
+        if len(engines) == 1:
+            return build_report(
+                self.nodes[0].system,
+                self.policy.name,
+                queue,
+                makespan_seconds=sim.now,
+                peak_kv_reserved_bytes=engines[0].tracker.peak_reserved_bytes,
+                kv_capacity_bytes=self.nodes[0].budget.kv_capacity_bytes,
+                step_time_notes=notes,
+                node_reports=breakdowns,
+            )
+        return build_fleet_report(
+            fleet_name=self.fleet_name,
+            policy_name=self.policy.name,
+            router_name=self.router.name,
+            requests=queue,
+            makespan_seconds=sim.now,
+            node_reports=breakdowns,
+            step_time_notes=notes,
+        )
+
+    @property
+    def fleet_name(self) -> str:
+        """Display label: ``"4x HILOS (8 SmartSSDs)"`` or ``"fleet(3 nodes)"``."""
+        systems = [node.system.name for node in self.nodes]
+        if len(set(systems)) == 1:
+            return f"{len(systems)}x {systems[0]}"
+        return f"fleet({len(systems)} nodes)"
+
+    def _dispatch(self, sim: Simulator, ordered, engines):
+        """Dispatcher process: route each request at its arrival time."""
+        by_node = {id(engine.node): engine for engine in engines}
+        for request in ordered:
+            if request.arrival_time > sim.now:
+                yield sim.timeout(request.arrival_time - sim.now)
+            chosen = self.router.route(request, engines)
+            if isinstance(chosen, Node):
+                chosen = by_node.get(id(chosen))
+            if chosen not in engines:
+                raise SchedulingError(
+                    f"router {self.router.name!r} returned an object that is "
+                    "not one of this cluster's nodes"
+                )
+            chosen.enqueue(request)
+        for engine in engines:
+            engine.finish_arrivals()
+
+    def _step_time_notes(self, step_times: dict, counters_before: dict) -> dict:
+        """Per-drain clamp summaries, merged across the fleet's models.
+
+        Single-node drains embed the summary directly (the legacy report
+        shape); fleets key each distinct model's summary by the names of
+        the nodes sharing it, dropping empty summaries.
+        """
+        if len(self.nodes) == 1:
+            model = self.nodes[0].step_time
+            return model.grid_clamp_summary(since=counters_before[id(model)])
+        notes = {}
+        for key, model in step_times.items():
+            summary = model.grid_clamp_summary(since=counters_before[key])
+            if summary:
+                users = [n.name for n in self.nodes if id(n.step_time) == key]
+                notes[",".join(users)] = summary
+        return notes
+
+
+def build_fleet(
+    model: ModelConfig,
+    labels: Sequence[str],
+    store=None,
+    batch_grid: tuple[int, ...] | None = None,
+    seq_grid: tuple[int, ...] | None = None,
+    symmetry: str = "auto",
+    prefill_chunk_tokens: int | None = None,
+) -> list[Node]:
+    """Build a fleet from system labels, one node per label entry.
+
+    Repeat a label for a symmetric fleet (``["HILOS (8 SmartSSDs)"] * 4``)
+    or mix labels for a heterogeneous one.  Nodes sharing a label share
+    **one** system instance and **one**
+    :class:`~repro.serving.steptime.CalibratedStepTime` resolved through
+    ``store`` (and the optional grid overrides), so a fleet's calibration
+    cost is per distinct label, not per node -- and warm stores make even
+    heterogeneous fleets start measurement-free.  Nodes are named
+    ``node0`` .. ``nodeN-1`` in label order.
+    """
+    from repro.baselines.registry import build_inference_system
+    from repro.serving.steptime import CalibratedStepTime
+
+    if not labels:
+        raise ConfigurationError("build_fleet needs at least one system label")
+    shared: dict[str, tuple] = {}
+    nodes = []
+    for index, label in enumerate(labels):
+        if label not in shared:
+            system = build_inference_system(label, model)
+            system.symmetry = symmetry
+            grids = {}
+            if batch_grid is not None:
+                grids["batch_grid"] = batch_grid
+            if seq_grid is not None:
+                grids["seq_grid"] = seq_grid
+            shared[label] = (system, CalibratedStepTime(system, store=store, **grids))
+        system, step_time = shared[label]
+        nodes.append(
+            Node(
+                system,
+                step_time=step_time,
+                prefill_chunk_tokens=prefill_chunk_tokens,
+                name=f"node{index}",
+            )
+        )
+    return nodes

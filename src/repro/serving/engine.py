@@ -1,0 +1,342 @@
+"""Per-node serving engine: one host's admission/preemption state machine.
+
+:class:`Node` bundles what one simulated host brings to a fleet -- an
+:class:`~repro.baselines.base.InferenceSystem`, a calibrated
+:class:`~repro.serving.steptime.StepTimeModel`, a KV
+:class:`~repro.serving.budget.CapacityBudget`, and an optional prefill
+chunk size.  :class:`NodeEngine` is the node's *runtime*: the
+admission/preemption state machine that used to live inside
+``OfflineServingScheduler._drain_process``, now instantiated once per node
+per drain on a **shared** discrete-event simulator so a
+:class:`~repro.serving.cluster.ClusterScheduler` can drain one queue
+across many hosts.
+
+Request lifecycle (unchanged from the single-node scheduler)::
+
+    pending --arrival--> waiting --admit--> prefilling --chunks done-->
+    running --last token--> finished
+                  ^                                |
+                  +------- preempt (optimistic) ---+
+
+The engine receives work through two channels:
+
+* :meth:`NodeEngine.preload` installs a whole arrival-stamped queue up
+  front (the single-node drain: the engine itself sleeps until the next
+  arrival, exactly the legacy scheduler loop);
+* :meth:`NodeEngine.enqueue` delivers one request at its arrival time (the
+  cluster dispatcher routes each arrival as it happens); an idle engine
+  parks on a wake event that ``enqueue`` (or
+  :meth:`NodeEngine.finish_arrivals`) triggers.
+
+The engine also exposes the live load views routers place against:
+:attr:`outstanding_tokens` (JSQ) and :attr:`kv_headroom_bytes` /
+:meth:`kv_fits` (KV-aware best fit).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable
+
+from repro.baselines.base import InferenceSystem
+from repro.errors import ConfigurationError, SchedulingError
+from repro.serving.budget import BudgetTracker, CapacityBudget, capacity_budget_for
+from repro.serving.policies import SchedulingPolicy
+from repro.serving.request import ServingRequest
+from repro.serving.steptime import CalibratedStepTime, StepTimeModel
+from repro.sim.engine import Simulator
+
+
+class Node:
+    """One simulated host of a serving fleet.
+
+    Holds only per-host *configuration*; all per-drain state (queues,
+    budget ledger) lives in the :class:`NodeEngine` a drain builds, so one
+    ``Node`` can back any number of sequential drains.  The default step
+    time is a :class:`~repro.serving.steptime.CalibratedStepTime` over the
+    node's system -- pass one wired to a
+    :class:`~repro.calibration.CalibrationStore` (or share one instance
+    across the symmetric nodes of a homogeneous fleet) so fleets
+    warm-start from persisted grids instead of measuring per node.
+    """
+
+    def __init__(
+        self,
+        system: InferenceSystem,
+        step_time: StepTimeModel | None = None,
+        budget: CapacityBudget | None = None,
+        prefill_chunk_tokens: int | None = None,
+        name: str | None = None,
+    ) -> None:
+        if prefill_chunk_tokens is not None and prefill_chunk_tokens < 1:
+            raise ConfigurationError("prefill chunk size must be >= 1 token")
+        self.system = system
+        self.step_time = step_time or CalibratedStepTime(system)
+        self.budget = budget or capacity_budget_for(system)
+        self.prefill_chunk_tokens = prefill_chunk_tokens
+        self.name = name or system.name
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Node({self.name!r}, system={self.system.name!r})"
+
+
+class NodeEngine:
+    """Drives one node's drain loop as a process on a shared simulator.
+
+    The loop is the legacy ``OfflineServingScheduler`` state machine verbatim
+    -- surfacing arrivals, policy admission, (chunked) prefill, decode
+    iterations, optimistic-overflow preemption -- extended with an idle
+    park: when the engine has no work and no known future arrival, it waits
+    on a wake event instead of exiting, because a cluster dispatcher may
+    still route more requests its way.  :meth:`finish_arrivals` marks the
+    stream exhausted so a drained engine can terminate.
+    """
+
+    def __init__(self, node: Node, policy: SchedulingPolicy, sim: Simulator) -> None:
+        self.node = node
+        self.policy = policy
+        self.sim = sim
+        self.tracker = BudgetTracker(budget=node.budget, model=node.system.model)
+        #: Requests routed here whose arrival time has not been reached
+        #: (preloaded single-node queues only; dispatched requests arrive
+        #: due and go straight through to ``waiting`` at the next loop top).
+        self.pending: deque[ServingRequest] = deque()
+        self.waiting: deque[ServingRequest] = deque()
+        self.prefilling: list[ServingRequest] = []
+        self.running: list[ServingRequest] = []
+        #: Every request ever routed to this node, in routing order (the
+        #: per-node report is built from this).
+        self.assigned: list[ServingRequest] = []
+        self._batch_slots = 0
+        self._wake = None
+        self._arrivals_done = False
+
+    # --- router-facing load views ----------------------------------------------
+
+    @property
+    def outstanding_tokens(self) -> int:
+        """Tokens of work still owed to every request assigned here.
+
+        Counts prefill tokens not yet computed plus output tokens not yet
+        generated, over queued and active requests alike -- the join-the-
+        shortest-queue load signal.
+        """
+        live = list(self.pending) + list(self.waiting) + self.prefilling + self.running
+        return sum(
+            r.prefill_remaining_tokens + (r.output_tokens - r.tokens_generated)
+            for r in live
+        )
+
+    @property
+    def kv_headroom_bytes(self) -> float:
+        """KV bytes still unclaimed once everything routed here has grown.
+
+        Every assigned-and-unfinished request -- queued, prefilling, or
+        running -- is priced at its **final**-context reservation, not the
+        admission ledger: under optimistic admission the ledger holds only
+        current footprints, which would overstate headroom and steer
+        KV-aware routing onto nodes guaranteed to preempt once decode
+        growth lands.  (Under reserve accounting this sum equals the
+        ledger plus queued commitments, so the two modes share one
+        conservative routing signal.)
+        """
+        model = self.node.system.model
+        committed = sum(
+            r.kv_reservation_bytes(model)
+            for r in (
+                list(self.pending)
+                + list(self.waiting)
+                + self.prefilling
+                + self.running
+            )
+        )
+        return self.node.budget.kv_capacity_bytes - committed
+
+    def kv_fits(self, request: ServingRequest) -> bool:
+        """Whether ``request``'s final-context KV fits the current headroom."""
+        return (
+            request.kv_reservation_bytes(self.node.system.model)
+            <= self.kv_headroom_bytes
+        )
+
+    # --- work delivery ---------------------------------------------------------
+
+    def preload(self, requests: Iterable[ServingRequest]) -> None:
+        """Install a whole arrival-ordered queue (single-node drains)."""
+        requests = list(requests)
+        self.pending.extend(requests)
+        self.assigned.extend(requests)
+
+    def enqueue(self, request: ServingRequest) -> None:
+        """Deliver one routed request (cluster dispatch, at arrival time)."""
+        self.assigned.append(request)
+        self.pending.append(request)
+        if self._wake is not None and not self._wake.triggered:
+            wake, self._wake = self._wake, None
+            wake.succeed()
+
+    def finish_arrivals(self) -> None:
+        """Mark the arrival stream exhausted so an idle engine can exit."""
+        self._arrivals_done = True
+        if self._wake is not None and not self._wake.triggered:
+            wake, self._wake = self._wake, None
+            wake.succeed()
+
+    # --- the drain loop --------------------------------------------------------
+
+    def run(self):
+        """The node's drain process (a generator for ``sim.process``)."""
+        sim = self.sim
+        optimistic = self.policy.admission == "optimistic"
+        while True:
+            while self.pending and self.pending[0].arrival_time <= sim.now:
+                self.waiting.append(self.pending.popleft())
+            admitted = self.policy.admit(
+                self.waiting, self.running + self.prefilling, self.tracker
+            )
+            for request in admitted:
+                if optimistic:
+                    self.tracker.occupy(request)
+                else:
+                    self.tracker.reserve(request)
+                if request.admitted_time is None:
+                    request.admitted_time = sim.now
+                request.last_admitted_time = sim.now
+            self.prefilling.extend(admitted)
+            if self.policy.padded and admitted:
+                # Slot count of the formed batch, captured before any
+                # prefill-completers retire: their slots idle (and are
+                # billed) until the whole batch drains.
+                self._batch_slots = len(self.running) + len(self.prefilling)
+            progressed = bool(admitted)
+            if self.prefilling:
+                yield sim.timeout(self._prefill_chunk_seconds())
+                self._advance_prefill(optimistic)
+                self._retire_finished()
+                progressed = True
+            if self.running:
+                if optimistic:
+                    self._resolve_overflow()
+                if self.running:
+                    yield sim.timeout(self._iteration_seconds())
+                    for request in self.running:
+                        request.tokens_generated += 1
+                        if optimistic:
+                            self.tracker.update(request)
+                    self._retire_finished()
+                progressed = True
+            if progressed:
+                continue
+            # Nothing active and nothing admitted: either the engine is
+            # genuinely idle until the next arrival, or admission is stuck.
+            if self.waiting:
+                raise SchedulingError(
+                    f"policy {self.policy.name!r} admitted nothing with "
+                    f"{len(self.waiting)} requests waiting on node "
+                    f"{self.node.name!r} (starvation)"
+                )
+            if self.pending:
+                yield sim.timeout(self.pending[0].arrival_time - sim.now)
+                continue
+            if self._arrivals_done:
+                return
+            # Idle with the arrival stream still open: park until the
+            # dispatcher routes us work (or declares the stream done).
+            self._wake = sim.event(f"{self.node.name}.wake")
+            yield self._wake
+
+    # --- chunked prefill -------------------------------------------------------
+
+    def _chunk_tokens(self, request: ServingRequest) -> int:
+        """Prefill tokens ``request`` processes in the current round."""
+        remaining = request.prefill_remaining_tokens
+        if self.node.prefill_chunk_tokens is None:
+            return remaining
+        return min(self.node.prefill_chunk_tokens, remaining)
+
+    def _prefill_chunk_seconds(self) -> float:
+        longest = max(self._chunk_tokens(r) for r in self.prefilling)
+        return self.node.step_time.prefill_seconds(len(self.prefilling), longest)
+
+    def _advance_prefill(self, optimistic: bool) -> None:
+        """Credit one chunk to every prefilling request; promote completers.
+
+        Completing a prefill emits the request's next output token (the
+        forward pass over the context produces the following token's
+        logits): the first token for a fresh admission, the resumption
+        token for a preempted readmission.  Under optimistic accounting
+        the emitted token is re-marked immediately, so the overflow check
+        before the next decode iteration sees the true ledger, not one
+        stale by a token per promotion.
+        """
+        for request in list(self.prefilling):
+            request.prefill_tokens_done += self._chunk_tokens(request)
+            if request.prefill_remaining_tokens == 0:
+                if request.first_token_time is None:
+                    request.first_token_time = self.sim.now
+                request.tokens_generated += 1
+                if optimistic:
+                    self.tracker.update(request)
+                self.prefilling.remove(request)
+                self.running.append(request)
+
+    # --- preemption ------------------------------------------------------------
+
+    def _resolve_overflow(self) -> None:
+        """Preempt until the next decode iteration's KV growth fits.
+
+        The next iteration appends one token per running request; while
+        that projected growth overflows the budget, the youngest admitted
+        request (latest *re*admission, ties broken by id -- prefilling
+        admissions are the youngest of all) is evicted
+        recompute-on-readmit: its reservation is released, its KV and
+        partial prefill progress are dropped, and it rejoins the *front*
+        of the waiting queue so it resumes before never-admitted work.
+        Evicting youngest-first keeps the oldest requests' caches intact,
+        bounding the recompute loss to the work least progressed.
+        """
+        while True:
+            growth = sum(self.tracker.growth_bytes(r) for r in self.running)
+            if self.tracker.fits_bytes(growth):
+                return
+            candidates = self.running + self.prefilling
+            if len(candidates) <= 1:
+                raise SchedulingError(
+                    f"KV budget ({self.node.budget.description}) cannot absorb "
+                    "one decode token of the sole admitted request; preemption "
+                    "cannot help -- the budget is too small for this workload"
+                )
+            victim = max(
+                candidates, key=lambda r: (r.last_admitted_time, r.request_id)
+            )
+            if victim in self.running:
+                self.running.remove(victim)
+                dropped = victim.context_tokens
+            else:
+                self.prefilling.remove(victim)
+                dropped = victim.prefill_tokens_done
+            self.tracker.release(victim)
+            victim.record_preemption(dropped)
+            self.waiting.appendleft(victim)
+
+    # --- timing helpers --------------------------------------------------------
+
+    def _iteration_seconds(self) -> float:
+        running = self.running
+        if self.policy.padded:
+            # Padded execution: every slot of the formed batch pays for the
+            # longest live context, even after its own request finished.
+            batch = max(self._batch_slots, len(running))
+            context = max(r.context_tokens for r in running)
+        else:
+            batch = len(running)
+            context = round(sum(r.context_tokens for r in running) / len(running))
+        return self.node.step_time.step_seconds(batch, max(1, context))
+
+    def _retire_finished(self) -> None:
+        for request in [
+            r for r in self.running if r.tokens_generated >= r.output_tokens
+        ]:
+            request.completion_time = self.sim.now
+            self.tracker.release(request)
+            self.running.remove(request)

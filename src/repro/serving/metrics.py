@@ -40,8 +40,37 @@ def system_cost_model(system: InferenceSystem) -> CostModel:
 
 
 @dataclass(frozen=True)
+class NodeBreakdown:
+    """One node's share of a fleet drain (see :mod:`repro.serving.cluster`).
+
+    ``tokens_per_second`` is the node's generated tokens over the *fleet*
+    makespan, so the per-node rates sum to the fleet rate; a node that was
+    routed nothing contributes all-zero counters (and no latency figure).
+    """
+
+    node: str
+    system: str
+    n_requests: int
+    completed: int
+    generated_tokens: int
+    tokens_per_second: float
+    mean_latency_seconds: float
+    peak_kv_reserved_bytes: float
+    kv_capacity_bytes: float
+    preemptions: int
+    wasted_prefill_tokens: int
+    cost_usd: float
+
+
+@dataclass(frozen=True)
 class ServingReport:
-    """Outcome of draining one request queue under one policy."""
+    """Outcome of draining one request queue under one policy.
+
+    Fleet drains (:class:`~repro.serving.cluster.ClusterScheduler` with
+    more than one node) fill ``router`` and ``node_reports``; single-node
+    drains leave ``router`` empty and carry exactly one breakdown, so the
+    legacy single-system report shape is a special case of the fleet one.
+    """
 
     system: str
     policy: str
@@ -67,6 +96,11 @@ class ServingReport:
     #: Structured warnings from the step-time model (e.g. queries clamped to
     #: the calibration grid edge); empty when the drain stayed on-grid.
     step_time_notes: dict = field(default_factory=dict)
+    #: Placement policy that sharded the queue across nodes (fleet drains
+    #: only; empty for single-node drains, where routing is trivial).
+    router: str = ""
+    #: Per-node share of a fleet drain (one entry per node, in node order).
+    node_reports: tuple[NodeBreakdown, ...] = field(default=(), repr=False)
 
     @property
     def all_completed(self) -> bool:
@@ -92,6 +126,7 @@ def build_report(
     peak_kv_reserved_bytes: float,
     kv_capacity_bytes: float,
     step_time_notes: dict | None = None,
+    node_reports: tuple[NodeBreakdown, ...] = (),
 ) -> ServingReport:
     """Aggregate per-request state into a :class:`ServingReport`."""
     finished = [r for r in requests if r.finished]
@@ -123,4 +158,89 @@ def build_report(
         wasted_prefill_tokens=sum(r.wasted_prefill_tokens for r in requests),
         requests=list(requests),
         step_time_notes=dict(step_time_notes or {}),
+        node_reports=node_reports,
+    )
+
+
+def node_breakdown(
+    node_name: str,
+    system: InferenceSystem,
+    assigned: list[ServingRequest],
+    makespan_seconds: float,
+    peak_kv_reserved_bytes: float,
+    kv_capacity_bytes: float,
+) -> NodeBreakdown:
+    """Summarise one node's share of a drain into a :class:`NodeBreakdown`."""
+    finished = [r for r in assigned if r.finished]
+    generated = sum(r.tokens_generated for r in finished)
+    latencies = [r.latency_seconds for r in finished]
+    return NodeBreakdown(
+        node=node_name,
+        system=system.name,
+        n_requests=len(assigned),
+        completed=len(finished),
+        generated_tokens=generated,
+        tokens_per_second=(
+            generated / makespan_seconds if makespan_seconds > 0 else 0.0
+        ),
+        mean_latency_seconds=(
+            sum(latencies) / len(latencies) if latencies else 0.0
+        ),
+        peak_kv_reserved_bytes=peak_kv_reserved_bytes,
+        kv_capacity_bytes=kv_capacity_bytes,
+        preemptions=sum(r.preemption_count for r in assigned),
+        wasted_prefill_tokens=sum(r.wasted_prefill_tokens for r in assigned),
+        cost_usd=system_cost_model(system).total_usd(),
+    )
+
+
+def build_fleet_report(
+    fleet_name: str,
+    policy_name: str,
+    router_name: str,
+    requests: list[ServingRequest],
+    makespan_seconds: float,
+    node_reports: tuple[NodeBreakdown, ...],
+    step_time_notes: dict | None = None,
+) -> ServingReport:
+    """Merge per-node shares of a cluster drain into one fleet report.
+
+    The fleet tokens/s/$ divides the fleet throughput by the *sum* of the
+    nodes' capital costs -- the Section 6.6 comparison's unit of account
+    (the 2-node vLLM deployment is priced as a fleet, not per host) --
+    and capacity/peak figures are fleet-wide sums for the same reason.
+    """
+    finished = [r for r in requests if r.finished]
+    if not finished:
+        raise SchedulingError("fleet drain completed no requests; nothing to report")
+    if makespan_seconds <= 0:
+        raise SchedulingError("fleet drain makespan must be positive")
+    latencies = [r.latency_seconds for r in finished]
+    queueing = [r.queueing_seconds for r in finished]
+    generated = sum(r.tokens_generated for r in finished)
+    tokens_per_second = generated / makespan_seconds
+    fleet_cost_usd = sum(node.cost_usd for node in node_reports)
+    return ServingReport(
+        system=fleet_name,
+        policy=policy_name,
+        n_requests=len(requests),
+        completed=len(finished),
+        makespan_seconds=makespan_seconds,
+        generated_tokens=generated,
+        tokens_per_second=tokens_per_second,
+        mean_latency_seconds=sum(latencies) / len(latencies),
+        p95_latency_seconds=percentile(latencies, 0.95),
+        mean_queueing_seconds=sum(queueing) / len(queueing),
+        peak_kv_reserved_bytes=sum(n.peak_kv_reserved_bytes for n in node_reports),
+        kv_capacity_bytes=sum(n.kv_capacity_bytes for n in node_reports),
+        system_cost_usd=fleet_cost_usd,
+        tokens_per_second_per_usd=(
+            tokens_per_second / fleet_cost_usd if fleet_cost_usd > 0 else 0.0
+        ),
+        preemptions=sum(r.preemption_count for r in requests),
+        wasted_prefill_tokens=sum(r.wasted_prefill_tokens for r in requests),
+        requests=list(requests),
+        step_time_notes=dict(step_time_notes or {}),
+        router=router_name,
+        node_reports=node_reports,
     )

@@ -1,0 +1,137 @@
+"""Placement policies: which node of a fleet serves the next request.
+
+A :class:`Router` is consulted by the
+:class:`~repro.serving.cluster.ClusterScheduler` dispatcher once per
+request, *at the request's arrival time*, with the live node engines (the
+:class:`~repro.serving.engine.NodeEngine` load views: queue depths,
+outstanding token counts, KV headroom).  It returns the node that takes
+the request; the choice is final -- requests are never migrated between
+nodes, so a router decision prices exactly like the static sharding a
+production front-end would apply.
+
+Every router is deterministic given the visible state, so seeded drains
+replay byte-identically.  Ties break toward the lowest node index, which
+keeps homogeneous fleets' schedules stable under node reordering-free
+re-runs.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+from repro.serving.request import ServingRequest
+
+
+class Router(abc.ABC):
+    """Strategy deciding which node serves a routed request."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def route(self, request: ServingRequest, nodes: Sequence) -> object:
+        """Return the element of ``nodes`` that takes ``request``.
+
+        ``nodes`` are live node views (cluster drains pass
+        :class:`~repro.serving.engine.NodeEngine` instances) exposing
+        ``outstanding_tokens``, ``kv_headroom_bytes``, ``kv_fits`` and the
+        underlying ``node``; implementations must return one of them.
+        """
+
+    def reset(self) -> None:
+        """Forget inter-drain state (called at every drain start).
+
+        Stateless routers need nothing; stateful ones (round-robin's
+        cursor) override this so consecutive drains of one scheduler
+        replay identically.
+        """
+
+
+class RoundRobin(Router):
+    """Cycle the nodes in order, one request each -- the baseline shard."""
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def reset(self) -> None:
+        self._next = 0
+
+    def route(self, request, nodes):
+        node = nodes[self._next % len(nodes)]
+        self._next += 1
+        return node
+
+
+class LeastOutstandingTokens(Router):
+    """Join the shortest queue, measured in tokens of outstanding work.
+
+    The load signal is :attr:`NodeEngine.outstanding_tokens` -- prefill
+    tokens not yet computed plus output tokens not yet generated across
+    everything routed to the node -- which weighs a queued Long request as
+    the work it actually is, unlike a bare request count.
+    """
+
+    name = "jsq"
+
+    def route(self, request, nodes):
+        return min(
+            enumerate(nodes), key=lambda pair: (pair[1].outstanding_tokens, pair[0])
+        )[1]
+
+
+class BestFitKV(Router):
+    """KV-headroom-aware best fit.
+
+    Among the nodes whose headroom still holds the request's final-context
+    KV, pick the one the request fits *tightest* (classic best-fit packing:
+    preserve the big holes for the big requests).  A request no node can
+    hold falls back to the node with the most headroom -- admission-side
+    backpressure (or preemption) then deals with it, exactly as it would
+    on a single machine.
+    """
+
+    name = "bestfit-kv"
+
+    def route(self, request, nodes):
+        need = [
+            request.kv_reservation_bytes(node.node.system.model) for node in nodes
+        ]
+        fitting = [
+            (index, node)
+            for index, node in enumerate(nodes)
+            if node.kv_headroom_bytes >= need[index]
+        ]
+        if fitting:
+            return min(
+                fitting,
+                key=lambda pair: (pair[1].kv_headroom_bytes - need[pair[0]], pair[0]),
+            )[1]
+        return max(
+            enumerate(nodes),
+            key=lambda pair: (pair[1].kv_headroom_bytes, -pair[0]),
+        )[1]
+
+
+#: CLI spellings for every built-in router.
+ROUTER_SPECS = {
+    "rr": RoundRobin,
+    "round-robin": RoundRobin,
+    "jsq": LeastOutstandingTokens,
+    "least-outstanding": LeastOutstandingTokens,
+    "bestfit": BestFitKV,
+    "bestfit-kv": BestFitKV,
+}
+
+
+def parse_router_spec(spec: str) -> Router:
+    """Build a router from a CLI spec (``rr`` | ``jsq`` | ``bestfit``)."""
+    try:
+        return ROUTER_SPECS[spec]()
+    except KeyError:
+        known = ", ".join(sorted(ROUTER_SPECS))
+        raise ConfigurationError(
+            f"unknown router {spec!r}; expected one of: {known}"
+        ) from None

@@ -1,15 +1,13 @@
-"""The serving scheduler: drives a request queue through a system.
+"""The single-system serving scheduler (a 1-node cluster shim).
 
-:class:`OfflineServingScheduler` runs a request-level discrete-event
-simulation on :mod:`repro.sim.engine`.  Requests enter the waiting queue at
-their arrival times (all at time zero for the classic offline drain, or per
-an :class:`~repro.serving.arrivals.ArrivalProcess`), the policy admits
-requests at scheduling points, admissions pay a prefill pass -- whole, or
-split into token chunks interleaved with decode iterations -- whose
-completion emits the request's next output token, and decoding advances one
-token per running request per iteration, with every duration supplied by a
-:class:`~repro.serving.steptime.StepTimeModel` calibrated against the full
-event-level system simulation.
+:class:`OfflineServingScheduler` is the original single-host API: one
+system, one policy, one queue.  Since the cluster redesign its drain
+delegates to a 1-node :class:`~repro.serving.cluster.ClusterScheduler` --
+the admission/preemption state machine lives in
+:class:`~repro.serving.engine.NodeEngine`, and a preloaded single engine
+runs it exactly as the pre-cluster scheduler did, so this shim reproduces
+the historical schedules bit for bit (asserted by the property tests in
+``tests/serving/test_cluster.py``).
 
 Request lifecycle (the admission/preemption state machine)::
 
@@ -38,19 +36,19 @@ front, and readmission re-runs prefill over its full context).
 
 from __future__ import annotations
 
-from collections import deque
 from typing import Iterable, Sequence
 
 from repro.baselines.base import InferenceSystem
 from repro.calibration import CalibrationStore
-from repro.errors import ConfigurationError, SchedulingError
+from repro.errors import ConfigurationError
 from repro.serving.arrivals import ArrivalProcess
-from repro.serving.budget import BudgetTracker, CapacityBudget, capacity_budget_for
-from repro.serving.metrics import ServingReport, build_report
+from repro.serving.budget import CapacityBudget
+from repro.serving.cluster import ClusterScheduler
+from repro.serving.engine import Node
+from repro.serving.metrics import ServingReport
 from repro.serving.policies import SchedulingPolicy
-from repro.serving.request import ServingRequest, make_request_queue
+from repro.serving.request import ServingRequest
 from repro.serving.steptime import CalibratedStepTime, StepTimeModel
-from repro.sim.engine import Simulator
 from repro.workloads.requests import RequestClass
 
 
@@ -74,38 +72,31 @@ class OfflineServingScheduler:
         budget: CapacityBudget | None = None,
         prefill_chunk_tokens: int | None = None,
     ) -> None:
-        if prefill_chunk_tokens is not None and prefill_chunk_tokens < 1:
-            raise ConfigurationError("prefill chunk size must be >= 1 token")
-        self.system = system
-        self.policy = policy
-        self.step_time = step_time or CalibratedStepTime(system)
-        self.budget = budget or capacity_budget_for(system)
-        self.prefill_chunk_tokens = prefill_chunk_tokens
-
-    # --- queue construction ----------------------------------------------------
-
-    def _as_queue(
-        self, requests: Sequence[RequestClass] | Sequence[ServingRequest]
-    ) -> list[ServingRequest]:
-        if not requests:
-            raise SchedulingError("cannot drain an empty request queue")
-        expected: type = (
-            ServingRequest
-            if isinstance(requests[0], ServingRequest)
-            else RequestClass
+        self._node = Node(
+            system,
+            step_time=step_time,
+            budget=budget,
+            prefill_chunk_tokens=prefill_chunk_tokens,
         )
-        for index, request in enumerate(requests):
-            if not isinstance(request, expected):
-                raise SchedulingError(
-                    f"mixed request queue: element {index} is "
-                    f"{type(request).__name__}, expected {expected.__name__} "
-                    "(queues must be all RequestClass or all ServingRequest)"
-                )
-        if expected is ServingRequest:
-            return list(requests)  # type: ignore[arg-type]
-        return make_request_queue(list(requests))  # type: ignore[arg-type]
+        self.policy = policy
 
-    # --- the drain -------------------------------------------------------------
+    # Legacy attribute surface: callers read these off the scheduler.
+
+    @property
+    def system(self) -> InferenceSystem:
+        return self._node.system
+
+    @property
+    def step_time(self) -> StepTimeModel:
+        return self._node.step_time
+
+    @property
+    def budget(self) -> CapacityBudget:
+        return self._node.budget
+
+    @property
+    def prefill_chunk_tokens(self) -> int | None:
+        return self._node.prefill_chunk_tokens
 
     def drain(
         self,
@@ -119,204 +110,9 @@ class OfflineServingScheduler:
         carry (zero for queues built from bare :class:`RequestClass`
         shapes -- the classic offline drain).
         """
-        queue = self._as_queue(requests)
-        if arrivals is not None:
-            arrivals.assign(queue)
-        sim = Simulator()
-        tracker = BudgetTracker(budget=self.budget, model=self.system.model)
-        # Snapshot the (shared, monotonic) clamp counters so this drain's
-        # report covers only its own off-grid queries, not earlier drains'.
-        counters_before = self.step_time.clamp_counters()
-        process = sim.process(
-            self._drain_process(sim, queue, tracker),
-            name=f"{self.policy.name}.drain",
+        return ClusterScheduler([self._node], policy=self.policy).drain(
+            requests, arrivals=arrivals
         )
-        sim.run(process)
-        return build_report(
-            self.system,
-            self.policy.name,
-            queue,
-            makespan_seconds=sim.now,
-            peak_kv_reserved_bytes=tracker.peak_reserved_bytes,
-            kv_capacity_bytes=self.budget.kv_capacity_bytes,
-            step_time_notes=self.step_time.grid_clamp_summary(since=counters_before),
-        )
-
-    def _drain_process(
-        self,
-        sim: Simulator,
-        queue: list[ServingRequest],
-        tracker: BudgetTracker,
-    ):
-        # Requests whose arrival time has not been reached yet, in arrival
-        # order; they surface into ``waiting`` at scheduling points, and an
-        # idle engine sleeps on the simulator until the next arrival.
-        pending = deque(
-            sorted(queue, key=lambda r: (r.arrival_time, r.request_id))
-        )
-        waiting: deque[ServingRequest] = deque()
-        prefilling: list[ServingRequest] = []
-        running: list[ServingRequest] = []
-        batch_slots = 0
-        optimistic = self.policy.admission == "optimistic"
-        while pending or waiting or prefilling or running:
-            while pending and pending[0].arrival_time <= sim.now:
-                waiting.append(pending.popleft())
-            admitted = self.policy.admit(waiting, running + prefilling, tracker)
-            for request in admitted:
-                if optimistic:
-                    tracker.occupy(request)
-                else:
-                    tracker.reserve(request)
-                if request.admitted_time is None:
-                    request.admitted_time = sim.now
-                request.last_admitted_time = sim.now
-            prefilling.extend(admitted)
-            if self.policy.padded and admitted:
-                # Slot count of the formed batch, captured before any
-                # prefill-completers retire: their slots idle (and are
-                # billed) until the whole batch drains.
-                batch_slots = len(running) + len(prefilling)
-            progressed = bool(admitted)
-            if prefilling:
-                yield sim.timeout(self._prefill_chunk_seconds(prefilling))
-                self._advance_prefill(
-                    sim, prefilling, running, tracker if optimistic else None
-                )
-                self._retire_finished(sim, running, tracker)
-                progressed = True
-            if running:
-                if optimistic:
-                    self._resolve_overflow(sim, running, prefilling, waiting, tracker)
-                if running:
-                    yield sim.timeout(self._iteration_seconds(running, batch_slots))
-                    for request in running:
-                        request.tokens_generated += 1
-                        if optimistic:
-                            tracker.update(request)
-                    self._retire_finished(sim, running, tracker)
-                progressed = True
-            if progressed:
-                continue
-            # Nothing active and nothing admitted: either the engine is
-            # genuinely idle until the next arrival, or admission is stuck.
-            if waiting:
-                raise SchedulingError(
-                    f"policy {self.policy.name!r} admitted nothing with "
-                    f"{len(waiting)} requests waiting (starvation)"
-                )
-            yield sim.timeout(pending[0].arrival_time - sim.now)
-
-    # --- chunked prefill -------------------------------------------------------
-
-    def _chunk_tokens(self, request: ServingRequest) -> int:
-        """Prefill tokens ``request`` processes in the current round."""
-        remaining = request.prefill_remaining_tokens
-        if self.prefill_chunk_tokens is None:
-            return remaining
-        return min(self.prefill_chunk_tokens, remaining)
-
-    def _prefill_chunk_seconds(self, prefilling: list[ServingRequest]) -> float:
-        longest = max(self._chunk_tokens(r) for r in prefilling)
-        return self.step_time.prefill_seconds(len(prefilling), longest)
-
-    def _advance_prefill(
-        self,
-        sim: Simulator,
-        prefilling: list[ServingRequest],
-        running: list[ServingRequest],
-        tracker: BudgetTracker | None,
-    ) -> None:
-        """Credit one chunk to every prefilling request; promote completers.
-
-        Completing a prefill emits the request's next output token (the
-        forward pass over the context produces the following token's
-        logits): the first token for a fresh admission, the resumption
-        token for a preempted readmission.  Under optimistic accounting
-        (``tracker`` given) the emitted token is re-marked immediately, so
-        the overflow check before the next decode iteration sees the true
-        ledger, not one stale by a token per promotion.
-        """
-        for request in list(prefilling):
-            request.prefill_tokens_done += self._chunk_tokens(request)
-            if request.prefill_remaining_tokens == 0:
-                if request.first_token_time is None:
-                    request.first_token_time = sim.now
-                request.tokens_generated += 1
-                if tracker is not None:
-                    tracker.update(request)
-                prefilling.remove(request)
-                running.append(request)
-
-    # --- preemption ------------------------------------------------------------
-
-    def _resolve_overflow(
-        self,
-        sim: Simulator,
-        running: list[ServingRequest],
-        prefilling: list[ServingRequest],
-        waiting: "deque[ServingRequest]",
-        tracker: BudgetTracker,
-    ) -> None:
-        """Preempt until the next decode iteration's KV growth fits.
-
-        The next iteration appends one token per running request; while
-        that projected growth overflows the budget, the youngest admitted
-        request (latest *re*admission, ties broken by id -- prefilling
-        admissions are the youngest of all) is evicted
-        recompute-on-readmit: its reservation is released, its KV and
-        partial prefill progress are dropped, and it rejoins the *front*
-        of the waiting queue so it resumes before never-admitted work.
-        Evicting youngest-first keeps the oldest requests' caches intact,
-        bounding the recompute loss to the work least progressed.
-        """
-        while True:
-            growth = sum(tracker.growth_bytes(r) for r in running)
-            if tracker.fits_bytes(growth):
-                return
-            candidates = running + prefilling
-            if len(candidates) <= 1:
-                raise SchedulingError(
-                    f"KV budget ({self.budget.description}) cannot absorb one "
-                    "decode token of the sole admitted request; preemption "
-                    "cannot help -- the budget is too small for this workload"
-                )
-            victim = max(
-                candidates, key=lambda r: (r.last_admitted_time, r.request_id)
-            )
-            if victim in running:
-                running.remove(victim)
-                dropped = victim.context_tokens
-            else:
-                prefilling.remove(victim)
-                dropped = victim.prefill_tokens_done
-            tracker.release(victim)
-            victim.record_preemption(dropped)
-            waiting.appendleft(victim)
-
-    # --- timing helpers --------------------------------------------------------
-
-    def _iteration_seconds(
-        self, running: list[ServingRequest], batch_slots: int
-    ) -> float:
-        if self.policy.padded:
-            # Padded execution: every slot of the formed batch pays for the
-            # longest live context, even after its own request finished.
-            batch = max(batch_slots, len(running))
-            context = max(r.context_tokens for r in running)
-        else:
-            batch = len(running)
-            context = round(sum(r.context_tokens for r in running) / len(running))
-        return self.step_time.step_seconds(batch, max(1, context))
-
-    @staticmethod
-    def _retire_finished(
-        sim: Simulator, running: list[ServingRequest], tracker: BudgetTracker
-    ) -> None:
-        for request in [r for r in running if r.tokens_generated >= r.output_tokens]:
-            request.completion_time = sim.now
-            tracker.release(request)
-            running.remove(request)
 
 
 def drain_queue(

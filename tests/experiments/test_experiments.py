@@ -14,6 +14,8 @@ from repro.experiments import (
     fig04_ans_breakdown,
     fig12_model_arch,
     fig13_spill_alpha,
+    fig14_output_length,
+    fig15_ablation,
     fig16_cost_endurance,
     fig18_accuracy,
     table3_resources,
@@ -70,6 +72,44 @@ class TestFig13:
         alpha, interval = fig13_spill_alpha.best_point(tables[0])
         assert alpha == pytest.approx(50.0)
         assert interval == 16
+
+
+class TestFigureWarmCaches:
+    """ROADMAP remainder: fig13/fig14/fig15 route through the calibration
+    store -- warm re-runs must measure nothing and reproduce the tables."""
+
+    @pytest.mark.parametrize(
+        "module", [fig13_spill_alpha, fig14_output_length, fig15_ablation],
+        ids=["fig13", "fig14", "fig15"],
+    )
+    def test_warm_rerun_measures_nothing(self, module, tmp_path):
+        from repro.calibration import CalibrationStore
+        from repro.calibration.store import clear_memory_layer
+
+        store = CalibrationStore(tmp_path / "figs")
+        clear_memory_layer()
+        cold = module.run(fast=True, store=store)
+        assert "0 new measurements" not in cold[0].notes
+        clear_memory_layer()  # a fresh process: only the disk store is warm
+        warm = module.run(fast=True, store=store)
+        assert warm[0].rows == cold[0].rows
+        assert "0 new measurements" in warm[0].notes
+
+    def test_fig14_prefill_split_survives_the_cache(self, tmp_path):
+        from repro.calibration import CalibrationStore
+        from repro.calibration.store import clear_memory_layer
+
+        store = CalibrationStore(tmp_path / "fig14")
+        clear_memory_layer()
+        cold = fig14_output_length.run(fast=True, store=store)[0].to_dicts()
+        clear_memory_layer()
+        warm = fig14_output_length.run(fast=True, store=store)[0].to_dicts()
+        for cold_row, warm_row in zip(cold, warm):
+            assert warm_row["prefill_s"] == cold_row["prefill_s"]
+            assert warm_row["prefill_s"] > 0
+            assert warm_row["total_s"] == pytest.approx(
+                warm_row["prefill_s"] + warm_row["decode_s"]
+            )
 
 
 class TestFig16:

@@ -60,6 +60,48 @@ class TestRunnerCli:
         assert "[table3 completed" in out
         assert "[estimator completed" in out
 
+    def test_router_without_nodes_rejected(self):
+        with pytest.raises(SystemExit):
+            runner.main(["serving", "--router", "jsq"])
+
+    def test_unknown_router_rejected(self):
+        with pytest.raises(SystemExit):
+            runner.main(["serving", "--nodes", "2", "--router", "dice"])
+
+    def test_bad_node_count_rejected(self):
+        with pytest.raises(SystemExit):
+            runner.main(["serving", "--nodes", "0"])
+
+
+class TestServingClusterCli:
+    def test_nodes_and_router_flow_through(self, capsys):
+        """ISSUE acceptance: ``runner serving --nodes N --router jsq``
+        produces a fleet report with per-node breakdowns."""
+        assert runner.main(
+            ["serving", "--fast", "--nodes", "2", "--router", "jsq",
+             "--arrival", "poisson:0.1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "2-node fleets via jsq" in out
+        assert "2x FLEX(SSD)" in out
+        assert "Per-node breakdown" in out
+        assert "node0" in out and "node1" in out
+
+    def test_fleet_run_returns_per_node_table(self):
+        tables = serving_throughput.run(
+            fast=True, n_requests=16, nodes=2, router="bestfit"
+        )
+        assert len(tables) == 3
+        per_node = tables[2]
+        assert set(per_node.column("node")) == {"node0", "node1"}
+        # Fleet calibration is shared: one grid per system label, measured
+        # once for both nodes.
+        assert all(n > 0 for n in tables[1].column("cells_cached"))
+
+    def test_single_node_run_keeps_the_legacy_table_shape(self):
+        tables = serving_throughput.run(fast=True, n_requests=16)
+        assert len(tables) == 2  # no per-node table without a fleet
+
 
 class TestServingWarmCache:
     def test_second_runner_invocation_measures_nothing(

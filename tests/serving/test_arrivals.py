@@ -139,6 +139,61 @@ class TestTraceReplay:
         with pytest.raises(ConfigurationError, match="every line or none"):
             TraceReplay.from_jsonl(path)
 
+    def test_jsonl_nan_time_rejected_with_line(self, tmp_path):
+        # Python's json module parses NaN; it would pass every ordering
+        # comparison and only misbehave mid-drain.
+        path = tmp_path / "nan.jsonl"
+        path.write_text('{"arrival_time": 0.0}\n{"arrival_time": NaN}\n')
+        with pytest.raises(ConfigurationError, match="nan.jsonl:2.*finite"):
+            TraceReplay.from_jsonl(path)
+
+    def test_jsonl_infinite_time_rejected_with_line(self, tmp_path):
+        path = tmp_path / "inf.jsonl"
+        path.write_text('{"arrival_time": Infinity}\n')
+        with pytest.raises(ConfigurationError, match="inf.jsonl:1.*finite"):
+            TraceReplay.from_jsonl(path)
+
+    def test_jsonl_boolean_time_rejected_with_line(self, tmp_path):
+        # float(True) == 1.0 would silently accept a type error.
+        path = tmp_path / "bool.jsonl"
+        path.write_text('{"arrival_time": true}\n')
+        with pytest.raises(ConfigurationError, match="bool.jsonl:1.*number"):
+            TraceReplay.from_jsonl(path)
+
+    def test_jsonl_negative_time_rejected_with_line(self, tmp_path):
+        path = tmp_path / "neg.jsonl"
+        path.write_text('{"arrival_time": 1.0}\n{"arrival_time": -2.0}\n')
+        with pytest.raises(ConfigurationError, match="neg.jsonl:2"):
+            TraceReplay.from_jsonl(path)
+
+    def test_jsonl_decreasing_time_names_the_offending_line(self, tmp_path):
+        path = tmp_path / "dec.jsonl"
+        path.write_text(
+            '{"arrival_time": 0.0}\n'
+            '{"arrival_time": 5.0}\n'
+            '{"arrival_time": 4.0}\n'
+        )
+        with pytest.raises(ConfigurationError, match="dec.jsonl:3.*decreases"):
+            TraceReplay.from_jsonl(path)
+
+    def test_jsonl_non_object_line_rejected(self, tmp_path):
+        path = tmp_path / "arr.jsonl"
+        path.write_text('{"arrival_time": 0.0}\n[1.0, 2.0]\n')
+        with pytest.raises(ConfigurationError, match="arr.jsonl:2.*object"):
+            TraceReplay.from_jsonl(path)
+
+    def test_jsonl_empty_trace_names_the_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("\n\n")
+        with pytest.raises(ConfigurationError, match="empty.jsonl.*empty"):
+            TraceReplay.from_jsonl(path)
+
+    def test_constructor_rejects_non_finite_times(self):
+        with pytest.raises(ConfigurationError, match="finite"):
+            TraceReplay([0.0, float("nan")])
+        with pytest.raises(ConfigurationError, match="finite"):
+            TraceReplay([float("inf")])
+
 
 class TestAssign:
     def test_stamps_queue_in_request_id_order(self):

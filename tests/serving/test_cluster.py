@@ -1,0 +1,285 @@
+"""Cluster scheduler tests: 1-node bit-identity, fleet drains, reports."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import HilosConfig
+from repro.core.runtime import HilosSystem
+from repro.errors import ConfigurationError, SchedulingError
+from repro.serving import (
+    AnalyticStepTime,
+    BestFitKV,
+    CapacityBudget,
+    ClusterScheduler,
+    ContinuousBatching,
+    FCFSFixedBatch,
+    LeastOutstandingTokens,
+    LengthBucketedBatch,
+    Node,
+    OfflineServingScheduler,
+    PoissonArrivals,
+    RoundRobin,
+)
+from repro.workloads import sample_request_classes
+from repro.workloads.requests import LONG
+
+
+@pytest.fixture
+def system(tiny_mha):
+    return HilosSystem(tiny_mha, HilosConfig(n_devices=2))
+
+
+def unit_steps() -> AnalyticStepTime:
+    return AnalyticStepTime(
+        base_seconds=1.0, per_token_seconds=1e-4, prefill_per_token_seconds=1e-3
+    )
+
+
+def make_nodes(system, n, **node_kwargs):
+    return [
+        Node(system, step_time=unit_steps(), name=f"node{i}", **node_kwargs)
+        for i in range(n)
+    ]
+
+
+class TestSingleNodeBitIdentity:
+    """ISSUE acceptance: ``ClusterScheduler([node], router=RoundRobin())``
+    reproduces the legacy single-node schedule bit for bit."""
+
+    N_REQUESTS = 40
+
+    @pytest.mark.parametrize(
+        "policy_factory",
+        [
+            lambda: FCFSFixedBatch(4),
+            lambda: LengthBucketedBatch(4),
+            lambda: ContinuousBatching(4),
+            lambda: ContinuousBatching(4, admission="optimistic"),
+        ],
+        ids=["fcfs", "bucketed", "continuous", "optimistic"],
+    )
+    @pytest.mark.parametrize(
+        "arrival_factory",
+        [
+            lambda seed: None,
+            lambda seed: PoissonArrivals(rate_per_second=0.2, seed=seed),
+        ],
+        ids=["offline", "poisson"],
+    )
+    @pytest.mark.parametrize("chunk", [None, 128], ids=["whole", "chunked"])
+    @pytest.mark.parametrize("seed", [3, 11])
+    def test_one_node_cluster_matches_legacy_scheduler(
+        self, system, policy_factory, arrival_factory, chunk, seed
+    ):
+        queue = sample_request_classes(self.N_REQUESTS, seed=seed)
+        legacy = OfflineServingScheduler(
+            system,
+            policy_factory(),
+            step_time=unit_steps(),
+            prefill_chunk_tokens=chunk,
+        ).drain(list(queue), arrivals=arrival_factory(seed))
+        node = Node(system, step_time=unit_steps(), prefill_chunk_tokens=chunk)
+        cluster = ClusterScheduler(
+            [node], policy_factory(), router=RoundRobin()
+        ).drain(list(queue), arrivals=arrival_factory(seed))
+        # Same per-request finish times, same report -- bit for bit.
+        assert repr(legacy.requests) == repr(cluster.requests)
+        assert [r.completion_time for r in legacy.requests] == [
+            r.completion_time for r in cluster.requests
+        ]
+        assert legacy == cluster
+
+    def test_default_policy_and_router(self, system):
+        """The ISSUE's literal spelling constructs and drains."""
+        node = Node(system, step_time=unit_steps())
+        report = ClusterScheduler([node], router=RoundRobin()).drain(
+            sample_request_classes(8, seed=1)
+        )
+        assert report.all_completed
+        assert report.router == ""  # single node: routing is trivial
+        assert len(report.node_reports) == 1
+        assert report.node_reports[0].completed == 8
+
+    def test_single_node_report_matches_legacy_shape(self, system):
+        queue = sample_request_classes(12, seed=2)
+        report = ClusterScheduler(
+            [Node(system, step_time=unit_steps())], ContinuousBatching(4)
+        ).drain(list(queue))
+        legacy = OfflineServingScheduler(
+            system, ContinuousBatching(4), step_time=unit_steps()
+        ).drain(list(queue))
+        assert report.system == legacy.system == system.name
+        assert report.step_time_notes == legacy.step_time_notes
+
+
+class TestFleetDrains:
+    def test_fleet_completes_and_partitions_the_queue(self, system):
+        queue = sample_request_classes(48, seed=7)
+        report = ClusterScheduler(
+            make_nodes(system, 3),
+            ContinuousBatching(4),
+            router=RoundRobin(),
+        ).drain(list(queue), arrivals=PoissonArrivals(0.2, seed=7))
+        assert report.all_completed
+        assert report.system == f"3x {system.name}"
+        assert report.router == "round-robin"
+        assert [n.node for n in report.node_reports] == ["node0", "node1", "node2"]
+        # Round-robin partitions the stream evenly.
+        assert [n.n_requests for n in report.node_reports] == [16, 16, 16]
+        assert sum(n.completed for n in report.node_reports) == 48
+        assert sum(n.generated_tokens for n in report.node_reports) == (
+            report.generated_tokens
+        )
+        # Per-node rates are over the fleet makespan, so they sum to it.
+        assert sum(n.tokens_per_second for n in report.node_reports) == (
+            pytest.approx(report.tokens_per_second)
+        )
+
+    def test_fleet_cost_and_capacity_are_sums(self, system):
+        nodes = make_nodes(system, 2)
+        report = ClusterScheduler(nodes, ContinuousBatching(4)).drain(
+            sample_request_classes(16, seed=4)
+        )
+        assert report.system_cost_usd == pytest.approx(
+            sum(n.cost_usd for n in report.node_reports)
+        )
+        assert report.kv_capacity_bytes == pytest.approx(
+            sum(node.budget.kv_capacity_bytes for node in nodes)
+        )
+        assert report.tokens_per_second_per_usd == pytest.approx(
+            report.tokens_per_second / report.system_cost_usd
+        )
+
+    def test_more_nodes_shorten_the_makespan(self, system):
+        queue = sample_request_classes(40, seed=9)
+        one = ClusterScheduler(
+            make_nodes(system, 1), ContinuousBatching(4)
+        ).drain(list(queue))
+        four = ClusterScheduler(
+            make_nodes(system, 4), ContinuousBatching(4)
+        ).drain(list(queue))
+        assert four.makespan_seconds < one.makespan_seconds
+        assert four.tokens_per_second > one.tokens_per_second
+
+    def test_fleet_drain_is_deterministic(self, system):
+        queue = sample_request_classes(32, seed=13)
+
+        def run():
+            return ClusterScheduler(
+                make_nodes(system, 3),
+                ContinuousBatching(4, admission="optimistic"),
+                router=LeastOutstandingTokens(),
+            ).drain(list(queue), arrivals=PoissonArrivals(0.3, seed=13))
+
+        first, second = run(), run()
+        assert repr(first.requests) == repr(second.requests)
+        assert first == second
+
+    def test_consecutive_drains_of_one_cluster_replay(self, system):
+        """Stateful routers reset per drain, so one scheduler replays."""
+        queue = sample_request_classes(24, seed=5)
+        cluster = ClusterScheduler(
+            make_nodes(system, 3), ContinuousBatching(4), router=RoundRobin()
+        )
+        first = cluster.drain(list(queue))
+        second = cluster.drain(list(queue))
+        assert first == second
+
+    def test_idle_node_reports_zero_counters(self, system):
+        # Best fit packs everything onto node0 when capacity abounds.
+        report = ClusterScheduler(
+            make_nodes(system, 2), ContinuousBatching(8), router=BestFitKV()
+        ).drain(sample_request_classes(6, seed=6))
+        idle = report.node_reports[1]
+        assert idle.n_requests == idle.completed == idle.generated_tokens == 0
+        assert idle.tokens_per_second == 0.0
+        assert idle.mean_latency_seconds == 0.0
+
+    def test_tight_budget_preemptions_roll_up_per_node(self, system, tiny_mha):
+        growthy = sample_request_classes(24, seed=8)
+        one_long = tiny_mha.kv_cache_bytes(1, LONG.total_tokens)
+        budget = CapacityBudget(one_long * 2.5, "tight fleet slice")
+        nodes = [
+            Node(
+                system,
+                step_time=unit_steps(),
+                budget=budget,
+                prefill_chunk_tokens=256,
+                name=f"node{i}",
+            )
+            for i in range(2)
+        ]
+        report = ClusterScheduler(
+            nodes,
+            ContinuousBatching(8, admission="optimistic"),
+            router=LeastOutstandingTokens(),
+        ).drain(list(growthy))
+        assert report.all_completed
+        assert report.preemptions == sum(
+            n.preemptions for n in report.node_reports
+        )
+        assert report.wasted_prefill_tokens == sum(
+            n.wasted_prefill_tokens for n in report.node_reports
+        )
+        for breakdown in report.node_reports:
+            assert breakdown.peak_kv_reserved_bytes <= budget.kv_capacity_bytes
+
+
+class TestClusterValidation:
+    def test_empty_fleet_rejected(self):
+        with pytest.raises(ConfigurationError, match="at least one node"):
+            ClusterScheduler([])
+
+    def test_duplicate_node_names_rejected(self, system):
+        nodes = [Node(system, step_time=unit_steps()) for _ in range(2)]
+        with pytest.raises(ConfigurationError, match="duplicate node names"):
+            ClusterScheduler(nodes)
+
+    def test_mixed_models_rejected(self, system, tiny_gqa):
+        other = HilosSystem(tiny_gqa, HilosConfig(n_devices=2))
+        nodes = [
+            Node(system, step_time=unit_steps(), name="a"),
+            Node(other, step_time=unit_steps(), name="b"),
+        ]
+        with pytest.raises(ConfigurationError, match="different models"):
+            ClusterScheduler(nodes)
+
+    def test_mixed_queue_rejected_with_index(self, system):
+        from repro.serving import make_request_queue
+        from repro.workloads.requests import SHORT
+
+        cluster = ClusterScheduler(make_nodes(system, 2), ContinuousBatching(4))
+        mixed = [SHORT, make_request_queue([SHORT])[0]]
+        with pytest.raises(SchedulingError, match="element 1"):
+            cluster.drain(mixed)
+
+    def test_rogue_router_rejected(self, system):
+        class Rogue(RoundRobin):
+            def route(self, request, nodes):
+                return object()
+
+        cluster = ClusterScheduler(
+            make_nodes(system, 2), ContinuousBatching(4), router=Rogue()
+        )
+        with pytest.raises(SchedulingError, match="not one of this cluster"):
+            cluster.drain(sample_request_classes(4, seed=1))
+
+    def test_router_may_return_the_node_itself(self, system):
+        """route() contractually returns an element of ``nodes``, but a
+        router returning the underlying Node is mapped back."""
+        nodes = make_nodes(system, 2)
+
+        class NodeReturning(RoundRobin):
+            def route(self, request, views):
+                return views[0].node
+
+        report = ClusterScheduler(
+            nodes, ContinuousBatching(4), router=NodeReturning()
+        ).drain(sample_request_classes(6, seed=2))
+        assert report.node_reports[0].n_requests == 6
+        assert report.node_reports[1].n_requests == 0
+
+    def test_invalid_prefill_chunk_rejected(self, system):
+        with pytest.raises(ConfigurationError):
+            Node(system, step_time=unit_steps(), prefill_chunk_tokens=0)

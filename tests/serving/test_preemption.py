@@ -124,19 +124,21 @@ class TestPreemptionRoundTrip:
         """The token emitted at prefill completion is re-marked in the
         tracker before the next overflow check (a stale ledger would let
         the following decode iteration burst the budget)."""
-        from repro.serving.budget import BudgetTracker
+        from repro.serving.engine import Node, NodeEngine
         from repro.sim.engine import Simulator
 
-        tracker = BudgetTracker(
-            budget=growthy_budget(tiny_mha, 10.0), model=tiny_mha
+        budget = growthy_budget(tiny_mha, 10.0)
+        engine = NodeEngine(
+            Node(system, step_time=unit_steps(), budget=budget),
+            ContinuousBatching(8, admission="optimistic"),
+            Simulator(),
         )
         request = make_request_queue([GROWTHY])[0]
-        tracker.occupy(request)
-        scheduler = scheduler_for(system, tracker.budget)
-        running: list = []
-        scheduler._advance_prefill(Simulator(), [request], running, tracker)
-        assert running == [request]
-        assert tracker.reserved_bytes == pytest.approx(
+        engine.tracker.occupy(request)
+        engine.prefilling.append(request)
+        engine._advance_prefill(optimistic=True)
+        assert engine.running == [request]
+        assert engine.tracker.reserved_bytes == pytest.approx(
             request.kv_current_bytes(tiny_mha)
         )
 
@@ -205,9 +207,7 @@ class TestOverflowResolution:
     """Unit tests of the eviction mechanics, outside a full drain."""
 
     def overflow_fixture(self, system, tiny_mha):
-        from collections import deque
-
-        from repro.serving.budget import BudgetTracker
+        from repro.serving.engine import Node, NodeEngine
         from repro.sim.engine import Simulator
 
         queue = make_request_queue([GROWTHY] * 3)
@@ -220,44 +220,47 @@ class TestOverflowResolution:
         budget = CapacityBudget(
             3 * admission + growth * 1.5, "3 admissions + 1.5 tokens"
         )
-        scheduler = scheduler_for(system, budget)
-        tracker = BudgetTracker(budget=budget, model=tiny_mha)
+        engine = NodeEngine(
+            Node(system, step_time=unit_steps(), budget=budget),
+            ContinuousBatching(8, admission="optimistic"),
+            Simulator(),
+        )
         for admitted_at, request in enumerate(queue):
-            tracker.occupy(request)
+            engine.tracker.occupy(request)
             request.admitted_time = float(admitted_at)
             request.last_admitted_time = float(admitted_at)
-        return scheduler, queue, tracker, Simulator(), deque()
+        return engine, queue
 
     def test_youngest_running_request_evicted_to_waiting_front(
         self, system, tiny_mha
     ):
-        scheduler, queue, tracker, sim, waiting = self.overflow_fixture(
-            system, tiny_mha
-        )
-        running = list(queue)
-        scheduler._resolve_overflow(sim, running, [], waiting, tracker)
+        engine, queue = self.overflow_fixture(system, tiny_mha)
+        engine.running.extend(queue)
+        engine._resolve_overflow()
         # Exactly the youngest admission (id 2) was evicted; the next
         # decode step's growth now fits.
-        assert [r.request_id for r in running] == [0, 1]
-        assert [r.request_id for r in waiting] == [2]
-        assert waiting[0].preemption_count == 1
-        assert waiting[0].wasted_prefill_tokens == waiting[0].context_tokens
-        assert waiting[0].prefill_tokens_done == 0
-        growth = sum(tracker.growth_bytes(r) for r in running)
-        assert tracker.fits_bytes(growth)
+        assert [r.request_id for r in engine.running] == [0, 1]
+        assert [r.request_id for r in engine.waiting] == [2]
+        assert engine.waiting[0].preemption_count == 1
+        assert (
+            engine.waiting[0].wasted_prefill_tokens
+            == engine.waiting[0].context_tokens
+        )
+        assert engine.waiting[0].prefill_tokens_done == 0
+        growth = sum(engine.tracker.growth_bytes(r) for r in engine.running)
+        assert engine.tracker.fits_bytes(growth)
 
     def test_prefilling_admissions_evicted_before_running_decodes(
         self, system, tiny_mha
     ):
-        scheduler, queue, tracker, sim, waiting = self.overflow_fixture(
-            system, tiny_mha
-        )
-        running, prefilling = [queue[0], queue[1]], [queue[2]]
-        prefilling[0].prefill_tokens_done = 12  # mid-chunk progress
-        scheduler._resolve_overflow(sim, running, prefilling, waiting, tracker)
+        engine, queue = self.overflow_fixture(system, tiny_mha)
+        engine.running.extend([queue[0], queue[1]])
+        engine.prefilling.append(queue[2])
+        engine.prefilling[0].prefill_tokens_done = 12  # mid-chunk progress
+        engine._resolve_overflow()
         # The prefilling request is the youngest admission: it goes first,
         # and its wasted work is the chunk progress it had accumulated.
-        assert prefilling == []
-        assert [r.request_id for r in running] == [0, 1]
-        assert [r.request_id for r in waiting] == [2]
-        assert waiting[0].wasted_prefill_tokens == 12
+        assert engine.prefilling == []
+        assert [r.request_id for r in engine.running] == [0, 1]
+        assert [r.request_id for r in engine.waiting] == [2]
+        assert engine.waiting[0].wasted_prefill_tokens == 12

@@ -1,0 +1,218 @@
+"""Router unit tests: JSQ load signals and KV-headroom best fit."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import HilosConfig
+from repro.core.runtime import HilosSystem
+from repro.errors import ConfigurationError
+from repro.serving import (
+    AnalyticStepTime,
+    BestFitKV,
+    CapacityBudget,
+    ContinuousBatching,
+    LeastOutstandingTokens,
+    Node,
+    NodeEngine,
+    RoundRobin,
+    make_request_queue,
+    parse_router_spec,
+)
+from repro.serving.engine import Node as EngineNode
+from repro.sim.engine import Simulator
+from repro.workloads.requests import LONG, MEDIUM, SHORT, RequestClass
+
+
+@pytest.fixture
+def system(tiny_mha):
+    return HilosSystem(tiny_mha, HilosConfig(n_devices=2))
+
+
+def unit_steps() -> AnalyticStepTime:
+    return AnalyticStepTime(1.0, 0.0, 0.0)
+
+
+def engines(system, n, budget=None):
+    sim = Simulator()
+    return [
+        NodeEngine(
+            Node(system, step_time=unit_steps(), budget=budget, name=f"node{i}"),
+            ContinuousBatching(4),
+            sim,
+        )
+        for i in range(n)
+    ]
+
+
+def request(cls=SHORT, request_id=0):
+    return make_request_queue([cls])[request_id]
+
+
+class TestRoundRobin:
+    def test_cycles_in_order(self, system):
+        nodes = engines(system, 3)
+        router = RoundRobin()
+        picks = [router.route(request(), nodes) for _ in range(6)]
+        assert picks == [nodes[0], nodes[1], nodes[2], nodes[0], nodes[1], nodes[2]]
+
+    def test_reset_rewinds_the_cursor(self, system):
+        nodes = engines(system, 2)
+        router = RoundRobin()
+        assert router.route(request(), nodes) is nodes[0]
+        router.reset()
+        assert router.route(request(), nodes) is nodes[0]
+
+
+class TestLeastOutstandingTokens:
+    def test_picks_the_least_loaded_node(self, system):
+        """ISSUE acceptance: JSQ picks the least-loaded node."""
+        nodes = engines(system, 3)
+        nodes[0].enqueue(request(LONG, 0))
+        nodes[2].enqueue(request(SHORT, 0))
+        assert LeastOutstandingTokens().route(request(), nodes) is nodes[1]
+
+    def test_load_is_token_weighted_not_request_counted(self, system):
+        nodes = engines(system, 2)
+        # node0 holds one Long; node1 holds two Shorts.  Two requests but
+        # fewer outstanding tokens -> node1 is the shorter queue.
+        nodes[0].enqueue(request(LONG, 0))
+        queue = make_request_queue([SHORT, SHORT])
+        nodes[1].enqueue(queue[0])
+        nodes[1].enqueue(queue[1])
+        assert nodes[1].outstanding_tokens < nodes[0].outstanding_tokens
+        assert LeastOutstandingTokens().route(request(), nodes) is nodes[1]
+
+    def test_running_progress_reduces_load(self, system):
+        nodes = engines(system, 2)
+        first, second = make_request_queue([MEDIUM, MEDIUM])
+        nodes[0].enqueue(first)
+        nodes[1].enqueue(second)
+        # node0's request is mid-decode: prefill done, half the output out.
+        first.prefill_tokens_done = first.input_tokens
+        first.tokens_generated = first.output_tokens // 2
+        assert LeastOutstandingTokens().route(request(), nodes) is nodes[0]
+
+    def test_ties_break_to_the_lowest_index(self, system):
+        nodes = engines(system, 3)
+        assert LeastOutstandingTokens().route(request(), nodes) is nodes[0]
+
+
+class TestBestFitKV:
+    def tight_budget(self, model, finals: float) -> CapacityBudget:
+        return CapacityBudget(
+            model.kv_cache_bytes(1, LONG.total_tokens) * finals, "test slice"
+        )
+
+    def test_never_routes_oversized_when_another_fits(self, system, tiny_mha):
+        """ISSUE acceptance: BestFitKV never routes a request whose KV
+        exceeds node headroom when another node fits it."""
+        sim = Simulator()
+        small = Node(
+            system,
+            step_time=unit_steps(),
+            budget=self.tight_budget(tiny_mha, 0.5),
+            name="small",
+        )
+        big = Node(
+            system,
+            step_time=unit_steps(),
+            budget=self.tight_budget(tiny_mha, 4.0),
+            name="big",
+        )
+        nodes = [
+            NodeEngine(small, ContinuousBatching(4), sim),
+            NodeEngine(big, ContinuousBatching(4), sim),
+        ]
+        long_request = request(LONG)
+        assert not nodes[0].kv_fits(long_request)
+        assert nodes[1].kv_fits(long_request)
+        # Index order favours node0; fitting beats index.
+        assert BestFitKV().route(long_request, nodes) is nodes[1]
+
+    def test_prefers_the_tightest_fitting_node(self, system, tiny_mha):
+        sim = Simulator()
+        nodes = [
+            NodeEngine(
+                Node(
+                    system,
+                    step_time=unit_steps(),
+                    budget=self.tight_budget(tiny_mha, finals),
+                    name=f"n{finals}",
+                ),
+                ContinuousBatching(4),
+                sim,
+            )
+            for finals in (8.0, 1.5, 3.0)
+        ]
+        # All three fit one Long; the 1.5-final node is the tightest hole.
+        assert BestFitKV().route(request(LONG), nodes) is nodes[1]
+
+    def test_queued_commitments_count_against_headroom(self, system, tiny_mha):
+        nodes = engines(system, 2, budget=self.tight_budget(tiny_mha, 1.5))
+        blocker, probe = make_request_queue([LONG, LONG])
+        nodes[0].enqueue(blocker)  # commits node0's only Long slot
+        assert not nodes[0].kv_fits(probe)
+        assert BestFitKV().route(probe, nodes) is nodes[1]
+
+    def test_falls_back_to_most_headroom_when_nothing_fits(self, system, tiny_mha):
+        sim = Simulator()
+        nodes = [
+            NodeEngine(
+                Node(
+                    system,
+                    step_time=unit_steps(),
+                    budget=self.tight_budget(tiny_mha, finals),
+                    name=f"n{finals}",
+                ),
+                ContinuousBatching(4),
+                sim,
+            )
+            for finals in (0.3, 0.6)
+        ]
+        # Neither holds a Long: route to the least-bad (most headroom).
+        assert BestFitKV().route(request(LONG), nodes) is nodes[1]
+
+
+class TestParseRouterSpec:
+    @pytest.mark.parametrize(
+        "spec, cls",
+        [
+            ("rr", RoundRobin),
+            ("round-robin", RoundRobin),
+            ("jsq", LeastOutstandingTokens),
+            ("least-outstanding", LeastOutstandingTokens),
+            ("bestfit", BestFitKV),
+            ("bestfit-kv", BestFitKV),
+        ],
+    )
+    def test_known_specs(self, spec, cls):
+        assert isinstance(parse_router_spec(spec), cls)
+
+    def test_unknown_spec_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown router"):
+            parse_router_spec("random")
+
+
+class TestEngineLoadViews:
+    def test_outstanding_tokens_sums_remaining_work(self, system):
+        [engine] = engines(system, 1)
+        req = request(RequestClass("Tiny", input_tokens=10, output_tokens=5))
+        engine.enqueue(req)
+        assert engine.outstanding_tokens == 15
+        req.prefill_tokens_done = 10
+        req.tokens_generated = 2
+        assert engine.outstanding_tokens == (10 + 2 - 10) + (5 - 2)
+
+    def test_headroom_shrinks_with_ledger_and_queue(self, system, tiny_mha):
+        [engine] = engines(system, 1)
+        full = engine.kv_headroom_bytes
+        queued = request(SHORT, 0)
+        engine.enqueue(queued)
+        assert engine.kv_headroom_bytes == pytest.approx(
+            full - queued.kv_reservation_bytes(tiny_mha)
+        )
+
+    def test_node_alias_export(self):
+        # Node is exported from both repro.serving and the engine module.
+        assert Node is EngineNode
