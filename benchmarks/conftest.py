@@ -18,6 +18,16 @@ import pytest
 os.environ["REPRO_CALIBRATION_DIR"] = tempfile.mkdtemp(prefix="repro-bench-calib-")
 
 
+@pytest.fixture(autouse=True)
+def _unsanitized_benchmarks(monkeypatch):
+    """Benchmarks always time the sanitizer-off hot path.
+
+    The perf gates compare against baselines recorded without invariant
+    checking; a sanitized run would regress them for the wrong reason.
+    """
+    monkeypatch.setenv("REPRO_SIM_SANITIZE", "0")
+
+
 @pytest.fixture
 def run_experiment(benchmark):
     """Benchmark an experiment module's fast-mode ``run`` and return tables."""

@@ -1,6 +1,18 @@
-"""Analytical models: traffic (Eq. 3), capacity, cost, energy, endurance."""
+"""Analytical models and program analysis for the simulation substrate.
+
+Closed-form models: traffic (Eq. 3), capacity, cost, energy, endurance.
+Correctness tooling: the runtime simulation sanitizer
+(:mod:`repro.analysis.sanitizer`) and the DES-aware static linter
+(:mod:`repro.analysis.simlint`, ``python -m repro.analysis.simlint``).
+"""
 
 from repro.analysis.capacity import PlacementPlan, max_feasible_batch, plan_placement
+from repro.analysis.sanitizer import (
+    SANITIZE_ENV,
+    SanitizerError,
+    SimSanitizer,
+    sanitize_enabled_by_env,
+)
 from repro.analysis.cost import CostModel, cost_efficiency
 from repro.analysis.endurance import EnduranceModel, serviceable_requests
 from repro.analysis.energy import EnergyBreakdown, energy_breakdown
@@ -12,6 +24,10 @@ from repro.analysis.traffic import (
 )
 
 __all__ = [
+    "SANITIZE_ENV",
+    "SanitizerError",
+    "SimSanitizer",
+    "sanitize_enabled_by_env",
     "PlacementPlan",
     "max_feasible_batch",
     "plan_placement",

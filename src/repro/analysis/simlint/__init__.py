@@ -1,0 +1,24 @@
+"""simlint: DES-aware static analysis for the repro simulation stack.
+
+Run it as ``python -m repro.analysis.simlint src tests``.  Rules live in
+:mod:`repro.analysis.simlint.rules`; configuration comes from the
+``[tool.simlint]`` pyproject table plus ``# simlint: disable=...`` inline
+suppressions.  The runtime counterpart is
+:class:`repro.analysis.sanitizer.SimSanitizer`.
+"""
+
+from repro.analysis.simlint.cli import main
+from repro.analysis.simlint.config import SimlintConfig, load_config
+from repro.analysis.simlint.core import Finding, lint_file, lint_paths
+from repro.analysis.simlint.rules import RULES, Rule
+
+__all__ = [
+    "Finding",
+    "RULES",
+    "Rule",
+    "SimlintConfig",
+    "lint_file",
+    "lint_paths",
+    "load_config",
+    "main",
+]

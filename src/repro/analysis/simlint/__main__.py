@@ -1,0 +1,7 @@
+"""``python -m repro.analysis.simlint`` entry point."""
+
+import sys
+
+from repro.analysis.simlint.cli import main
+
+sys.exit(main())

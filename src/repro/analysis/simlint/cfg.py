@@ -1,0 +1,130 @@
+"""A small must-release walk over function bodies (SIM004's engine).
+
+The question SIM004 asks is the classic resource-pairing one: once a
+function calls ``tracker.occupy(...)`` (or ``reserve``), can it fall off a
+``return`` -- or off the end -- without a ``release`` having executed on
+that path?  Rather than build a full CFG, :func:`held_exit_lines` walks the
+statement tree with a *set of possible ledger states* (``HELD`` /
+``CLEAN``):
+
+* an acquire call collapses the state set to ``{HELD}``; a release point
+  collapses it to ``{CLEAN}``;
+* ``if``/``try`` branches fork the set and union the survivors;
+* loop bodies run zero or more times, so a release *inside* a loop never
+  guarantees anything (the zero-iteration path keeps the pre-loop state),
+  while an acquire inside one taints the post-loop set;
+* ``raise`` kills its path -- error propagation is the caller's problem
+  and the runtime sanitizer's territory, not a leak the linter should
+  nag about;
+* ``return`` (and falling off the end) reports a violation when ``HELD``
+  is among the possible states.
+
+Deliberate approximations: ``break``/``continue`` are treated as straight-
+line statements, and ``with`` bodies as plain blocks.  Both err toward
+*more* reported paths, never fewer.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+HELD = "held"
+CLEAN = "clean"
+
+
+def held_exit_lines(
+    body: list[ast.stmt],
+    is_acquire,
+    is_release,
+) -> list[int]:
+    """Line numbers of exits reachable with the resource still held.
+
+    ``is_acquire`` / ``is_release`` are predicates over :class:`ast.Call`
+    nodes.  The returned lines point at the offending ``return`` statement,
+    or at the function's last statement for held fall-through.
+    """
+    walker = _Walker(is_acquire, is_release)
+    states = walker.walk(body, {CLEAN})
+    if HELD in states and body:
+        walker.violations.append(body[-1].lineno)
+    return sorted(set(walker.violations))
+
+
+class _Walker:
+    def __init__(self, is_acquire, is_release) -> None:
+        self.is_acquire = is_acquire
+        self.is_release = is_release
+        self.violations: list[int] = []
+        #: >0 while inside a ``try`` whose ``finally`` releases on every
+        #: path -- returns under such a guard exit clean, not held.
+        self._finally_clean_depth = 0
+
+    def walk(self, stmts: Iterable[ast.stmt], states: set[str]) -> set[str]:
+        """Push ``states`` through a statement list; return fall-through states."""
+        for stmt in stmts:
+            if not states:
+                break  # every path already returned or raised
+            states = self._step(stmt, states)
+        return states
+
+    def _step(self, stmt: ast.stmt, states: set[str]) -> set[str]:
+        if isinstance(stmt, ast.Return):
+            after = self._apply_calls(stmt, states)
+            if HELD in after and self._finally_clean_depth == 0:
+                self.violations.append(stmt.lineno)
+            return set()
+        if isinstance(stmt, ast.Raise):
+            return set()
+        if isinstance(stmt, ast.If):
+            states = self._apply_calls(stmt.test, states)
+            return self.walk(stmt.body, set(states)) | self.walk(
+                stmt.orelse, set(states)
+            )
+        if isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+            header = stmt.iter if isinstance(stmt, (ast.For, ast.AsyncFor)) else stmt.test
+            states = self._apply_calls(header, states)
+            once = self.walk(stmt.body, set(states))
+            after = states | once
+            return self.walk(stmt.orelse, after) if stmt.orelse else after
+        if isinstance(stmt, ast.Try):
+            guarded = stmt.finalbody and self._finally_releases(stmt.finalbody)
+            if guarded:
+                self._finally_clean_depth += 1
+            after_body = self.walk(stmt.body, set(states))
+            # A handler may run after any prefix of the body; entering with
+            # the pre-try states keeps the analysis sound for acquires that
+            # the body may or may not have reached.
+            outcomes = set(after_body)
+            for handler in stmt.handlers:
+                outcomes |= self.walk(handler.body, set(states) | set(after_body))
+            if stmt.orelse:
+                outcomes |= self.walk(stmt.orelse, set(after_body))
+            if guarded:
+                self._finally_clean_depth -= 1
+            if stmt.finalbody:
+                outcomes = self.walk(stmt.finalbody, outcomes)
+            return outcomes
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                states = self._apply_calls(item.context_expr, states)
+            return self.walk(stmt.body, states)
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return states  # nested scopes are analysed separately
+        return self._apply_calls(stmt, states)
+
+    def _finally_releases(self, finalbody: list[ast.stmt]) -> bool:
+        """Whether a ``finally`` block releases on every fall-through path."""
+        probe = _Walker(self.is_acquire, self.is_release)
+        return probe.walk(finalbody, {HELD}) == {CLEAN}
+
+    def _apply_calls(self, node: ast.AST, states: set[str]) -> set[str]:
+        """Fold every call inside ``node`` (source order) into the state set."""
+        for call in ast.walk(node):
+            if not isinstance(call, ast.Call):
+                continue
+            if self.is_release(call):
+                states = {CLEAN}
+            elif self.is_acquire(call):
+                states = {HELD}
+        return states

@@ -1,0 +1,119 @@
+"""The ``python -m repro.analysis.simlint`` command-line front end.
+
+Exit status: 0 when every linted file is clean, 1 when findings were
+reported, 2 on usage or configuration errors (mirroring grep/flake8
+conventions so CI can distinguish "dirty" from "broken").
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.analysis.simlint.config import SimlintConfig, load_config
+from repro.analysis.simlint.core import lint_paths
+from repro.errors import ConfigurationError
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.simlint",
+        description="DES-aware static analysis for the repro simulation stack.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (e.g. src tests)",
+    )
+    parser.add_argument(
+        "--config",
+        metavar="PYPROJECT",
+        help="explicit pyproject.toml to read [tool.simlint] from "
+        "(default: nearest pyproject.toml above the working directory)",
+    )
+    parser.add_argument(
+        "--no-config",
+        action="store_true",
+        help="ignore pyproject configuration and run with built-in defaults",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="CODES",
+        help="comma-separated rule codes to run (overrides config select)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print every rule code with its one-line summary and exit",
+    )
+    parser.add_argument(
+        "--explain",
+        metavar="CODE",
+        help="print the full documentation for one rule code and exit",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    from repro.analysis.simlint.rules import RULES
+
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in RULES.values():
+            print(f"{rule.code} ({rule.name}): {rule.summary}")
+        return 0
+    if args.explain:
+        code = args.explain.upper()
+        rule = RULES.get(code)
+        if rule is None:
+            print(
+                f"unknown rule {code!r} (known: {', '.join(RULES)})",
+                file=sys.stderr,
+            )
+            return 2
+        print(f"{rule.code} ({rule.name}): {rule.summary}")
+        print()
+        print(rule.doc)
+        return 0
+
+    if not args.paths:
+        parser.print_usage(sys.stderr)
+        print("error: no paths to lint", file=sys.stderr)
+        return 2
+
+    try:
+        if args.no_config:
+            config = SimlintConfig()
+        else:
+            config = load_config(args.config)
+        if args.select:
+            selected = tuple(
+                code.strip().upper() for code in args.select.split(",") if code.strip()
+            )
+            unknown = sorted(set(selected) - set(RULES))
+            if unknown:
+                raise ConfigurationError(
+                    f"unknown rule code(s) in --select: {', '.join(unknown)}"
+                )
+            config = SimlintConfig(
+                select=selected,
+                exclude=config.exclude,
+                per_file_ignores=config.per_file_ignores,
+                interface_attributes=config.interface_attributes,
+                acquire_methods=config.acquire_methods,
+                release_methods=config.release_methods,
+            )
+        findings = lint_paths(args.paths, config)
+    except ConfigurationError as exc:
+        print(f"simlint: {exc}", file=sys.stderr)
+        return 2
+
+    for finding in findings:
+        print(finding.format())
+    if findings:
+        print(f"simlint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    return 0

@@ -1,0 +1,128 @@
+"""simlint core: findings, inline suppressions, and the lint driver.
+
+A :class:`Finding` is one rule violation at one source location.  Rules
+(see :mod:`repro.analysis.simlint.rules`) are pure functions from a parsed
+:class:`SourceFile` to findings; this module owns everything around them:
+discovering files, parsing, applying ``# simlint: disable=...`` inline
+suppressions and the config's per-file ignores, and sorting the result.
+"""
+
+from __future__ import annotations
+
+import ast
+import fnmatch
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.analysis.simlint.config import SimlintConfig
+
+#: Inline suppression syntax.  ``# simlint: disable`` silences every rule
+#: on its line; ``# simlint: disable=SIM001,SIM005`` silences those codes.
+#: The comment must sit on the physical line the finding is reported at
+#: (the statement's first line for multi-line statements).
+_SUPPRESS_RE = re.compile(
+    r"#\s*simlint:\s*disable(?:=(?P<codes>[A-Za-z0-9_,\s]+))?", re.IGNORECASE
+)
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def format(self) -> str:
+        """The classic ``path:line:col: CODE message`` diagnostic line."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+class SourceFile:
+    """A parsed module plus its per-line suppression table."""
+
+    def __init__(self, path: str, text: str) -> None:
+        self.path = path
+        self.text = text
+        self.tree = ast.parse(text, filename=path)
+        #: line number -> frozenset of suppressed codes (empty set = all).
+        self._suppressions: dict[int, frozenset[str]] = {}
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            match = _SUPPRESS_RE.search(line)
+            if match is None:
+                continue
+            codes = match.group("codes")
+            if codes is None:
+                self._suppressions[lineno] = frozenset()
+            else:
+                self._suppressions[lineno] = frozenset(
+                    code.strip().upper() for code in codes.split(",") if code.strip()
+                )
+
+    def suppressed(self, line: int, code: str) -> bool:
+        """Whether ``code`` is silenced on ``line`` by an inline comment."""
+        codes = self._suppressions.get(line)
+        if codes is None:
+            return False
+        return not codes or code in codes
+
+
+def iter_python_files(paths: Iterable[str], config: SimlintConfig) -> Iterator[Path]:
+    """Yield the ``.py`` files under ``paths``, honouring config excludes.
+
+    Directories are walked recursively in sorted order so output (and exit
+    status ties) are deterministic across filesystems.
+    """
+    for raw in paths:
+        root = Path(raw)
+        if root.is_file():
+            if root.suffix == ".py" and not config.excluded(str(root)):
+                yield root
+        elif root.is_dir():
+            for path in sorted(root.rglob("*.py")):
+                if not config.excluded(str(path)):
+                    yield path
+
+
+def lint_file(path: str, text: str, config: SimlintConfig) -> list[Finding]:
+    """Lint one module's source; returns surviving findings, sorted.
+
+    Syntax errors are reported as a pseudo-finding (code ``SIM000``) rather
+    than raised: a linter that crashes on the file it should flag is a
+    linter with a blind spot.
+    """
+    from repro.analysis.simlint.rules import RULES
+
+    try:
+        source = SourceFile(path, text)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                code="SIM000",
+                message=f"syntax error: {exc.msg}",
+            )
+        ]
+    ignored = config.ignored_codes(path)
+    findings: list[Finding] = []
+    for rule in RULES.values():
+        if not config.selected(rule.code) or rule.code in ignored:
+            continue
+        for finding in rule.check(source, config):
+            if not source.suppressed(finding.line, finding.code):
+                findings.append(finding)
+    return sorted(findings)
+
+
+def lint_paths(paths: Iterable[str], config: SimlintConfig) -> list[Finding]:
+    """Lint every Python file under ``paths``; the CLI's workhorse."""
+    findings: list[Finding] = []
+    for path in iter_python_files(paths, config):
+        findings.extend(lint_file(str(path), path.read_text(), config))
+    return sorted(findings)

@@ -103,6 +103,10 @@ class InferenceSystem(abc.ABC):
     """Base class for all simulated inference frameworks."""
 
     name: str = "abstract"
+    #: GPU model this framework is priced and timed against (Table 1);
+    #: subclasses targeting other hosts override it (or accept it as a
+    #: constructor argument) instead of being ``getattr``-probed for it.
+    gpu: str = "A100"
     #: Where this framework keeps the KV cache (drives batch feasibility).
     kv_placement: KVPlacement = KVPlacement.STORAGE
     #: Simulation symmetry mode passed to ``build_system`` by ``measure()``:
@@ -128,7 +132,7 @@ class InferenceSystem(abc.ABC):
 
     def _staging_bandwidth(self) -> float:
         """Weight-pipeline bandwidth; PCIe 5.0 hosts (H100) move ~1.5x more."""
-        if getattr(self, "gpu", "A100") == "H100":
+        if self.gpu == "H100":
             return self.weight_staging_bandwidth * 1.5
         return self.weight_staging_bandwidth
 

@@ -24,6 +24,7 @@ from repro.analysis.capacity import (
     KVPlacement,
     WeightPlacement,
 )
+from repro.analysis.sanitizer import SanitizerError
 from repro.baselines.base import InferenceSystem
 from repro.errors import SchedulingError
 from repro.models.config import ModelConfig
@@ -92,6 +93,12 @@ class BudgetTracker:
 
     ``peak_reserved_bytes`` lets tests assert the budget invariant held
     for a whole drain under either accounting.
+
+    With ``sanitize`` on (sanitized drains set it from their simulator)
+    every ledger movement is conservation-checked: occupied bytes may
+    never go negative, and :meth:`assert_drained` verifies the ledger is
+    empty -- every reservation released, residue within float tolerance --
+    at drain end.
     """
 
     budget: CapacityBudget
@@ -99,6 +106,11 @@ class BudgetTracker:
     reserved_bytes: float = 0.0
     peak_reserved_bytes: float = 0.0
     _held: dict[int, float] = field(default_factory=dict)
+    sanitize: bool = False
+
+    def _conservation_tolerance(self) -> float:
+        """Float-accumulation slack: ledger adds/removes large byte figures."""
+        return 1e-9 * self.budget.kv_capacity_bytes + 1e-6
 
     def fits(self, request: ServingRequest, extra_bytes: float = 0.0) -> bool:
         """Whether a final-context reservation stays within budget.
@@ -154,6 +166,8 @@ class BudgetTracker:
         self._held[request.request_id] = now
         self.reserved_bytes += now - held
         self.peak_reserved_bytes = max(self.peak_reserved_bytes, self.reserved_bytes)
+        if self.sanitize:
+            self._check_occupancy(request.request_id)
 
     def growth_bytes(self, request: ServingRequest) -> float:
         """Bytes the next generated token appends to ``request``'s cache."""
@@ -171,3 +185,38 @@ class BudgetTracker:
                 f"request {request.request_id} released without a reservation"
             ) from None
         self.reserved_bytes -= need
+        if self.sanitize:
+            self._check_occupancy(request.request_id)
+
+    # --- sanitizer invariants ---------------------------------------------------
+
+    def _check_occupancy(self, request_id: int) -> None:
+        """Occupied bytes may never go meaningfully negative."""
+        if self.reserved_bytes < -self._conservation_tolerance():
+            raise SanitizerError(
+                f"KV ledger went negative ({self.reserved_bytes:.3f} bytes, "
+                f"budget {self.budget.description!r})",
+                invariant="budget-conservation",
+                request_id=request_id,
+            )
+
+    def assert_drained(self, context: str = "") -> None:
+        """Conservation at drain end: ledger empty, residue within tolerance."""
+        where = f" on {context}" if context else ""
+        if self._held:
+            ids = sorted(self._held)
+            shown = ", ".join(str(i) for i in ids[:5])
+            if len(ids) > 5:
+                shown += f", ... ({len(ids) - 5} more)"
+            raise SanitizerError(
+                f"{len(ids)} KV reservation(s) never released{where}: "
+                f"request(s) {shown}",
+                invariant="budget-conservation",
+                request_id=ids[0],
+            )
+        if abs(self.reserved_bytes) > self._conservation_tolerance():
+            raise SanitizerError(
+                f"KV ledger residue of {self.reserved_bytes:.3f} bytes after "
+                f"all reservations were released{where}",
+                invariant="budget-conservation",
+            )

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from repro.analysis.sanitizer import SanitizerError
 from repro.errors import ConfigurationError, SchedulingError
 from repro.models.config import ModelConfig
 from repro.serving.arrivals import ArrivalProcess
@@ -73,6 +74,38 @@ def as_request_queue(
     if expected is ServingRequest:
         return list(requests)  # type: ignore[arg-type]
     return make_request_queue(list(requests))  # type: ignore[arg-type]
+
+
+def check_report_conservation(
+    report: ServingReport, sim_time: float | None = None
+) -> None:
+    """Token/request conservation between node outcomes and the fleet report.
+
+    Every generated token and every routed request must be accounted for by
+    exactly one node breakdown; a mismatch means an engine's outcome was
+    dropped or double-counted on the way into the fleet report.  Sanitized
+    drains run this automatically; it is exported so tests can aim it at
+    deliberately inconsistent reports.
+    """
+    if not report.node_reports:
+        return
+    node_tokens = sum(node.generated_tokens for node in report.node_reports)
+    if node_tokens != report.generated_tokens:
+        raise SanitizerError(
+            f"fleet report counts {report.generated_tokens} generated tokens "
+            f"but the node breakdowns sum to {node_tokens}",
+            invariant="token-conservation",
+            sim_time=sim_time,
+        )
+    for field_name in ("n_requests", "completed"):
+        node_total = sum(getattr(node, field_name) for node in report.node_reports)
+        if node_total != getattr(report, field_name):
+            raise SanitizerError(
+                f"fleet report counts {getattr(report, field_name)} "
+                f"{field_name} but the node breakdowns sum to {node_total}",
+                invariant="token-conservation",
+                sim_time=sim_time,
+            )
 
 
 class ClusterScheduler:
@@ -159,6 +192,12 @@ class ClusterScheduler:
             sim.run(processes[0])
         else:
             sim.run(sim.all_of(processes))
+        if sim.sanitizer is not None:
+            # Drain-end invariants: every engine's KV ledger fully released,
+            # and nothing still parked on an untriggered event.
+            for engine in engines:
+                engine.tracker.assert_drained(context=f"node {engine.node.name!r}")
+            sim.sanitize_check_drained()
         notes = self._step_time_notes(step_times, counters_before)
         breakdowns = tuple(
             node_breakdown(
@@ -172,7 +211,7 @@ class ClusterScheduler:
             for engine in engines
         )
         if len(engines) == 1:
-            return build_report(
+            report = build_report(
                 self.nodes[0].system,
                 self.policy.name,
                 queue,
@@ -182,15 +221,19 @@ class ClusterScheduler:
                 step_time_notes=notes,
                 node_reports=breakdowns,
             )
-        return build_fleet_report(
-            fleet_name=self.fleet_name,
-            policy_name=self.policy.name,
-            router_name=self.router.name,
-            requests=queue,
-            makespan_seconds=sim.now,
-            node_reports=breakdowns,
-            step_time_notes=notes,
-        )
+        else:
+            report = build_fleet_report(
+                fleet_name=self.fleet_name,
+                policy_name=self.policy.name,
+                router_name=self.router.name,
+                requests=queue,
+                makespan_seconds=sim.now,
+                node_reports=breakdowns,
+                step_time_notes=notes,
+            )
+        if sim.sanitizer is not None:
+            check_report_conservation(report, sim_time=sim.now)
+        return report
 
     @property
     def fleet_name(self) -> str:

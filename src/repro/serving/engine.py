@@ -96,7 +96,11 @@ class NodeEngine:
         self.node = node
         self.policy = policy
         self.sim = sim
-        self.tracker = BudgetTracker(budget=node.budget, model=node.system.model)
+        self.tracker = BudgetTracker(
+            budget=node.budget,
+            model=node.system.model,
+            sanitize=sim.sanitizer is not None,
+        )
         #: Requests routed here whose arrival time has not been reached
         #: (preloaded single-node queues only; dispatched requests arrive
         #: due and go straight through to ``waiting`` at the next loop top).

@@ -32,7 +32,7 @@ def system_cost_model(system: InferenceSystem) -> CostModel:
     hardware = system.hardware_config()
     return CostModel(
         label=system.name,
-        gpu=getattr(system, "gpu", "A100"),
+        gpu=system.gpu,
         n_conventional_ssds=hardware.n_conventional_ssds,
         n_smartssds=hardware.n_smartssds,
         needs_expansion=hardware.n_smartssds > 0,

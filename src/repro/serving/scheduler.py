@@ -157,7 +157,5 @@ def drain_queue(
             prefill_chunk_tokens=prefill_chunk_tokens,
         )
         reports.append(scheduler.drain(list(requests), arrivals=arrivals))
-    flush = getattr(step_time, "flush", None)
-    if flush is not None:
-        flush()
+    step_time.flush()
     return reports

@@ -85,6 +85,14 @@ class StepTimeModel(abc.ABC):
         """
         return {}
 
+    def flush(self) -> None:
+        """Persist any deferred calibration state (drain/sweep boundaries).
+
+        Part of the interface so drain loops can call it unconditionally
+        instead of ``getattr``-probing; models without a backing store
+        have nothing to persist and inherit this no-op.
+        """
+
 
 class AnalyticStepTime(StepTimeModel):
     """Affine iteration cost: ``base + per_token * seq_len`` per iteration.

@@ -76,6 +76,8 @@ class Event:
         if callbacks:
             for callback in callbacks:
                 callback(self)
+        if self.sim.sanitizer is not None:
+            self.sim.sanitizer.note_triggered(self)
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -99,6 +101,8 @@ class Event:
         if callbacks:
             for callback in callbacks:
                 callback(self)
+        if self.sim.sanitizer is not None:
+            self.sim.sanitizer.note_triggered(self)
         return self
 
     def add_callback(self, callback: Callable[["Event"], None]) -> None:
@@ -111,10 +115,13 @@ class Event:
         """
         if self._triggered:
             callback(self)
-        elif self._callbacks is None:
+            return
+        if self._callbacks is None:
             self._callbacks = [callback]
         else:
             self._callbacks.append(callback)
+        if self.sim.sanitizer is not None:
+            self.sim.sanitizer.note_waiter(self)
 
 
 class Timeout(Event):
@@ -289,9 +296,17 @@ class ScheduledCallback:
 
 
 class Simulator:
-    """Owns virtual time and the scheduled-callback heap."""
+    """Owns virtual time and the scheduled-callback heap.
 
-    def __init__(self) -> None:
+    ``sanitize`` installs a :class:`~repro.analysis.sanitizer.SimSanitizer`
+    that checks cheap engine invariants (finite delays, heap monotonicity,
+    callback drain, lost wakeups) as the simulation runs; ``None`` (the
+    default) defers to the ``REPRO_SIM_SANITIZE`` environment variable.
+    When off, every hook site is a single ``is not None`` check, so the
+    unsanitized hot path stays within the benchmark gates.
+    """
+
+    def __init__(self, sanitize: bool | None = None) -> None:
         # Heap entries carry either a bare callable (the common, allocation-
         # free case) or a ScheduledCallback handle (cancellable timers).
         self._now = 0.0
@@ -299,6 +314,16 @@ class Simulator:
         self._sequence = 0
         self._processed = 0
         self._unobserved_failures: list[Event] = []
+        if sanitize is None:
+            from repro.analysis.sanitizer import sanitize_enabled_by_env
+
+            sanitize = sanitize_enabled_by_env()
+        if sanitize:
+            from repro.analysis.sanitizer import SimSanitizer
+
+            self.sanitizer = SimSanitizer()
+        else:
+            self.sanitizer = None
 
     def _record_unobserved_failure(self, event: Event) -> None:
         self._unobserved_failures.append(event)
@@ -323,6 +348,8 @@ class Simulator:
         """Run ``callback`` after ``delay`` simulated seconds."""
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        if self.sanitizer is not None:
+            self.sanitizer.check_schedule(self._now, delay)
         self._sequence += 1
         heapq.heappush(self._heap, (self._now + delay, self._sequence, callback))
 
@@ -337,6 +364,8 @@ class Simulator:
         """
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        if self.sanitizer is not None:
+            self.sanitizer.check_schedule(self._now, delay)
         self._sequence += 1
         handle = ScheduledCallback(self._now + delay, callback)
         heapq.heappush(self._heap, (handle.time, self._sequence, handle))
@@ -410,7 +439,22 @@ class Simulator:
             # truncated simulation.
             failed = self._unobserved_failures.pop(0)
             raise failed.exception
+        if until is None and self.sanitizer is not None:
+            # A full drain exhausted the heap: anything still waiting on an
+            # untriggered event is a lost wakeup, not pending work.
+            self.sanitizer.check_drained(self)
         return None
+
+    def sanitize_check_drained(self) -> None:
+        """Run the sanitizer's lost-wakeup check at a drain boundary.
+
+        For callers that advance the simulation via ``run(until=event)``
+        (e.g. a cluster drain awaiting its engine conjunction) and want the
+        end-of-drain invariant even though they never issue a heap-draining
+        ``run()``.  A no-op on unsanitized simulators.
+        """
+        if self.sanitizer is not None:
+            self.sanitizer.check_drained(self)
 
     def _next_batch(self, horizon: float) -> list[tuple[int, Callable[[], None]]] | None:
         """Pop every live callback at the earliest live timestamp.
@@ -433,11 +477,15 @@ class Simulator:
         batch_time = heap[0][0]
         if batch_time < self._now - 1e-12:
             raise SimulationError("event heap produced a time in the past")
+        if self.sanitizer is not None:
+            self.sanitizer.check_batch_time(self._now, batch_time)
         if batch_time > self._now:
             self._now = batch_time
         batch: list[tuple[int, Callable[[], None]]] = []
         append = batch.append
-        while heap and heap[0][0] == batch_time:
+        # Exact equality is the point here: the sweep groups entries by the
+        # very float key that schedule() pushed.
+        while heap and heap[0][0] == batch_time:  # simlint: disable=SIM005
             _, sequence, callback = pop(heap)
             if callback.__class__ is ScheduledCallback:
                 if callback.cancelled:

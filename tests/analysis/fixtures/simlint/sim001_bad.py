@@ -1,0 +1,14 @@
+"""Known-bad for SIM001: sim processes yielding things that aren't Events."""
+
+
+def worker_process(sim):
+    yield 1.5
+    yield "done"
+
+
+def spawn(sim):
+    sim.process(step())
+
+
+def step():
+    yield [1, 2]

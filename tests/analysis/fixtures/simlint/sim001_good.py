@@ -1,0 +1,19 @@
+"""Known-good for SIM001: processes yield Events (or are forced generators)."""
+
+
+def worker_process(sim, device):
+    yield sim.timeout(1.0)
+    done = device.access(4096)
+    yield done
+
+
+def empty_process(sim):
+    sim.log("nothing to wait for")
+    if False:  # pragma: no cover - keeps this a generator
+        yield
+
+
+def plain_generator():
+    # Not a sim process: free to yield whatever it likes.
+    yield 1
+    yield 2

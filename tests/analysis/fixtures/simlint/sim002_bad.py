@@ -1,0 +1,18 @@
+"""Known-bad for SIM002: wall clocks, global RNG, and set iteration."""
+
+import random
+import time
+from datetime import datetime
+
+
+def sample_arrival():
+    started = time.time()
+    stamp = datetime.now()
+    jitter = random.random()
+    return started, stamp, jitter
+
+
+def drain_order(pending):
+    for name in {"a", "b"}:
+        pending.append(name)
+    return [item for item in set(pending)]

@@ -1,0 +1,16 @@
+"""Known-good for SIM002: seeded RNG instances and ordered iteration."""
+
+import random
+
+
+def make_rng(seed):
+    return random.Random(seed)
+
+
+def sample_arrival(rng):
+    return rng.expovariate(1.0)
+
+
+def drain_order(pending):
+    for name in sorted(set(pending)):
+        yield name

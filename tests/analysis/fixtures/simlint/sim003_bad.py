@@ -1,0 +1,10 @@
+"""Known-bad for SIM003: Events constructed but never observed."""
+
+
+def fire_and_forget(sim):
+    sim.event("orphan")
+
+
+def bind_and_drop(sim):
+    wake = sim.event("wake")
+    return None

@@ -1,0 +1,21 @@
+"""Known-good for SIM003: every Event is yielded, returned, or observed."""
+
+
+def wait_for_wake(sim):
+    wake = sim.event("wake")
+    yield wake
+
+
+def handoff(sim, notify):
+    done = sim.event("done")
+    done.add_callback(notify)
+    return done
+
+
+def closure_observer(sim, callbacks):
+    wake = sim.event("wake")
+
+    def observe():
+        return wake
+
+    callbacks.append(observe)

@@ -1,0 +1,15 @@
+"""Known-bad for SIM004: reservations that can leak."""
+
+
+class LeakyAdmission:
+    def admit(self, tracker, request):
+        tracker.occupy(request)
+        if request.tokens > 8:
+            return False  # leaks: still held on this exit
+        tracker.release(request)
+        return True
+
+
+def orphan_reserve(tracker, request):
+    tracker.reserve(request)
+    return tracker.reserved_bytes

@@ -1,0 +1,30 @@
+"""Known-good for SIM004: locally paired, finally-guarded, or class-managed."""
+
+
+class Engine:
+    # Class-managed ownership: admit() acquires, retire() releases; the
+    # runtime sanitizer owns cross-method conservation.
+    def admit(self, tracker, request):
+        tracker.occupy(request)
+        self.running.append(request)
+
+    def retire(self, tracker, request):
+        self.running.remove(request)
+        tracker.release(request)
+
+
+def paired(tracker, request):
+    tracker.occupy(request)
+    if request.tokens > 8:
+        tracker.release(request)
+        return False
+    tracker.release(request)
+    return True
+
+
+def finally_guarded(tracker, request):
+    tracker.occupy(request)
+    try:
+        return request.tokens
+    finally:
+        tracker.release(request)

@@ -1,0 +1,11 @@
+"""Known-bad for SIM005: exact equality between simulated times."""
+
+
+def is_same_step(sim, deadline):
+    if sim.now == deadline:
+        return True
+    return sim.now != deadline
+
+
+def compare(finish_time, start_time):
+    return finish_time == start_time

@@ -1,0 +1,9 @@
+"""Known-good for SIM005: orderings and tolerances instead of equality."""
+
+
+def is_same_step(sim, deadline, eps=1e-9):
+    return abs(sim.now - deadline) <= eps
+
+
+def before(finish_time, start_time):
+    return finish_time < start_time

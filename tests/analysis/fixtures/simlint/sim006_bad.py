@@ -1,0 +1,8 @@
+"""Known-bad for SIM006: getattr-probing declared interface attributes."""
+
+
+def drain(step_time):
+    flush = getattr(step_time, "flush", None)
+    if flush is not None:
+        flush()
+    return getattr(step_time, "gpu", "A100")

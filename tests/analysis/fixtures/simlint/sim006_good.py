@@ -1,0 +1,11 @@
+"""Known-good for SIM006: the interface declares these; use them directly."""
+
+
+def drain(step_time):
+    step_time.flush()
+    return step_time.gpu
+
+
+def unrelated_probe(obj):
+    # Probing for attributes outside the declared interface list is fine.
+    return getattr(obj, "debug_hook", None)

@@ -1,0 +1,276 @@
+"""Runtime sanitizer: each invariant fires on a deliberately broken toy
+process, BudgetTracker error paths raise structured errors, and the
+enable plumbing (flag, env var) behaves."""
+
+import dataclasses
+import heapq
+
+import pytest
+
+from repro.analysis.sanitizer import SANITIZE_ENV, SanitizerError
+from repro.errors import SchedulingError, SimulationError
+from repro.serving import CapacityBudget, ContinuousBatching, Node
+from repro.serving.budget import BudgetTracker
+from repro.serving.cluster import ClusterScheduler, check_report_conservation
+from repro.serving.request import RequestClass, ServingRequest
+from repro.serving.steptime import AnalyticStepTime
+from repro.sim.engine import Simulator
+
+TOY = RequestClass("Toy", input_tokens=8, output_tokens=4)
+
+
+def make_request(request_id: int = 0) -> ServingRequest:
+    return ServingRequest(request_id=request_id, request_class=TOY)
+
+
+def make_tracker(tiny_mha, sanitize: bool = True) -> BudgetTracker:
+    return BudgetTracker(
+        budget=CapacityBudget(1e9, "toy budget"), model=tiny_mha, sanitize=sanitize
+    )
+
+
+class TestEnablePlumbing:
+    def test_off_by_default_without_env(self, monkeypatch):
+        monkeypatch.delenv(SANITIZE_ENV, raising=False)
+        assert Simulator().sanitizer is None
+        assert Simulator(sanitize=False).sanitizer is None
+        assert Simulator(sanitize=True).sanitizer is not None
+
+    def test_env_enables_default(self, monkeypatch):
+        monkeypatch.setenv(SANITIZE_ENV, "1")
+        assert Simulator().sanitizer is not None
+        # Explicit flag still beats the environment.
+        assert Simulator(sanitize=False).sanitizer is None
+
+    @pytest.mark.parametrize("value", ["0", "", "off", "no"])
+    def test_falsy_env_values(self, monkeypatch, value):
+        monkeypatch.setenv(SANITIZE_ENV, value)
+        assert Simulator().sanitizer is None
+
+
+class TestEngineInvariants:
+    def test_non_finite_delay_rejected(self):
+        sim = Simulator(sanitize=True)
+        with pytest.raises(SanitizerError, match="finite-delay"):
+            sim.schedule(float("nan"), lambda: None)
+        with pytest.raises(SanitizerError, match="finite-delay"):
+            sim.timeout(float("inf"))  # simlint: disable=SIM003
+
+    def test_heap_monotonicity_exact(self):
+        """A past timestamp within the engine's 1e-12 slack still fails."""
+        sim = Simulator(sanitize=True)
+        sim.timeout(1.0)  # simlint: disable=SIM003
+        sim.run()
+        assert sim.now == 1.0
+        heapq.heappush(sim._heap, (1.0 - 1e-13, 10_000, lambda: None))
+        with pytest.raises(SanitizerError, match="heap-monotonicity"):
+            sim.run()
+
+    def test_gross_past_time_still_engine_error(self):
+        sim = Simulator(sanitize=True)
+        sim.timeout(1.0)  # simlint: disable=SIM003
+        sim.run()
+        heapq.heappush(sim._heap, (0.5, 10_000, lambda: None))
+        with pytest.raises(SimulationError, match="past"):
+            sim.run()
+
+    def test_callback_drain(self):
+        sim = Simulator(sanitize=True)
+        event = sim.event("rearmer")
+
+        def rearm(_event):
+            # Deliberately corrupt delivery: re-arm a waiter mid-trigger.
+            event._callbacks = [lambda e: None]
+
+        event.add_callback(rearm)
+        with pytest.raises(SanitizerError, match="callback-drain"):
+            event.succeed()
+
+    def test_lost_wakeup_detected_on_drain(self):
+        sim = Simulator(sanitize=True)
+        never = sim.event("never-fires")
+        never.add_callback(lambda e: None)
+        sim.timeout(1.0)  # simlint: disable=SIM003
+        with pytest.raises(SanitizerError, match="never-fires") as excinfo:
+            sim.run()
+        assert excinfo.value.invariant == "lost-wakeup"
+
+    def test_lost_wakeup_names_the_event(self):
+        sim = Simulator(sanitize=True)
+        orphan = sim.event("orphan-event")
+        orphan.add_callback(lambda e: None)
+        try:
+            sim.run()
+        except SanitizerError as exc:
+            assert exc.invariant == "lost-wakeup"
+            assert "orphan-event" in str(exc)
+        else:  # pragma: no cover - the check must fire
+            pytest.fail("lost wakeup not detected")
+
+    def test_fired_waiters_are_not_lost_wakeups(self):
+        sim = Simulator(sanitize=True)
+        seen = []
+        done = sim.timeout(2.0, value="ok")
+        done.add_callback(lambda e: seen.append(e.value))
+        sim.run()
+        assert seen == ["ok"]
+        sim.sanitize_check_drained()  # explicit drain-boundary check is clean
+
+    def test_pending_heap_work_is_not_a_lost_wakeup(self):
+        """Waiters with live heap entries are pending, not lost."""
+        sim = Simulator(sanitize=True)
+        done = sim.timeout(5.0)
+        done.add_callback(lambda e: None)
+        sim.run(until=1.0)
+        sim.sanitize_check_drained()  # timeout still pending: no error
+
+    def test_sanitized_process_drain_is_clean(self):
+        sim = Simulator(sanitize=True)
+        log = []
+
+        def worker_process():
+            yield sim.timeout(1.0)
+            log.append(sim.now)
+            yield sim.timeout(2.0)
+            log.append(sim.now)
+
+        sim.process(worker_process())
+        sim.run()
+        assert log == [1.0, 3.0]
+
+
+class TestBudgetTrackerErrorPaths:
+    def test_release_without_reservation(self, tiny_mha):
+        tracker = make_tracker(tiny_mha)
+        with pytest.raises(SchedulingError, match="released without"):
+            tracker.release(make_request())
+
+    def test_double_release(self, tiny_mha):
+        tracker = make_tracker(tiny_mha)
+        request = make_request()
+        tracker.occupy(request)
+        tracker.release(request)
+        with pytest.raises(SchedulingError, match="released without"):
+            tracker.release(request)
+
+    def test_double_reservation(self, tiny_mha):
+        tracker = make_tracker(tiny_mha)
+        request = make_request()
+        tracker.occupy(request)
+        with pytest.raises(SchedulingError, match="reserved twice"):
+            tracker.reserve(request)
+
+    def test_update_without_reservation(self, tiny_mha):
+        tracker = make_tracker(tiny_mha)
+        with pytest.raises(SchedulingError, match="updated without"):
+            tracker.update(make_request())
+
+    def test_negative_occupancy_fires_sanitizer(self, tiny_mha):
+        tracker = make_tracker(tiny_mha)
+        request = make_request(7)
+        tracker.occupy(request)
+        # Corrupt the ledger so the release withdraws more than was put in.
+        tracker._held[7] += 1e8
+        with pytest.raises(SanitizerError, match="negative") as excinfo:
+            tracker.release(request)
+        assert excinfo.value.invariant == "budget-conservation"
+        assert excinfo.value.request_id == 7
+
+    def test_negative_occupancy_silent_when_off(self, tiny_mha):
+        tracker = make_tracker(tiny_mha, sanitize=False)
+        request = make_request(7)
+        tracker.occupy(request)
+        tracker._held[7] += 1e8
+        tracker.release(request)  # unchecked: legacy behaviour preserved
+        assert tracker.reserved_bytes < 0
+
+    def test_assert_drained_reports_leaked_requests(self, tiny_mha):
+        tracker = make_tracker(tiny_mha)
+        tracker.occupy(make_request(3))
+        with pytest.raises(SanitizerError, match="never released.*3") as excinfo:
+            tracker.assert_drained(context="node 'n0'")
+        assert excinfo.value.request_id == 3
+        assert "n0" in str(excinfo.value)
+
+    def test_assert_drained_reports_residue(self, tiny_mha):
+        tracker = make_tracker(tiny_mha)
+        tracker.reserved_bytes = 128.0  # residue with an empty ledger
+        with pytest.raises(SanitizerError, match="residue"):
+            tracker.assert_drained()
+
+    def test_assert_drained_clean_after_balanced_ledger(self, tiny_mha):
+        tracker = make_tracker(tiny_mha)
+        request = make_request()
+        tracker.occupy(request)
+        tracker.update(request)
+        tracker.release(request)
+        tracker.assert_drained()
+
+
+class TestReportConservation:
+    @pytest.fixture
+    def fleet_report(self, tiny_mha):
+        from repro.core.config import HilosConfig
+        from repro.core.runtime import HilosSystem
+
+        system = HilosSystem(tiny_mha, HilosConfig(n_devices=2))
+        nodes = [
+            Node(
+                system,
+                step_time=AnalyticStepTime(
+                    base_seconds=1.0,
+                    per_token_seconds=1e-4,
+                    prefill_per_token_seconds=1e-3,
+                ),
+                name=f"node{i}",
+            )
+            for i in range(2)
+        ]
+        return ClusterScheduler(nodes, ContinuousBatching(4)).drain([TOY] * 6)
+
+    def test_real_fleet_report_conserves(self, fleet_report):
+        check_report_conservation(fleet_report)
+
+    def test_forged_token_total_detected(self, fleet_report):
+        forged = dataclasses.replace(
+            fleet_report, generated_tokens=fleet_report.generated_tokens + 1
+        )
+        with pytest.raises(SanitizerError, match="token-conservation"):
+            check_report_conservation(forged, sim_time=12.5)
+
+    def test_forged_request_count_detected(self, fleet_report):
+        forged = dataclasses.replace(fleet_report, completed=fleet_report.completed - 1)
+        with pytest.raises(SanitizerError, match="token-conservation"):
+            check_report_conservation(forged)
+
+    def test_single_node_report_without_breakdowns_is_skipped(self, fleet_report):
+        bare = dataclasses.replace(fleet_report, node_reports=[])
+        check_report_conservation(bare)  # nothing to cross-check
+
+
+class TestSanitizedServingDrain:
+    def test_fleet_drain_runs_clean_with_sanitizer(self, tiny_mha, monkeypatch):
+        monkeypatch.setenv(SANITIZE_ENV, "1")
+        from repro.core.config import HilosConfig
+        from repro.core.runtime import HilosSystem
+        from repro.serving import LeastOutstandingTokens, PoissonArrivals
+
+        system = HilosSystem(tiny_mha, HilosConfig(n_devices=2))
+        nodes = [
+            Node(
+                system,
+                step_time=AnalyticStepTime(
+                    base_seconds=1.0,
+                    per_token_seconds=1e-4,
+                    prefill_per_token_seconds=1e-3,
+                ),
+                name=f"node{i}",
+            )
+            for i in range(3)
+        ]
+        report = ClusterScheduler(
+            nodes,
+            ContinuousBatching(4, admission="optimistic"),
+            router=LeastOutstandingTokens(),
+        ).drain([TOY] * 12, arrivals=PoissonArrivals(0.5, seed=3))
+        assert report.all_completed

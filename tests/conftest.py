@@ -8,12 +8,25 @@ import tempfile
 import numpy as np
 import pytest
 
+from repro.analysis.sanitizer import SANITIZE_ENV
 from repro.models.registry import tiny_model
 from repro.sim.engine import Simulator
 
 # Hermetic calibration store: no test may read from or write to the user's
 # real cache directory, regardless of the environment it runs in.
 os.environ["REPRO_CALIBRATION_DIR"] = tempfile.mkdtemp(prefix="repro-test-calib-")
+
+
+@pytest.fixture(autouse=True)
+def _sanitized_simulations(monkeypatch):
+    """Run the whole suite with the runtime sanitizer on.
+
+    Setting ``REPRO_SIM_SANITIZE=0`` in the environment stays an escape
+    hatch for timing unsanitized behaviour; the benchmark suite forces the
+    sanitizer off in its own conftest so the gates time the real hot path.
+    """
+    if os.environ.get(SANITIZE_ENV) is None:
+        monkeypatch.setenv(SANITIZE_ENV, "1")
 
 
 @pytest.fixture

@@ -1,0 +1,77 @@
+"""Fleet-drain determinism: the same seeded workload drained twice in one
+process must produce byte-identical reports.
+
+This is the regression net under SIM002 (the static determinism-hazard
+rule) and the sanitizer: any set-ordered container, shared global RNG, or
+id()-keyed tiebreak sneaking into the serving stack shows up here as a
+diff between two drains that should be indistinguishable."""
+
+import dataclasses
+import json
+
+from repro.core.config import HilosConfig
+from repro.core.runtime import HilosSystem
+from repro.serving import (
+    AnalyticStepTime,
+    ClusterScheduler,
+    ContinuousBatching,
+    LeastOutstandingTokens,
+    Node,
+    PoissonArrivals,
+)
+from repro.workloads import sample_request_classes
+
+N_NODES = 4
+N_REQUESTS = 48
+SEED = 23
+
+
+def drain_once(tiny_mha):
+    system = HilosSystem(tiny_mha, HilosConfig(n_devices=2))
+    nodes = [
+        Node(
+            system,
+            step_time=AnalyticStepTime(
+                base_seconds=1.0,
+                per_token_seconds=1e-4,
+                prefill_per_token_seconds=1e-3,
+            ),
+            name=f"node{i}",
+        )
+        for i in range(N_NODES)
+    ]
+    return ClusterScheduler(
+        nodes,
+        ContinuousBatching(4, admission="optimistic"),
+        router=LeastOutstandingTokens(),
+    ).drain(
+        sample_request_classes(N_REQUESTS, seed=SEED),
+        arrivals=PoissonArrivals(rate_per_second=0.5, seed=SEED),
+    )
+
+
+def report_bytes(report) -> bytes:
+    """Canonical JSON encoding of the full report, breakdowns included."""
+    payload = dataclasses.asdict(report)
+    return json.dumps(payload, sort_keys=True).encode()
+
+
+def test_double_drain_is_byte_identical(tiny_mha):
+    first = drain_once(tiny_mha)
+    second = drain_once(tiny_mha)
+    assert first.all_completed
+    # The JSON round-trip flattens every nested dataclass -- per-request
+    # timelines and per-node breakdowns included -- so any nondeterminism
+    # anywhere in the drain shows up as a byte diff here.
+    assert report_bytes(first) == report_bytes(second)
+
+
+def test_node_breakdowns_survive_round_trip(tiny_mha):
+    report = drain_once(tiny_mha)
+    decoded = json.loads(report_bytes(report))
+    assert [n["node"] for n in decoded["node_reports"]] == [
+        f"node{i}" for i in range(N_NODES)
+    ]
+    assert sum(n["generated_tokens"] for n in decoded["node_reports"]) == (
+        decoded["generated_tokens"]
+    )

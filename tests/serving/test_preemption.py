@@ -134,7 +134,7 @@ class TestPreemptionRoundTrip:
             Simulator(),
         )
         request = make_request_queue([GROWTHY])[0]
-        engine.tracker.occupy(request)
+        engine.tracker.occupy(request)  # simlint: disable=SIM004
         engine.prefilling.append(request)
         engine._advance_prefill(optimistic=True)
         assert engine.running == [request]
@@ -226,7 +226,7 @@ class TestOverflowResolution:
             Simulator(),
         )
         for admitted_at, request in enumerate(queue):
-            engine.tracker.occupy(request)
+            engine.tracker.occupy(request)  # simlint: disable=SIM004
             request.admitted_time = float(admitted_at)
             request.last_admitted_time = float(admitted_at)
         return engine, queue
