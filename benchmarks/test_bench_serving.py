@@ -235,3 +235,94 @@ def test_serving_cluster_warm(benchmark, tmp_path):
     result = benchmark.pedantic(_cluster_drain, setup=setup, rounds=3, iterations=1)
     _assert_cluster_shape(result)
     assert result[1].measurement_count == 0
+
+
+#: The fault benchmark's spot preemption: node1 dies mid-drain and comes
+#: back after a provisioning delay, so migration + recovery are both timed.
+FAULT_KILL_SECONDS = 200.0
+FAULT_RECOVERY_SECONDS = 120.0
+
+
+def _faults_drain(store):
+    """Fault-injected fleet drain: the ``serving-faults`` gate.  The
+    ``serving-cluster`` scenario with one spot preemption -- node1 dies at
+    t=200s, its requests migrate recompute-on-migrate, and it rejoins the
+    fleet 120s later -- so the eviction, re-routing, and recovery paths are
+    all on the timed path."""
+    from repro.models import get_model
+    from repro.serving import (
+        ClusterScheduler,
+        ContinuousBatching,
+        FaultSchedule,
+        LeastOutstandingTokens,
+        NodeFault,
+        PoissonArrivals,
+    )
+    from repro.serving.cluster import build_fleet
+    from repro.workloads import sample_request_classes
+
+    model = get_model(serving_throughput.MODEL)
+    fleet = build_fleet(
+        model, ["HILOS (8 SmartSSDs)"] * CLUSTER_NODES, store=store
+    )
+    scheduler = ClusterScheduler(
+        fleet,
+        ContinuousBatching(serving_throughput.BATCH_SLOTS),
+        router=LeastOutstandingTokens(),
+        faults=FaultSchedule(
+            faults=(
+                NodeFault(
+                    kind="spot",
+                    time=FAULT_KILL_SECONDS,
+                    node=1,
+                    recovery_seconds=FAULT_RECOVERY_SECONDS,
+                ),
+            )
+        ),
+    )
+    report = scheduler.drain(
+        sample_request_classes(CLUSTER_REQUESTS, seed=CLUSTER_SEED),
+        arrivals=PoissonArrivals(rate_per_second=0.1, seed=CLUSTER_SEED),
+    )
+    step_time = fleet[0].step_time
+    step_time.flush()
+    return report, step_time
+
+
+def _assert_faults_shape(result):
+    report, _ = result
+    assert report.all_completed
+    assert report.migrations > 0, "the gate must exercise the migration path"
+    assert report.node_reports[1].downtime_seconds == FAULT_RECOVERY_SECONDS
+    assert sum(n.migrations for n in report.node_reports) == report.migrations
+    assert report.tokens_per_second_per_usd > 0
+
+
+def test_serving_faults_cold(benchmark, tmp_path):
+    """Cold fault-injected drain: the shared grid is measured in-run."""
+    state = {"round": 0}
+
+    def setup():
+        state["round"] += 1
+        clear_memory_layer()
+        return (CalibrationStore(tmp_path / f"fcold{state['round']}"),), {}
+
+    result = benchmark.pedantic(_faults_drain, setup=setup, rounds=3, iterations=1)
+    _assert_faults_shape(result)
+    assert result[1].measurement_count > 0
+
+
+def test_serving_faults_warm(benchmark, tmp_path):
+    """Warm fault-injected drain: the store holds the grid, zero
+    measurements -- the fault machinery itself is what's being timed."""
+    store_dir = tmp_path / "fwarm"
+    clear_memory_layer()
+    _faults_drain(CalibrationStore(store_dir))
+
+    def setup():
+        clear_memory_layer()
+        return (CalibrationStore(store_dir),), {}
+
+    result = benchmark.pedantic(_faults_drain, setup=setup, rounds=3, iterations=1)
+    _assert_faults_shape(result)
+    assert result[1].measurement_count == 0

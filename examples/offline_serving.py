@@ -17,6 +17,11 @@ a :class:`~repro.serving.cluster.ClusterScheduler`, comparing round-robin
 against join-shortest-queue placement: one queue, four simulated hosts,
 fleet tokens/s/$ and a per-node breakdown.
 
+Act four preempts a spot node mid-drain: the fleet drains the same
+stream while one node dies and recovers, its requests migrate
+recompute-on-migrate, and reserve vs optimistic admission shows how the
+recompute bill and the uptime-only cost discount interact.
+
 Run with::
 
     python examples/offline_serving.py
@@ -32,8 +37,10 @@ from repro.serving import (
     CapacityBudget,
     ClusterScheduler,
     ContinuousBatching,
+    FaultSchedule,
     LeastOutstandingTokens,
     Node,
+    NodeFault,
     OfflineServingScheduler,
     PoissonArrivals,
     RoundRobin,
@@ -93,6 +100,7 @@ def main() -> None:
 
     online_act(model, queue)
     fleet_act(model, queue)
+    fault_act(model, queue)
 
 
 def online_act(model, queue) -> None:
@@ -180,6 +188,61 @@ def fleet_act(model, queue) -> None:
           if jsq.p95_latency_seconds <= rr.p95_latency_seconds
           else "round-robin edged out jsq on this seed -- load was even enough "
           "that routing overhead dominated")
+
+
+def fault_act(model, queue) -> None:
+    """Spot preemption mid-drain: one node of four dies and recovers,
+    reserve vs optimistic admission under node loss."""
+    n_nodes = 4
+    arrivals = PoissonArrivals(rate_per_second=0.1, seed=SEED)
+    system = HilosSystem(model, HilosConfig(n_devices=8))
+    step_time = CalibratedStepTime(system)
+    # One deterministic spot kill: node1 is preempted a few minutes into
+    # the drain and comes back after a 10-minute provisioning delay.
+    faults = FaultSchedule(
+        faults=(NodeFault(kind="spot", time=300.0, node=1, recovery_seconds=600.0),)
+    )
+    # Tighten each node's KV budget (as in the online act) so the surge of
+    # migrated work onto the three survivors actually stresses admission.
+    one_long = model.kv_cache_bytes(1, LONG.total_tokens)
+    budget = CapacityBudget(one_long * 6.0, "six long slots (demo)")
+
+    print(f"\n{n_nodes}-node fleet again, but node1 is spot-preempted at "
+          "t=300s and recovers 600s later (requests migrate, emitted "
+          "tokens survive, dropped context recomputes elsewhere):")
+    print(f"{'admission':14s} {'tok/s':>8s} {'migrated':>9s} "
+          f"{'recompute tok':>14s} {'preempt':>8s} {'downtime':>9s} "
+          f"{'fleet tok/s/$':>14s}")
+    results = {}
+    for admission in ("reserve", "optimistic"):
+        nodes = [
+            Node(system, step_time=step_time, budget=budget, name=f"node{i}")
+            for i in range(n_nodes)
+        ]
+        fleet = ClusterScheduler(
+            nodes,
+            ContinuousBatching(BATCH_SLOTS, admission=admission),
+            router=LeastOutstandingTokens(),
+            faults=faults,
+        )
+        report = fleet.drain(list(queue), arrivals=arrivals)
+        results[admission] = report
+        print(
+            f"{admission:14s} {report.tokens_per_second:8.3f} "
+            f"{report.migrations:9d} {report.migrated_recompute_tokens:14d} "
+            f"{report.preemptions:8d} {report.downtime_seconds:8.0f}s "
+            f"{report.tokens_per_second_per_usd:14.2e}"
+        )
+        assert report.all_completed
+        assert report.node_reports[1].downtime_seconds > 0
+    # The dead node is billed only for its uptime, so the fleet cost
+    # drops; the price is the recomputed prefill work and a longer tail.
+    for admission, report in results.items():
+        dead = report.node_reports[1]
+        print(f"  {admission}: node1 was down {dead.downtime_seconds:.0f}s of a "
+              f"{report.makespan_seconds:.0f}s drain and is billed "
+              f"{dead.cost_usd / report.node_reports[0].cost_usd:.0%} of a "
+              "full node")
 
 
 if __name__ == "__main__":

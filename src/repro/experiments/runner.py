@@ -10,6 +10,8 @@ Usage::
         --admission optimistic --prefill-chunk 512
     python -m repro.experiments.runner serving --nodes 4 --router jsq \
         --arrival poisson:0.1
+    python -m repro.experiments.runner serving --nodes 4 --router jsq \
+        --arrival poisson:0.1 --faults spot:900:60
     python -m repro.experiments.runner --prewarm --jobs 8
     python -m repro.experiments.runner fig10 --symmetry full
 

@@ -17,10 +17,12 @@ Scenario knobs go beyond the offline drain: ``--arrival`` feeds the queue
 through a Poisson / fixed-rate / trace-replay arrival process,
 ``--admission optimistic`` switches continuous batching to optimistic
 admission with recompute-on-readmit preemption, ``--prefill-chunk``
-interleaves chunked prefill with running decodes, and ``--nodes N
+interleaves chunked prefill with running decodes, ``--nodes N
 --router rr|jsq|bestfit`` shards the queue across an N-node fleet of each
 system (one cluster drain per policy, with fleet tokens/s/$ and a
-per-node breakdown table).
+per-node breakdown table), and ``--faults SPEC`` injects seeded node
+failures (spot preemption / crash / slowdown) into the drain, with
+per-node migration and downtime accounting in the breakdown.
 """
 
 from __future__ import annotations
@@ -34,6 +36,7 @@ from repro.experiments.harness import Table
 from repro.models import get_model
 from repro.serving import TraceReplay, default_policies, drain_queue, parse_arrival_spec
 from repro.serving.cluster import ClusterScheduler, build_fleet
+from repro.serving.faults import parse_fault_spec
 from repro.serving.policies import ADMISSION_MODES
 from repro.serving.routers import ROUTER_SPECS, parse_router_spec
 from repro.serving.steptime import (
@@ -76,6 +79,7 @@ def run(
     prefill_chunk: int | None = None,
     nodes: int = 1,
     router: str = "rr",
+    faults: str | None = None,
 ) -> list[Table]:
     """Drain one seeded queue through every (system, policy) pair.
 
@@ -94,13 +98,19 @@ def run(
     placement policy (``rr`` | ``jsq`` | ``bestfit``); the report table
     then carries fleet-level tokens/s and tokens/s/$ and a third table
     breaks each drain down per node.  ``nodes=1`` is the unchanged legacy
-    single-host sweep.
+    single-host sweep.  ``faults`` is a fault spec
+    (``spot:MTBF:RECOVERY[:SEED]``, ``crash:TIME:NODE``,
+    ``slow:TIME:DURATION:FACTOR:NODE``, comma-separated); any fault
+    schedule routes the drain through the cluster path (even one node)
+    and the per-node table reports migrations and downtime.
     """
     if nodes < 1:
         raise ConfigurationError("a serving sweep needs at least one node")
     systems = systems or (FAST_SYSTEMS if fast else FULL_SYSTEMS)
     n_requests = n_requests or (FAST_REQUESTS if fast else FULL_REQUESTS)
     store = resolve_store(store, use_store)
+    fault_schedule = parse_fault_spec(faults, seed=seed)
+    fleet_mode = nodes > 1 or fault_schedule is not None
     arrivals = parse_arrival_spec(arrival, seed=seed)
     if isinstance(arrivals, TraceReplay) and arrivals.classes is not None:
         # A fully-specified trace (classes on every line) *is* the
@@ -119,6 +129,8 @@ def run(
     model = get_model(MODEL)
     scenario = "offline (all at t=0)" if arrivals is None else arrival
     fleet_suffix = f", {nodes}-node fleets via {router}" if nodes > 1 else ""
+    if fault_schedule is not None:
+        fleet_suffix += f", faults: {faults}"
     table = Table(
         title=f"Serving throughput ({MODEL}, {n_requests} mixed requests, "
         f"arrivals: {scenario}{fleet_suffix})",
@@ -173,16 +185,19 @@ def run(
                 "preemptions",
                 "wasted_prefill",
                 "peak_kv_gb",
+                "migrations",
+                "downtime_s",
             ],
             notes="per-node tokens/s are over the fleet makespan and sum to "
-            "the fleet rate",
+            "the fleet rate; migrations/downtime are zero on fault-free "
+            "drains (see --faults)",
         )
-        if nodes > 1
+        if fleet_mode
         else None
     )
     clamped_any = False
     for label in systems:
-        if nodes > 1:
+        if fleet_mode:
             fleet = build_fleet(
                 model,
                 [label] * nodes,
@@ -196,7 +211,10 @@ def run(
             prewarmed = step_time.prewarm()
             reports = [
                 ClusterScheduler(
-                    fleet, policy, router=parse_router_spec(router)
+                    fleet,
+                    policy,
+                    router=parse_router_spec(router),
+                    faults=fault_schedule,
                 ).drain(list(queue), arrivals=arrivals)
                 for policy in default_policies(BATCH_SLOTS, admission=admission)
             ]
@@ -221,7 +239,7 @@ def run(
             )
         for report in reports:
             table.add_row(
-                report.system if nodes > 1 else label,
+                report.system if fleet_mode else label,
                 report.policy,
                 report.completed,
                 report.tokens_per_second,
@@ -233,7 +251,7 @@ def run(
                 report.tokens_per_second_per_usd,
             )
             clamped_any = clamped_any or bool(report.step_time_notes)
-            if nodes > 1:
+            if fleet_mode:
                 for breakdown in report.node_reports:
                     per_node.add_row(
                         report.system,
@@ -245,6 +263,8 @@ def run(
                         breakdown.preemptions,
                         breakdown.wasted_prefill_tokens,
                         breakdown.peak_kv_reserved_bytes / 1e9,
+                        breakdown.migrations,
+                        breakdown.downtime_seconds,
                     )
         calibration.add_row(
             label,
@@ -260,7 +280,7 @@ def run(
             "clamped to its edge -- consider --batch-grid/--seq-grid"
         )
     tables = [table, calibration]
-    if nodes > 1:
+    if fleet_mode:
         tables.append(per_node)
     return tables
 
@@ -318,6 +338,14 @@ def add_serving_cli(parser: argparse.ArgumentParser) -> None:
         "shortest queue by outstanding tokens), bestfit (KV-headroom "
         "best fit); only meaningful with --nodes > 1",
     )
+    parser.add_argument(
+        "--faults", type=str, default=None, metavar="SPEC",
+        help="fault injection: comma-separated spot:MTBF:RECOVERY[:SEED] "
+        "(seeded spot-preemption streams), crash:TIME:NODE (permanent "
+        "death), slow:TIME:DURATION:FACTOR:NODE (transient slowdown); "
+        "dead nodes migrate their requests recompute-on-migrate and the "
+        "per-node table reports migrations and downtime (default: none)",
+    )
 
 
 def serving_kwargs(parser: argparse.ArgumentParser, args: argparse.Namespace) -> dict:
@@ -352,6 +380,14 @@ def serving_kwargs(parser: argparse.ArgumentParser, args: argparse.Namespace) ->
         if getattr(args, "nodes", None) in (None, 1):
             parser.error("--router requires --nodes > 1 (a fleet to route over)")
         kwargs["router"] = args.router
+    if getattr(args, "faults", None) is not None:
+        try:
+            schedule = parse_fault_spec(args.faults)
+            if schedule is not None:
+                schedule.validate_for(getattr(args, "nodes", None) or 1)
+        except ConfigurationError as exc:
+            parser.error(str(exc))
+        kwargs["faults"] = args.faults
     return kwargs
 
 

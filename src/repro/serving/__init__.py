@@ -17,7 +17,12 @@ shared discrete-event simulation, with a pluggable
 :class:`~repro.serving.routers.Router` (round-robin, join-shortest-queue,
 KV-headroom best fit) placing each request at its arrival time.  A 1-node
 cluster reproduces the single-host :class:`OfflineServingScheduler`
-schedule bit for bit.
+schedule bit for bit.  Fleets can drain under fault injection
+(:mod:`repro.serving.faults`): seeded spot preemptions, permanent
+crashes, and transient slowdowns take nodes down mid-drain, in-flight
+requests migrate recompute-on-migrate, and the report prices downtime --
+``ClusterScheduler(nodes, policy, router=..., faults=parse_fault_spec(
+"spot:900:60"))``.
 
 Single host::
 
@@ -79,6 +84,12 @@ from repro.serving.budget import (
 )
 from repro.serving.cluster import ClusterScheduler, as_request_queue, build_fleet
 from repro.serving.engine import Node, NodeEngine
+from repro.serving.faults import (
+    FaultSchedule,
+    NodeFault,
+    SpotPreemptions,
+    parse_fault_spec,
+)
 from repro.serving.metrics import (
     NodeBreakdown,
     ServingReport,
@@ -118,12 +129,14 @@ __all__ = [
     "ClusterScheduler",
     "ContinuousBatching",
     "FCFSFixedBatch",
+    "FaultSchedule",
     "FixedRateArrivals",
     "LeastOutstandingTokens",
     "LengthBucketedBatch",
     "Node",
     "NodeBreakdown",
     "NodeEngine",
+    "NodeFault",
     "OfflineServingScheduler",
     "PoissonArrivals",
     "RoundRobin",
@@ -131,6 +144,7 @@ __all__ = [
     "SchedulingPolicy",
     "ServingReport",
     "ServingRequest",
+    "SpotPreemptions",
     "StepTimeModel",
     "TraceReplay",
     "as_request_queue",
@@ -140,6 +154,7 @@ __all__ = [
     "drain_queue",
     "make_request_queue",
     "parse_arrival_spec",
+    "parse_fault_spec",
     "parse_router_spec",
     "percentile",
     "system_cost_model",

@@ -98,7 +98,12 @@ class BudgetTracker:
     every ledger movement is conservation-checked: occupied bytes may
     never go negative, and :meth:`assert_drained` verifies the ledger is
     empty -- every reservation released, residue within float tolerance --
-    at drain end.
+    at drain end.  Sanitized trackers also stamp each admitted request's
+    :attr:`~repro.serving.request.ServingRequest.kv_holder` with ``owner``
+    (the node name, for per-node trackers) so a migrated request admitted
+    elsewhere before the dead node released its bytes is caught as a
+    ``migration-kv-release`` violation instead of silently double-counting
+    KV across the fleet.
     """
 
     budget: CapacityBudget
@@ -107,6 +112,9 @@ class BudgetTracker:
     peak_reserved_bytes: float = 0.0
     _held: dict[int, float] = field(default_factory=dict)
     sanitize: bool = False
+    #: Display name of the ledger's owner (node name in cluster drains);
+    #: used only for kv-holder provenance and error messages.
+    owner: str = ""
 
     def _conservation_tolerance(self) -> float:
         """Float-accumulation slack: ledger adds/removes large byte figures."""
@@ -135,6 +143,18 @@ class BudgetTracker:
             )
         if request.request_id in self._held:
             raise SchedulingError(f"request {request.request_id} reserved twice")
+        if self.sanitize:
+            if request.kv_holder is not None:
+                raise SanitizerError(
+                    f"request {request.request_id} admitted on "
+                    f"{self.owner or self.budget.description!r} while its KV "
+                    f"bytes are still held on {request.kv_holder!r}; a "
+                    "migration must release the dead node's ledger before "
+                    "re-admission",
+                    invariant="migration-kv-release",
+                    request_id=request.request_id,
+                )
+            request.kv_holder = self.owner or self.budget.description
         self._held[request.request_id] = need
         self.reserved_bytes += need
         self.peak_reserved_bytes = max(self.peak_reserved_bytes, self.reserved_bytes)
@@ -186,6 +206,7 @@ class BudgetTracker:
             ) from None
         self.reserved_bytes -= need
         if self.sanitize:
+            request.kv_holder = None
             self._check_occupancy(request.request_id)
 
     # --- sanitizer invariants ---------------------------------------------------

@@ -23,6 +23,16 @@ ties exactly with a node's iteration boundary, heap order -- deterministic
 but not legacy-defined -- decides whether the request joins that boundary
 or the next.  Only the 1-node preloaded path carries the bit-identity
 guarantee, which is why it exists as a distinct fast path.)
+
+**Fault injection.** ``ClusterScheduler(..., faults=FaultSchedule(...))``
+runs the drain under a seeded fault schedule (:mod:`repro.serving.faults`):
+nodes die and recover mid-drain, their requests migrate
+recompute-on-migrate through the router (bounded retry), a fully-down
+fleet parks arrivals until a recovery, and an unrecoverable fleet raises
+a structured :class:`~repro.errors.SchedulingError` naming the stranded
+requests.  :func:`check_report_conservation` extends to migration and
+downtime accounting so every request is still accounted by exactly one
+node.
 """
 
 from __future__ import annotations
@@ -34,6 +44,7 @@ from repro.errors import ConfigurationError, SchedulingError
 from repro.models.config import ModelConfig
 from repro.serving.arrivals import ArrivalProcess
 from repro.serving.engine import Node, NodeEngine
+from repro.serving.faults import FaultDriver, FaultSchedule
 from repro.serving.metrics import (
     ServingReport,
     build_fleet_report,
@@ -106,6 +117,26 @@ def check_report_conservation(
                 invariant="token-conservation",
                 sim_time=sim_time,
             )
+    # Conservation across migrations: the fleet totals come from per-request
+    # counters, the node figures from the dying engines' counters; every
+    # migration must be charged to exactly one node death.
+    for field_name in ("migrations", "migrated_recompute_tokens"):
+        node_total = sum(getattr(node, field_name) for node in report.node_reports)
+        if node_total != getattr(report, field_name):
+            raise SanitizerError(
+                f"fleet report counts {getattr(report, field_name)} "
+                f"{field_name} but the node breakdowns sum to {node_total}",
+                invariant="migration-conservation",
+                sim_time=sim_time,
+            )
+    node_downtime = sum(node.downtime_seconds for node in report.node_reports)
+    if abs(node_downtime - report.downtime_seconds) > 1e-6:
+        raise SanitizerError(
+            f"fleet report carries {report.downtime_seconds} downtime "
+            f"seconds but the node breakdowns sum to {node_downtime}",
+            invariant="migration-conservation",
+            sim_time=sim_time,
+        )
 
 
 class ClusterScheduler:
@@ -117,6 +148,13 @@ class ClusterScheduler:
     :data:`DEFAULT_BATCH_SLOTS` slots.  ``router`` picks the placement
     policy (default round-robin).  All nodes must serve the same model --
     one queue means one tokenizer and one KV-per-token arithmetic.
+
+    ``faults`` injects a :class:`~repro.serving.faults.FaultSchedule` into
+    the drain: nodes die (and maybe recover) mid-drain, their requests
+    migrate recompute-on-migrate through the router, and the report grows
+    migration/downtime accounting with uptime-only cost billing.  An empty
+    schedule is normalised to ``None``, so faults-off drains run the exact
+    pre-fault code path (including the 1-node preloaded bit-identity path).
     """
 
     def __init__(
@@ -124,6 +162,7 @@ class ClusterScheduler:
         nodes: Sequence[Node],
         policy: SchedulingPolicy | None = None,
         router: Router | None = None,
+        faults: FaultSchedule | None = None,
     ) -> None:
         self.nodes = list(nodes)
         if not self.nodes:
@@ -144,6 +183,11 @@ class ClusterScheduler:
             )
         self.policy = policy or ContinuousBatching(DEFAULT_BATCH_SLOTS)
         self.router = router or RoundRobin()
+        if faults is not None and not faults.is_empty:
+            faults.validate_for(len(self.nodes))
+            self.faults: FaultSchedule | None = faults
+        else:
+            self.faults = None
 
     # --- the drain -------------------------------------------------------------
 
@@ -174,7 +218,27 @@ class ClusterScheduler:
         }
         ordered = sorted(queue, key=lambda r: (r.arrival_time, r.request_id))
         processes = []
-        if len(engines) == 1:
+        if self.faults is not None:
+            # Fault mode always routes through the dispatcher (even on one
+            # node: a dead node's queue must flow back for re-delivery) and
+            # the driver -- not the dispatcher -- releases the engines once
+            # the last request completes, since migrations can still be in
+            # flight after the arrival stream is exhausted.
+            driver = FaultDriver(
+                sim, engines, self.router, self.faults, total_requests=len(ordered)
+            )
+            for engine in engines:
+                engine.driver = driver
+            processes.append(
+                sim.process(
+                    self._dispatch_faulty(sim, ordered, driver),
+                    name="cluster.route",
+                )
+            )
+            processes.append(
+                sim.process(driver.redispatch(), name="cluster.redispatch")
+            )
+        elif len(engines) == 1:
             # Single node: no routing decision exists.  Preload the whole
             # queue so the engine runs the legacy scheduler loop verbatim
             # (this path carries the bit-identity guarantee).
@@ -188,6 +252,10 @@ class ClusterScheduler:
             sim.process(engine.run(), name=f"{engine.node.name}.drain")
             for engine in engines
         )
+        if self.faults is not None:
+            # Injectors are fire-and-forget: a spot stream's next draw past
+            # the drain's end must not hold the conjunction open.
+            driver.start_injectors()
         if len(processes) == 1:
             sim.run(processes[0])
         else:
@@ -207,10 +275,13 @@ class ClusterScheduler:
                 makespan_seconds=sim.now,
                 peak_kv_reserved_bytes=engine.tracker.peak_reserved_bytes,
                 kv_capacity_bytes=engine.node.budget.kv_capacity_bytes,
+                migrations=engine.migrations,
+                migrated_recompute_tokens=engine.migrated_recompute_tokens,
+                downtime_seconds=engine.downtime_seconds,
             )
             for engine in engines
         )
-        if len(engines) == 1:
+        if len(engines) == 1 and self.faults is None:
             report = build_report(
                 self.nodes[0].system,
                 self.policy.name,
@@ -260,6 +331,19 @@ class ClusterScheduler:
             chosen.enqueue(request)
         for engine in engines:
             engine.finish_arrivals()
+
+    def _dispatch_faulty(self, sim: Simulator, ordered, driver: FaultDriver):
+        """Fault-mode dispatcher: liveness-aware routing via the driver.
+
+        Unlike :meth:`_dispatch`, exhausting the arrival stream does *not*
+        release the engines -- migrated requests may still be bouncing
+        through the redispatcher, so the driver calls ``finish_arrivals``
+        only when the last request actually completes.
+        """
+        for request in ordered:
+            if request.arrival_time > sim.now:
+                yield sim.timeout(request.arrival_time - sim.now)
+            yield from driver.deliver(request)
 
     def _step_time_notes(self, step_times: dict, counters_before: dict) -> dict:
         """Per-drain clamp summaries, merged across the fleet's models.

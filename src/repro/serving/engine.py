@@ -31,6 +31,24 @@ The engine receives work through two channels:
 The engine also exposes the live load views routers place against:
 :attr:`outstanding_tokens` (JSQ) and :attr:`kv_headroom_bytes` /
 :meth:`kv_fits` (KV-aware best fit).
+
+Under fault injection (:mod:`repro.serving.faults`) the engine carries a
+node lifecycle::
+
+    UP --inject_failure--> DRAINING --next round--> DOWN
+                                                      |  (recovery_seconds)
+    UP <------------------- RECOVERING <--------------+
+
+``inject_failure`` marks the node for death; the death lands at the next
+scheduling-round boundary (the in-flight iteration finishes first -- the
+spot "preemption notice" model), where every admitted request is evicted
+recompute-on-migrate, the KV ledger is fully released, and the node's
+whole queue flows back to the cluster's :class:`~repro.serving.faults.FaultDriver`
+for re-routing.  A DOWN node accrues :attr:`downtime_seconds` until it
+recovers (or until the drain ends); ``apply_slowdown`` multiplies step
+times for a window without killing the node.  Fault-free drains never
+touch any of this -- every hook is a single attribute test on the hot
+path, and the no-fault schedule is byte-identical to the pre-fault code.
 """
 
 from __future__ import annotations
@@ -100,6 +118,7 @@ class NodeEngine:
             budget=node.budget,
             model=node.system.model,
             sanitize=sim.sanitizer is not None,
+            owner=node.name,
         )
         #: Requests routed here whose arrival time has not been reached
         #: (preloaded single-node queues only; dispatched requests arrive
@@ -114,6 +133,146 @@ class NodeEngine:
         self._batch_slots = 0
         self._wake = None
         self._arrivals_done = False
+        #: Fault driver of a fault-mode cluster drain (None otherwise).
+        self.driver = None
+        # --- fault-injection lifecycle (inert on fault-free drains) ---
+        self._state = "up"  # up | draining | down | done
+        self._death_pending = False
+        self._pending_recovery_seconds: float | None = None
+        self._will_recover = False
+        self._slow_factor = 1.0
+        self._slow_token = 0
+        self._down_since = 0.0
+        #: Seconds this node spent DOWN during the drain.
+        self.downtime_seconds = 0.0
+        #: Requests this node's deaths pushed back to the dispatcher.
+        self.migrations = 0
+        #: Context tokens this node's deaths dropped (recomputed elsewhere).
+        self.migrated_recompute_tokens = 0
+
+    # --- lifecycle --------------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        """Lifecycle state: ``up``/``draining``/``down``/``recovering``/``done``.
+
+        ``recovering`` is a reporting view of ``down`` with a provisioning
+        timer armed; the loop itself only distinguishes down from up.
+        """
+        if self._state == "down" and self._will_recover:
+            return "recovering"
+        return self._state
+
+    @property
+    def routable(self) -> bool:
+        """Whether the dispatcher may still route new work here."""
+        return self._state == "up" and not self._death_pending
+
+    @property
+    def recovery_pending(self) -> bool:
+        """Whether a dead (or dying) node has a provisioning timer armed."""
+        return self._will_recover
+
+    def inject_failure(self, recovery_seconds: float | None = None) -> bool:
+        """Mark the node for death at its next scheduling-round boundary.
+
+        ``recovery_seconds`` arms a re-provisioning timer (spot
+        preemption); ``None`` is a permanent crash.  Returns ``False``
+        without effect when the node is already dead or dying -- repeated
+        spot draws against a down node are no-ops.
+        """
+        if not self.routable:
+            return False
+        self._death_pending = True
+        self._pending_recovery_seconds = recovery_seconds
+        self._will_recover = recovery_seconds is not None
+        self._state = "draining"
+        self._wake_if_parked()
+        return True
+
+    def apply_slowdown(self, factor: float, duration_seconds: float) -> None:
+        """Multiply step times by ``factor`` for ``duration_seconds``.
+
+        Windows do not compose: a later slowdown replaces the current one,
+        and each window clears only itself (token-guarded), so an expired
+        early window can never cancel a longer later one.
+        """
+        self._slow_factor = factor
+        self._slow_token += 1
+        token = self._slow_token
+        self.sim.schedule(duration_seconds, lambda: self._clear_slowdown(token))
+
+    def _clear_slowdown(self, token: int) -> None:
+        if token == self._slow_token:
+            self._slow_factor = 1.0
+
+    def _wake_if_parked(self) -> None:
+        if self._wake is not None and not self._wake.triggered:
+            wake, self._wake = self._wake, None
+            wake.succeed()
+
+    def _apply_death(self) -> None:
+        """Take the node DOWN: evict, release all KV, return the queue.
+
+        Eviction order is admitted seniority first (running, then
+        prefilling, then queued), which is also the order the dispatcher
+        re-routes in -- migrated decodes resume before never-started work.
+        Every evicted request's ledger entry is released *here*, before any
+        re-admission elsewhere (the sanitizer's ``migration-kv-release``
+        invariant), and the requests leave :attr:`assigned` so each request
+        is accounted by exactly one node's breakdown.
+        """
+        self._death_pending = False
+        self._state = "down"
+        self._down_since = self.sim.now
+        recovery = self._pending_recovery_seconds
+        self._pending_recovery_seconds = None
+        migrated: list[ServingRequest] = []
+        dropped_total = 0
+        for request in self.running:
+            self.tracker.release(request)
+            request.record_migration(request.context_tokens)
+            dropped_total += request.context_tokens
+            migrated.append(request)
+        for request in self.prefilling:
+            self.tracker.release(request)
+            dropped = request.prefill_tokens_done
+            request.record_migration(dropped)
+            dropped_total += dropped
+            migrated.append(request)
+        for request in list(self.waiting) + list(self.pending):
+            request.record_migration(0)
+            migrated.append(request)
+        self.running.clear()
+        self.prefilling.clear()
+        self.waiting.clear()
+        self.pending.clear()
+        self._batch_slots = 0
+        if migrated:
+            gone = {request.request_id for request in migrated}
+            self.assigned = [r for r in self.assigned if r.request_id not in gone]
+            self.migrations += len(migrated)
+            self.migrated_recompute_tokens += dropped_total
+        if recovery is not None:
+            self.sim.schedule(recovery, self._recover)
+        if self.driver is not None:
+            self.driver.note_death(self, migrated)
+
+    def _recover(self) -> None:
+        """Provisioning finished: the node is UP again (spot recovery)."""
+        if self._state != "down":
+            return  # the drain already finalized this engine
+        self.downtime_seconds += self.sim.now - self._down_since
+        self._state = "up"
+        self._will_recover = False
+        if self.driver is not None:
+            self.driver.note_recovery(self)
+
+    def _finalize(self) -> None:
+        """Close the lifecycle at loop exit (bill any open downtime)."""
+        if self._state == "down":
+            self.downtime_seconds += self.sim.now - self._down_since
+        self._state = "done"
 
     # --- router-facing load views ----------------------------------------------
 
@@ -173,18 +332,20 @@ class NodeEngine:
 
     def enqueue(self, request: ServingRequest) -> None:
         """Deliver one routed request (cluster dispatch, at arrival time)."""
+        if self._state != "up":
+            raise SchedulingError(
+                f"request {request.request_id} routed to node "
+                f"{self.node.name!r} in state {self.state!r}; the dispatcher "
+                "must only deliver to routable nodes"
+            )
         self.assigned.append(request)
         self.pending.append(request)
-        if self._wake is not None and not self._wake.triggered:
-            wake, self._wake = self._wake, None
-            wake.succeed()
+        self._wake_if_parked()
 
     def finish_arrivals(self) -> None:
         """Mark the arrival stream exhausted so an idle engine can exit."""
         self._arrivals_done = True
-        if self._wake is not None and not self._wake.triggered:
-            wake, self._wake = self._wake, None
-            wake.succeed()
+        self._wake_if_parked()
 
     # --- the drain loop --------------------------------------------------------
 
@@ -193,6 +354,18 @@ class NodeEngine:
         sim = self.sim
         optimistic = self.policy.admission == "optimistic"
         while True:
+            if self._death_pending:
+                self._apply_death()
+            if self._state == "down":
+                # Dead node: nothing to do until provisioning finishes (the
+                # wake is the next enqueue after recovery) or the fleet
+                # declares the drain over.
+                if self._arrivals_done:
+                    self._finalize()
+                    return
+                self._wake = sim.event(f"{self.node.name}.wake")
+                yield self._wake
+                continue
             while self.pending and self.pending[0].arrival_time <= sim.now:
                 self.waiting.append(self.pending.popleft())
             admitted = self.policy.admit(
@@ -243,6 +416,7 @@ class NodeEngine:
                 yield sim.timeout(self.pending[0].arrival_time - sim.now)
                 continue
             if self._arrivals_done:
+                self._finalize()
                 return
             # Idle with the arrival stream still open: park until the
             # dispatcher routes us work (or declares the stream done).
@@ -260,7 +434,12 @@ class NodeEngine:
 
     def _prefill_chunk_seconds(self) -> float:
         longest = max(self._chunk_tokens(r) for r in self.prefilling)
-        return self.node.step_time.prefill_seconds(len(self.prefilling), longest)
+        # The slowdown multiplier is 1.0 outside a slow-fault window, and
+        # x * 1.0 is bitwise x, so the fault-free schedule is unchanged.
+        return (
+            self.node.step_time.prefill_seconds(len(self.prefilling), longest)
+            * self._slow_factor
+        )
 
     def _advance_prefill(self, optimistic: bool) -> None:
         """Credit one chunk to every prefilling request; promote completers.
@@ -335,7 +514,10 @@ class NodeEngine:
         else:
             batch = len(running)
             context = round(sum(r.context_tokens for r in running) / len(running))
-        return self.node.step_time.step_seconds(batch, max(1, context))
+        return (
+            self.node.step_time.step_seconds(batch, max(1, context))
+            * self._slow_factor
+        )
 
     def _retire_finished(self) -> None:
         for request in [
@@ -344,3 +526,5 @@ class NodeEngine:
             request.completion_time = self.sim.now
             self.tracker.release(request)
             self.running.remove(request)
+            if self.driver is not None:
+                self.driver.note_finished(request)

@@ -1,0 +1,415 @@
+"""Fault injection and recovery for cluster serving drains.
+
+The ROADMAP's cloud-elasticity item treats whole-node spot preemption as
+"an arrival-process-style event stream"; this module is that stream.  A
+:class:`FaultSchedule` -- explicit timed :class:`NodeFault` events, an
+optional seeded :class:`SpotPreemptions` process, or both -- is handed to
+a :class:`~repro.serving.cluster.ClusterScheduler`, whose drain then runs
+a :class:`FaultDriver` alongside the dispatcher on the shared
+discrete-event simulator:
+
+* **injector processes** fire each fault at its simulated time.  A
+  ``spot`` or ``crash`` fault marks the target
+  :class:`~repro.serving.engine.NodeEngine` for death; the engine applies
+  it at its next scheduling-round boundary (the spot "preemption notice"
+  window: the in-flight iteration completes, then the node goes DOWN,
+  evicting every admitted request recompute-on-migrate and returning its
+  whole queue to the driver).  A ``slow`` fault multiplies the node's step
+  times for a window (thermal throttling, a noisy neighbour).
+* the **redispatcher process** re-routes returned requests through the
+  cluster's router, which only ever sees live engines -- liveness-aware
+  routing is enforced centrally, so every router skips dead nodes.
+  Re-routing is bounded: a request migrated more than
+  :attr:`FaultSchedule.max_migrations` times fails the drain instead of
+  ping-ponging between dying nodes forever.
+* **graceful degradation**: with every node down, deliveries park until a
+  recovery event; if no recovery is pending either, the drain raises a
+  structured :class:`~repro.errors.SchedulingError` naming the stranded
+  requests instead of deadlocking.
+
+Everything is deterministic under fixed seeds: :class:`SpotPreemptions`
+draws inter-failure gaps from a private per-node ``random.Random``, so two
+drains of one schedule are byte-identical, and an *empty* schedule is
+normalised away by the cluster -- the no-fault path is the exact pre-fault
+code path, not a faults-disabled variant of it.
+
+CLI grammar (see :func:`parse_fault_spec`)::
+
+    spot:MTBF:RECOVERY[:SEED]       seeded fleet-wide spot preemptions
+    crash:TIME:NODE                 permanent node death at TIME
+    slow:TIME:DURATION:FACTOR:NODE  step-time multiplier for a window
+
+Clauses combine comma-separated: ``spot:900:60,crash:300:2``.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections import deque
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ConfigurationError, SchedulingError
+from repro.serving.request import ServingRequest
+
+#: Fault kinds a :class:`NodeFault` can carry.
+FAULT_KINDS = ("spot", "crash", "slow")
+
+#: Default bound on per-request re-routing before the drain fails.
+DEFAULT_MAX_MIGRATIONS = 32
+
+
+def _require_positive_finite(value: float, what: str) -> float:
+    value = float(value)
+    if not math.isfinite(value) or value <= 0:
+        raise ConfigurationError(f"{what} must be positive and finite, got {value!r}")
+    return value
+
+
+@dataclass(frozen=True)
+class NodeFault:
+    """One timed fault event aimed at one node of the fleet.
+
+    ``kind`` selects the failure mode: ``"spot"`` (node dies, recovers
+    after ``recovery_seconds`` of re-provisioning), ``"crash"`` (node dies
+    permanently), ``"slow"`` (step times multiply by ``factor`` for
+    ``duration_seconds``).  ``time`` is simulated seconds from drain start;
+    ``node`` is the fleet index the fault targets.
+    """
+
+    kind: str
+    time: float
+    node: int
+    recovery_seconds: float | None = None
+    duration_seconds: float | None = None
+    factor: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ConfigurationError(
+                f"unknown fault kind {self.kind!r}; expected one of: "
+                + ", ".join(FAULT_KINDS)
+            )
+        if not math.isfinite(self.time) or self.time < 0:
+            raise ConfigurationError(
+                f"fault time must be non-negative and finite, got {self.time!r}"
+            )
+        if self.node < 0:
+            raise ConfigurationError(f"fault node index {self.node} is negative")
+        if self.kind == "spot":
+            if self.recovery_seconds is None:
+                raise ConfigurationError(
+                    "spot faults need recovery_seconds (use kind='crash' for "
+                    "a permanent death)"
+                )
+            _require_positive_finite(self.recovery_seconds, "spot recovery_seconds")
+        if self.kind == "crash" and self.recovery_seconds is not None:
+            raise ConfigurationError(
+                "crash faults are permanent; recovery_seconds makes no sense "
+                "(use kind='spot')"
+            )
+        if self.kind == "slow":
+            if self.duration_seconds is None or self.factor is None:
+                raise ConfigurationError(
+                    "slow faults need duration_seconds and factor"
+                )
+            _require_positive_finite(self.duration_seconds, "slow duration_seconds")
+            _require_positive_finite(self.factor, "slow factor")
+
+
+@dataclass(frozen=True)
+class SpotPreemptions:
+    """Seeded stochastic spot-preemption stream over the whole fleet.
+
+    Each node independently draws exponential gaps with mean
+    ``mtbf_seconds`` from a private ``random.Random`` derived from
+    ``(seed, node index)``; every preemption takes the node down for
+    ``recovery_seconds`` of re-provisioning.  Deterministic: the failure
+    schedule is a pure function of ``(mtbf, recovery, seed, fleet size)``.
+    """
+
+    mtbf_seconds: float
+    recovery_seconds: float
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        _require_positive_finite(self.mtbf_seconds, "spot mtbf_seconds")
+        _require_positive_finite(self.recovery_seconds, "spot recovery_seconds")
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """Everything that goes wrong during one drain.
+
+    ``faults`` are explicit timed events (applied in time order, ties by
+    node index); ``spot`` adds the seeded stochastic preemption stream on
+    top.  ``max_migrations`` bounds per-request re-routing.  An empty
+    schedule (no faults, no spot process) is normalised away by
+    :class:`~repro.serving.cluster.ClusterScheduler` -- passing it is
+    byte-identical to passing no schedule at all.
+    """
+
+    faults: tuple[NodeFault, ...] = ()
+    spot: SpotPreemptions | None = None
+    max_migrations: int = DEFAULT_MAX_MIGRATIONS
+
+    def __post_init__(self) -> None:
+        ordered = tuple(
+            sorted(self.faults, key=lambda fault: (fault.time, fault.node))
+        )
+        object.__setattr__(self, "faults", ordered)
+        if self.max_migrations < 0:
+            raise ConfigurationError(
+                f"max_migrations must be >= 0, got {self.max_migrations}"
+            )
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether this schedule injects nothing at all."""
+        return not self.faults and self.spot is None
+
+    def validate_for(self, n_nodes: int) -> None:
+        """Check every targeted node index exists in an ``n_nodes`` fleet."""
+        for fault in self.faults:
+            if fault.node >= n_nodes:
+                raise ConfigurationError(
+                    f"fault {fault.kind!r} at t={fault.time} targets node "
+                    f"{fault.node} but the fleet has {n_nodes} node(s)"
+                )
+
+
+def parse_fault_spec(spec: str | None, seed: int = 0) -> FaultSchedule | None:
+    """Parse a CLI fault spec into a :class:`FaultSchedule`.
+
+    Accepted clauses (comma-separated): ``spot:MTBF:RECOVERY[:SEED]`` (at
+    most one; ``SEED`` defaults to ``seed``), ``crash:TIME:NODE``, and
+    ``slow:TIME:DURATION:FACTOR:NODE``.  ``None`` / ``"none"`` / ``"off"``
+    return ``None`` so callers keep the fault-free drain path.
+    """
+    if spec is None or spec in ("none", "off"):
+        return None
+    faults: list[NodeFault] = []
+    spot: SpotPreemptions | None = None
+    try:
+        for clause in spec.split(","):
+            clause = clause.strip()
+            if not clause:
+                raise ConfigurationError(f"empty clause in fault spec {spec!r}")
+            kind, _, rest = clause.partition(":")
+            parts = rest.split(":") if rest else []
+            if kind == "spot":
+                if spot is not None:
+                    raise ConfigurationError(
+                        f"fault spec {spec!r} names two spot streams; merge "
+                        "them into one spot:MTBF:RECOVERY[:SEED] clause"
+                    )
+                if len(parts) not in (2, 3):
+                    raise ConfigurationError(
+                        f"malformed spot clause {clause!r}; expected "
+                        "spot:MTBF:RECOVERY[:SEED]"
+                    )
+                spot = SpotPreemptions(
+                    mtbf_seconds=float(parts[0]),
+                    recovery_seconds=float(parts[1]),
+                    seed=int(parts[2]) if len(parts) == 3 else seed,
+                )
+            elif kind == "crash":
+                if len(parts) != 2:
+                    raise ConfigurationError(
+                        f"malformed crash clause {clause!r}; expected "
+                        "crash:TIME:NODE"
+                    )
+                faults.append(
+                    NodeFault(kind="crash", time=float(parts[0]), node=int(parts[1]))
+                )
+            elif kind == "slow":
+                if len(parts) != 4:
+                    raise ConfigurationError(
+                        f"malformed slow clause {clause!r}; expected "
+                        "slow:TIME:DURATION:FACTOR:NODE"
+                    )
+                faults.append(
+                    NodeFault(
+                        kind="slow",
+                        time=float(parts[0]),
+                        node=int(parts[3]),
+                        duration_seconds=float(parts[1]),
+                        factor=float(parts[2]),
+                    )
+                )
+            else:
+                raise ConfigurationError(
+                    f"unknown fault clause {clause!r}; expected "
+                    "spot:MTBF:RECOVERY[:SEED], crash:TIME:NODE, "
+                    "slow:TIME:DURATION:FACTOR:NODE, or none"
+                )
+    except ValueError:
+        raise ConfigurationError(
+            f"malformed fault spec {spec!r} (bad number)"
+        ) from None
+    return FaultSchedule(faults=tuple(faults), spot=spot)
+
+
+class FaultDriver:
+    """Runs one drain's fault schedule and the resulting request migration.
+
+    Owned by a fault-mode :class:`~repro.serving.cluster.ClusterScheduler`
+    drain; every engine holds a reference back (``engine.driver``) and
+    notifies it of deaths, recoveries, and completions.  The driver's
+    redispatcher process re-routes returned requests, and its injector
+    processes fire the schedule.  Injectors are fire-and-forget (never
+    awaited): a spot stream whose next failure falls past the drain's end
+    simply leaves a dead timer on the heap.
+    """
+
+    def __init__(self, sim, engines: Sequence, router, schedule: FaultSchedule, total_requests: int) -> None:
+        self.sim = sim
+        self.engines = list(engines)
+        self.router = router
+        self.schedule = schedule
+        self.total_requests = total_requests
+        self.finished = 0
+        self.done = False
+        self._returned: deque[ServingRequest] = deque()
+        self._return_wake = None
+        self._recovery_waiters: list = []
+
+    # --- engine notifications ---------------------------------------------------
+
+    def note_death(self, engine, migrated: Sequence[ServingRequest]) -> None:
+        """A node died; its queued and evicted requests need new homes."""
+        self._returned.extend(migrated)
+        self._wake_redispatcher()
+
+    def note_recovery(self, engine) -> None:
+        """A node came back up; retry every delivery parked on a dead fleet."""
+        waiters, self._recovery_waiters = self._recovery_waiters, []
+        for waiter in waiters:
+            waiter.succeed()
+
+    def note_finished(self, request: ServingRequest) -> None:
+        """One request completed; at the last one, release every engine."""
+        self.finished += 1
+        if self.finished >= self.total_requests:
+            self.done = True
+            for engine in self.engines:
+                engine.finish_arrivals()
+            self._wake_redispatcher()
+
+    def _wake_redispatcher(self) -> None:
+        if self._return_wake is not None and not self._return_wake.triggered:
+            wake, self._return_wake = self._return_wake, None
+            wake.succeed()
+
+    # --- routing with liveness + degradation ------------------------------------
+
+    def deliver(self, request: ServingRequest):
+        """Route one request to a live engine (a generator sub-process).
+
+        Only routable engines are offered to the router, so liveness
+        awareness holds for every router implementation.  With the whole
+        fleet down, parks until a recovery event; with no recovery pending
+        either, raises the structured stranded-fleet error.
+        """
+        while True:
+            alive = [engine for engine in self.engines if engine.routable]
+            if alive:
+                chosen = self.router.route(request, alive)
+                chosen = self._resolve(chosen, alive)
+                chosen.enqueue(request)
+                return
+            if not any(engine.recovery_pending for engine in self.engines):
+                raise self.stranded_error(request)
+            waiter = self.sim.event("faults.recovery-wake")
+            self._recovery_waiters.append(waiter)
+            yield waiter
+
+    def _resolve(self, chosen, alive):
+        """Map a router's return (engine or bare node) to a live engine."""
+        for engine in alive:
+            if chosen is engine or chosen is engine.node:
+                return engine
+        raise SchedulingError(
+            f"router {self.router.name!r} returned an object that is not "
+            "one of the live nodes it was offered"
+        )
+
+    def stranded_error(self, request: ServingRequest | None = None) -> SchedulingError:
+        """Build the unrecoverable-fleet error naming the stranded requests."""
+        stranded = sorted(
+            {r.request_id for r in self._returned}
+            | ({request.request_id} if request is not None else set())
+        )
+        shown = ", ".join(str(i) for i in stranded[:8])
+        if len(stranded) > 8:
+            shown += f", ... ({len(stranded) - 8} more)"
+        error = SchedulingError(
+            f"every node is permanently down with {len(stranded)} request(s) "
+            f"stranded (ids {shown}) and "
+            f"{self.total_requests - self.finished - len(stranded)} more still "
+            "expected from the arrival stream; the fleet cannot finish this "
+            "drain"
+        )
+        error.stranded_request_ids = stranded
+        return error
+
+    # --- the redispatcher process ----------------------------------------------
+
+    def redispatch(self):
+        """Re-route every returned request; exits at global completion."""
+        while True:
+            while self._returned:
+                request = self._returned.popleft()
+                if request.migration_count > self.schedule.max_migrations:
+                    raise SchedulingError(
+                        f"request {request.request_id} migrated "
+                        f"{request.migration_count} times, past the "
+                        f"max_migrations bound of "
+                        f"{self.schedule.max_migrations}; the fleet is "
+                        "losing nodes faster than it can finish work"
+                    )
+                yield from self.deliver(request)
+            if self.done:
+                return
+            self._return_wake = self.sim.event("faults.return-wake")
+            yield self._return_wake
+
+    # --- injector processes -----------------------------------------------------
+
+    def start_injectors(self) -> None:
+        """Spawn the schedule's injector processes (fire-and-forget)."""
+        if self.schedule.faults:
+            self.sim.process(self._timed_injector(), name="faults.timed")
+        if self.schedule.spot is not None:
+            for index, engine in enumerate(self.engines):
+                self.sim.process(
+                    self._spot_injector(index, engine),
+                    name=f"faults.spot.{engine.node.name}",
+                )
+
+    def _timed_injector(self):
+        """Apply the explicit timed faults in (time, node) order."""
+        for fault in self.schedule.faults:
+            if fault.time > self.sim.now:
+                yield self.sim.timeout(fault.time - self.sim.now)
+            if self.done:
+                return
+            engine = self.engines[fault.node]
+            if fault.kind == "slow":
+                engine.apply_slowdown(fault.factor, fault.duration_seconds)
+            else:
+                engine.inject_failure(
+                    fault.recovery_seconds if fault.kind == "spot" else None
+                )
+
+    def _spot_injector(self, index: int, engine):
+        """One node's seeded spot-preemption stream (runs until drain end)."""
+        spot = self.schedule.spot
+        rng = random.Random(f"spot:{spot.seed}:{index}")
+        while True:
+            yield self.sim.timeout(rng.expovariate(1.0 / spot.mtbf_seconds))
+            if self.done:
+                return
+            # A node already down (or crashed) just rides out this draw.
+            engine.inject_failure(spot.recovery_seconds)

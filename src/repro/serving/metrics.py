@@ -46,6 +46,14 @@ class NodeBreakdown:
     ``tokens_per_second`` is the node's generated tokens over the *fleet*
     makespan, so the per-node rates sum to the fleet rate; a node that was
     routed nothing contributes all-zero counters (and no latency figure).
+
+    Under fault injection, ``migrations`` / ``migrated_recompute_tokens``
+    are charged to the node that *died* (the per-request counters travel
+    to the completing node, so ``preemptions``/``wasted_prefill_tokens``
+    attribute there); ``downtime_seconds`` is time spent DOWN, and
+    ``cost_usd`` is billed only for UP time -- a preempted spot node costs
+    its uptime fraction of the capital price, which is exactly the
+    discount the spot-vs-recompute trade prices.
     """
 
     node: str
@@ -60,6 +68,9 @@ class NodeBreakdown:
     preemptions: int
     wasted_prefill_tokens: int
     cost_usd: float
+    migrations: int = 0
+    migrated_recompute_tokens: int = 0
+    downtime_seconds: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -90,8 +101,17 @@ class ServingReport:
     #: under reserve-mode accounting).
     preemptions: int = 0
     #: Context tokens whose KV preemptions dropped and readmission prefills
-    #: had to recompute -- the work optimistic admission gambled away.
+    #: had to recompute -- the work optimistic admission gambled away
+    #: (includes the migration share counted in
+    #: ``migrated_recompute_tokens``).
     wasted_prefill_tokens: int = 0
+    #: Requests re-routed off dying nodes (fault-injected drains only).
+    migrations: int = 0
+    #: Context tokens dropped by node deaths and recomputed elsewhere.
+    migrated_recompute_tokens: int = 0
+    #: Summed per-node DOWN time; ``system_cost_usd`` already reflects the
+    #: uptime-only billing, so tokens/s/$ prices spot capacity honestly.
+    downtime_seconds: float = 0.0
     requests: list[ServingRequest] = field(default_factory=list, repr=False)
     #: Structured warnings from the step-time model (e.g. queries clamped to
     #: the calibration grid edge); empty when the drain stayed on-grid.
@@ -156,6 +176,11 @@ def build_report(
         tokens_per_second_per_usd=cost_efficiency(tokens_per_second, cost),
         preemptions=sum(r.preemption_count for r in requests),
         wasted_prefill_tokens=sum(r.wasted_prefill_tokens for r in requests),
+        migrations=sum(r.migration_count for r in requests),
+        migrated_recompute_tokens=sum(
+            r.migrated_recompute_tokens for r in requests
+        ),
+        downtime_seconds=sum(n.downtime_seconds for n in node_reports),
         requests=list(requests),
         step_time_notes=dict(step_time_notes or {}),
         node_reports=node_reports,
@@ -169,11 +194,23 @@ def node_breakdown(
     makespan_seconds: float,
     peak_kv_reserved_bytes: float,
     kv_capacity_bytes: float,
+    migrations: int = 0,
+    migrated_recompute_tokens: int = 0,
+    downtime_seconds: float = 0.0,
 ) -> NodeBreakdown:
-    """Summarise one node's share of a drain into a :class:`NodeBreakdown`."""
+    """Summarise one node's share of a drain into a :class:`NodeBreakdown`.
+
+    ``migrations``/``migrated_recompute_tokens``/``downtime_seconds`` come
+    from the engine's fault counters (zero on fault-free drains).  A node
+    that was down part of the drain is billed only its uptime fraction of
+    the capital cost.
+    """
     finished = [r for r in assigned if r.finished]
     generated = sum(r.tokens_generated for r in finished)
     latencies = [r.latency_seconds for r in finished]
+    cost_usd = system_cost_model(system).total_usd()
+    if downtime_seconds > 0.0 and makespan_seconds > 0:
+        cost_usd *= max(0.0, 1.0 - downtime_seconds / makespan_seconds)
     return NodeBreakdown(
         node=node_name,
         system=system.name,
@@ -190,7 +227,10 @@ def node_breakdown(
         kv_capacity_bytes=kv_capacity_bytes,
         preemptions=sum(r.preemption_count for r in assigned),
         wasted_prefill_tokens=sum(r.wasted_prefill_tokens for r in assigned),
-        cost_usd=system_cost_model(system).total_usd(),
+        cost_usd=cost_usd,
+        migrations=migrations,
+        migrated_recompute_tokens=migrated_recompute_tokens,
+        downtime_seconds=downtime_seconds,
     )
 
 
@@ -239,6 +279,11 @@ def build_fleet_report(
         ),
         preemptions=sum(r.preemption_count for r in requests),
         wasted_prefill_tokens=sum(r.wasted_prefill_tokens for r in requests),
+        migrations=sum(r.migration_count for r in requests),
+        migrated_recompute_tokens=sum(
+            r.migrated_recompute_tokens for r in requests
+        ),
+        downtime_seconds=sum(n.downtime_seconds for n in node_reports),
         requests=list(requests),
         step_time_notes=dict(step_time_notes or {}),
         router=router_name,

@@ -13,6 +13,14 @@ Preemption is recompute-on-readmit: an evicted request drops its KV cache
 (and any partial prefill progress) but keeps the tokens it already emitted;
 readmission re-runs prefill over the full current context (prompt plus
 generated tokens) before decoding resumes.
+
+Migration (a node dying under fault injection, see
+:mod:`repro.serving.faults`) is the cross-node variant of the same
+accounting: the dead node's KV is lost, the emitted tokens survive, and the
+request re-runs prefill wherever the dispatcher re-routes it.
+:attr:`ServingRequest.migration_count` is also the bounded-retry key -- a
+request that keeps landing on dying nodes eventually fails the drain
+instead of looping forever.
 """
 
 from __future__ import annotations
@@ -47,8 +55,21 @@ class ServingRequest:
     preemption_count: int = 0
     #: Context tokens whose KV was dropped by preemptions and had to be
     #: recomputed by a readmission prefill -- the throughput cost of
-    #: admitting optimistically.
+    #: admitting optimistically.  Migration recompute is charged here too
+    #: (the loss mechanism is identical); :attr:`migrated_recompute_tokens`
+    #: tracks the migration share separately.
     wasted_prefill_tokens: int = 0
+    #: Times this request was re-routed off a dying node (spot preemption /
+    #: crash fault injection); the bounded-retry counter.
+    migration_count: int = 0
+    #: Context tokens whose KV died with a node and had to be recomputed on
+    #: the destination -- the migration share of ``wasted_prefill_tokens``.
+    migrated_recompute_tokens: int = 0
+    #: Sanitizer-only provenance: name of the node whose KV ledger currently
+    #: holds this request's bytes (``None`` when unadmitted or released).
+    #: Maintained only on sanitized drains, where it catches a migrated
+    #: request re-admitted before the dead node released its bytes.
+    kv_holder: str | None = None
 
     @property
     def input_tokens(self) -> int:
@@ -120,6 +141,22 @@ class ServingRequest:
         prefill over the full current context.
         """
         self.preemption_count += 1
+        self.wasted_prefill_tokens += dropped_tokens
+        self.prefill_tokens_done = 0
+
+    def record_migration(self, dropped_tokens: int) -> None:
+        """Account one node-death eviction dropping ``dropped_tokens`` of KV.
+
+        Same physics as :meth:`record_preemption` -- emitted tokens survive,
+        the cache is lost, the destination re-runs prefill over the full
+        current context -- but tracked separately so fault accounting
+        (migrations, recompute waste, bounded retry) is distinguishable from
+        optimistic-admission preemption.  Requests still queued when their
+        node died migrate with ``dropped_tokens=0``: re-routing costs them
+        nothing but still counts against the retry bound.
+        """
+        self.migration_count += 1
+        self.migrated_recompute_tokens += dropped_tokens
         self.wasted_prefill_tokens += dropped_tokens
         self.prefill_tokens_done = 0
 

@@ -5,9 +5,12 @@ A :class:`Router` is consulted by the
 request, *at the request's arrival time*, with the live node engines (the
 :class:`~repro.serving.engine.NodeEngine` load views: queue depths,
 outstanding token counts, KV headroom).  It returns the node that takes
-the request; the choice is final -- requests are never migrated between
-nodes, so a router decision prices exactly like the static sharding a
-production front-end would apply.
+the request.  On fault-free drains the choice is final -- a router
+decision prices exactly like the static sharding a production front-end
+would apply.  Under fault injection (:mod:`repro.serving.faults`) a node
+death sends its requests back through the router for re-placement, and
+the dispatcher only ever offers routable (live, not dying) engines -- so
+every router is liveness-aware without carrying its own liveness logic.
 
 Every router is deterministic given the visible state, so seeded drains
 replay byte-identically.  Ties break toward the lowest node index, which

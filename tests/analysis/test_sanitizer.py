@@ -207,6 +207,50 @@ class TestBudgetTrackerErrorPaths:
         tracker.assert_drained()
 
 
+class TestMigrationKvRelease:
+    """A migrated request's KV must be fully released on the node it left
+    before any other node admits it -- caught via the ``kv_holder``
+    provenance stamp the sanitized trackers maintain."""
+
+    def make_owned_tracker(self, tiny_mha, owner: str, sanitize: bool = True):
+        return BudgetTracker(
+            budget=CapacityBudget(1e9, "toy budget"),
+            model=tiny_mha,
+            sanitize=sanitize,
+            owner=owner,
+        )
+
+    def test_readmission_without_release_fires(self, tiny_mha):
+        dead = self.make_owned_tracker(tiny_mha, "node0")
+        alive = self.make_owned_tracker(tiny_mha, "node1")
+        request = make_request(5)
+        dead.occupy(request)
+        # Simulated bug: node0 dies but forgets to release the KV before
+        # node1 re-admits the migrated request.
+        with pytest.raises(SanitizerError, match="node0") as excinfo:
+            alive.occupy(request)
+        assert excinfo.value.invariant == "migration-kv-release"
+        assert excinfo.value.request_id == 5
+
+    def test_release_then_readmit_is_clean(self, tiny_mha):
+        dead = self.make_owned_tracker(tiny_mha, "node0")
+        alive = self.make_owned_tracker(tiny_mha, "node1")
+        request = make_request(5)
+        dead.occupy(request)
+        dead.release(request)
+        alive.occupy(request)  # proper migration: no holder left behind
+        alive.release(request)
+        alive.assert_drained()
+
+    def test_unsanitized_trackers_skip_provenance(self, tiny_mha):
+        dead = self.make_owned_tracker(tiny_mha, "node0", sanitize=False)
+        alive = self.make_owned_tracker(tiny_mha, "node1", sanitize=False)
+        request = make_request(5)
+        dead.occupy(request)
+        alive.occupy(request)  # unchecked: legacy behaviour preserved
+        assert request.kv_holder is None
+
+
 class TestReportConservation:
     @pytest.fixture
     def fleet_report(self, tiny_mha):
@@ -247,6 +291,28 @@ class TestReportConservation:
         bare = dataclasses.replace(fleet_report, node_reports=[])
         check_report_conservation(bare)  # nothing to cross-check
 
+    def test_forged_migration_total_detected(self, fleet_report):
+        forged = dataclasses.replace(
+            fleet_report, migrations=fleet_report.migrations + 1
+        )
+        with pytest.raises(SanitizerError, match="migration-conservation"):
+            check_report_conservation(forged)
+
+    def test_forged_recompute_total_detected(self, fleet_report):
+        forged = dataclasses.replace(
+            fleet_report,
+            migrated_recompute_tokens=fleet_report.migrated_recompute_tokens + 8,
+        )
+        with pytest.raises(SanitizerError, match="migration-conservation"):
+            check_report_conservation(forged)
+
+    def test_forged_downtime_total_detected(self, fleet_report):
+        forged = dataclasses.replace(
+            fleet_report, downtime_seconds=fleet_report.downtime_seconds + 1.0
+        )
+        with pytest.raises(SanitizerError, match="migration-conservation"):
+            check_report_conservation(forged)
+
 
 class TestSanitizedServingDrain:
     def test_fleet_drain_runs_clean_with_sanitizer(self, tiny_mha, monkeypatch):
@@ -274,3 +340,44 @@ class TestSanitizedServingDrain:
             router=LeastOutstandingTokens(),
         ).drain([TOY] * 12, arrivals=PoissonArrivals(0.5, seed=3))
         assert report.all_completed
+
+    def test_fault_injected_drain_runs_clean_with_sanitizer(
+        self, tiny_mha, monkeypatch
+    ):
+        """Migration keeps every invariant: KV released on the dead node
+        before re-admission, budgets drained, and the fleet report's
+        failure totals conserve against the per-node breakdowns."""
+        monkeypatch.setenv(SANITIZE_ENV, "1")
+        from repro.core.config import HilosConfig
+        from repro.core.runtime import HilosSystem
+        from repro.serving import (
+            FaultSchedule,
+            LeastOutstandingTokens,
+            NodeFault,
+            PoissonArrivals,
+        )
+
+        system = HilosSystem(tiny_mha, HilosConfig(n_devices=2))
+        nodes = [
+            Node(
+                system,
+                step_time=AnalyticStepTime(
+                    base_seconds=1.0,
+                    per_token_seconds=1e-4,
+                    prefill_per_token_seconds=1e-3,
+                ),
+                name=f"node{i}",
+            )
+            for i in range(3)
+        ]
+        faults = FaultSchedule(
+            faults=(NodeFault(kind="spot", time=3.0, node=0, recovery_seconds=60.0),)
+        )
+        report = ClusterScheduler(
+            nodes,
+            ContinuousBatching(4, admission="optimistic"),
+            router=LeastOutstandingTokens(),
+            faults=faults,
+        ).drain([TOY] * 24, arrivals=PoissonArrivals(2.0, seed=3))
+        assert report.all_completed
+        assert report.migrations > 0

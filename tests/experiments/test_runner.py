@@ -72,6 +72,14 @@ class TestRunnerCli:
         with pytest.raises(SystemExit):
             runner.main(["serving", "--nodes", "0"])
 
+    def test_malformed_fault_spec_rejected(self):
+        with pytest.raises(SystemExit):
+            runner.main(["serving", "--nodes", "2", "--faults", "meteor:1:2"])
+
+    def test_fault_targeting_outside_fleet_rejected(self):
+        with pytest.raises(SystemExit):
+            runner.main(["serving", "--nodes", "2", "--faults", "crash:10:5"])
+
 
 class TestServingClusterCli:
     def test_nodes_and_router_flow_through(self, capsys):
@@ -101,6 +109,34 @@ class TestServingClusterCli:
     def test_single_node_run_keeps_the_legacy_table_shape(self):
         tables = serving_throughput.run(fast=True, n_requests=16)
         assert len(tables) == 2  # no per-node table without a fleet
+
+    def test_faults_flow_through_to_per_node_accounting(self):
+        """ISSUE acceptance: ``--faults`` injects failures into the fleet
+        drain and the per-node table reports migrations and downtime."""
+        tables = serving_throughput.run(
+            fast=True,
+            systems=["HILOS (8 SmartSSDs)"],
+            n_requests=24,
+            nodes=2,
+            router="jsq",
+            arrival="poisson:0.2",
+            faults="spot:600:60:3",
+        )
+        assert len(tables) == 3
+        per_node = tables[2]
+        assert set(per_node.column("node")) == {"node0", "node1"}
+        assert sum(per_node.column("downtime_s")) > 0
+        assert "faults: spot:600:60:3" in tables[0].title
+
+    def test_faults_force_the_fleet_path_on_one_node(self):
+        tables = serving_throughput.run(
+            fast=True,
+            systems=["HILOS (8 SmartSSDs)"],
+            n_requests=16,
+            faults="slow:50:100:2.0:0",
+        )
+        assert len(tables) == 3  # per-node table even with a single node
+        assert set(tables[2].column("node")) == {"node0"}
 
 
 class TestServingWarmCache:

@@ -15,9 +15,11 @@ from repro.serving import (
     AnalyticStepTime,
     ClusterScheduler,
     ContinuousBatching,
+    FaultSchedule,
     LeastOutstandingTokens,
     Node,
     PoissonArrivals,
+    SpotPreemptions,
 )
 from repro.workloads import sample_request_classes
 
@@ -26,7 +28,7 @@ N_REQUESTS = 48
 SEED = 23
 
 
-def drain_once(tiny_mha):
+def drain_once(tiny_mha, faults=None):
     system = HilosSystem(tiny_mha, HilosConfig(n_devices=2))
     nodes = [
         Node(
@@ -44,6 +46,7 @@ def drain_once(tiny_mha):
         nodes,
         ContinuousBatching(4, admission="optimistic"),
         router=LeastOutstandingTokens(),
+        faults=faults,
     ).drain(
         sample_request_classes(N_REQUESTS, seed=SEED),
         arrivals=PoissonArrivals(rate_per_second=0.5, seed=SEED),
@@ -63,6 +66,21 @@ def test_double_drain_is_byte_identical(tiny_mha):
     # The JSON round-trip flattens every nested dataclass -- per-request
     # timelines and per-node breakdowns included -- so any nondeterminism
     # anywhere in the drain shows up as a byte diff here.
+    assert report_bytes(first) == report_bytes(second)
+
+
+def test_spot_preemption_double_drain_is_byte_identical(tiny_mha):
+    """The seeded spot streams (one Random per node, derived from the
+    schedule seed) make fault-injected drains exactly as replayable as
+    fault-free ones: kills land at the same instants, the same requests
+    migrate, and both reports byte-match."""
+    faults = FaultSchedule(
+        spot=SpotPreemptions(mtbf_seconds=400.0, recovery_seconds=60.0, seed=5)
+    )
+    first = drain_once(tiny_mha, faults=faults)
+    second = drain_once(tiny_mha, faults=faults)
+    assert first.all_completed
+    assert first.migrations > 0  # the schedule actually disturbed the drain
     assert report_bytes(first) == report_bytes(second)
 
 
