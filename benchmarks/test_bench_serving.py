@@ -326,3 +326,92 @@ def test_serving_faults_warm(benchmark, tmp_path):
     result = benchmark.pedantic(_faults_drain, setup=setup, rounds=3, iterations=1)
     _assert_faults_shape(result)
     assert result[1].measurement_count == 0
+
+
+# --- elastic autoscaling ----------------------------------------------------
+
+#: The autoscale benchmark's scenario: a hot Poisson stream into a fleet
+#: of one warm node and three offline spares, retry-bounded admission.
+AUTOSCALE_SPEC = "auto:1:4:4:60"
+AUTOSCALE_OVERLOAD = "retry:32"
+
+
+def _autoscale_drain(store):
+    """Elastic fleet drain: the ``serving-autoscale`` gate.  One warm node
+    takes a stream hot enough to breach the queue-depth target, offline
+    spares provision through the RECOVERING lifecycle, the tail drains
+    them gracefully, and bounded admission retries ride along -- so the
+    scale-up, scale-down, billing, and overload paths are all timed."""
+    from repro.models import get_model
+    from repro.serving import (
+        ClusterScheduler,
+        ContinuousBatching,
+        LeastOutstandingTokens,
+        PoissonArrivals,
+        parse_autoscale_spec,
+        parse_overload_spec,
+    )
+    from repro.serving.cluster import build_fleet
+    from repro.workloads import sample_request_classes
+
+    model = get_model(serving_throughput.MODEL)
+    fleet = build_fleet(
+        model, ["HILOS (8 SmartSSDs)"] * CLUSTER_NODES, store=store
+    )
+    scheduler = ClusterScheduler(
+        fleet,
+        ContinuousBatching(serving_throughput.BATCH_SLOTS),
+        router=LeastOutstandingTokens(),
+        overload=parse_overload_spec(AUTOSCALE_OVERLOAD, seed=CLUSTER_SEED),
+        autoscale=parse_autoscale_spec(AUTOSCALE_SPEC, seed=CLUSTER_SEED),
+    )
+    report = scheduler.drain(
+        sample_request_classes(CLUSTER_REQUESTS, seed=CLUSTER_SEED),
+        arrivals=PoissonArrivals(rate_per_second=0.2, seed=CLUSTER_SEED),
+    )
+    step_time = fleet[0].step_time
+    step_time.flush()
+    return report, step_time
+
+
+def _assert_autoscale_shape(result):
+    report, _ = result
+    assert report.completed + report.shed_requests == report.n_requests
+    assert report.completed > 0
+    assert any(e.action == "scale-up" for e in report.scale_events), (
+        "the gate must exercise the provisioning path"
+    )
+    assert report.goodput_tokens_per_s > 0
+    # Spares start offline and are billed uptime-only.
+    assert any(n.downtime_seconds > 0 for n in report.node_reports[1:])
+    assert report.tokens_per_second_per_usd > 0
+
+
+def test_serving_autoscale_cold(benchmark, tmp_path):
+    """Cold elastic drain: the shared grid is measured in-run."""
+    state = {"round": 0}
+
+    def setup():
+        state["round"] += 1
+        clear_memory_layer()
+        return (CalibrationStore(tmp_path / f"acold{state['round']}"),), {}
+
+    result = benchmark.pedantic(_autoscale_drain, setup=setup, rounds=3, iterations=1)
+    _assert_autoscale_shape(result)
+    assert result[1].measurement_count > 0
+
+
+def test_serving_autoscale_warm(benchmark, tmp_path):
+    """Warm elastic drain: the store holds the grid, zero measurements --
+    the autoscaler and admission control are what's being timed."""
+    store_dir = tmp_path / "awarm"
+    clear_memory_layer()
+    _autoscale_drain(CalibrationStore(store_dir))
+
+    def setup():
+        clear_memory_layer()
+        return (CalibrationStore(store_dir),), {}
+
+    result = benchmark.pedantic(_autoscale_drain, setup=setup, rounds=3, iterations=1)
+    _assert_autoscale_shape(result)
+    assert result[1].measurement_count == 0

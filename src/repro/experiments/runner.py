@@ -12,6 +12,10 @@ Usage::
         --arrival poisson:0.1
     python -m repro.experiments.runner serving --nodes 4 --router jsq \
         --arrival poisson:0.1 --faults spot:900:60
+    python -m repro.experiments.runner serving --nodes 2 --router jsq \
+        --arrival poisson:0.2 --overload retry:32
+    python -m repro.experiments.runner serving --autoscale auto:1:4:8:60 \
+        --arrival poisson:0.2
     python -m repro.experiments.runner --prewarm --jobs 8
     python -m repro.experiments.runner fig10 --symmetry full
 

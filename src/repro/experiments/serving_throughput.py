@@ -20,9 +20,13 @@ admission with recompute-on-readmit preemption, ``--prefill-chunk``
 interleaves chunked prefill with running decodes, ``--nodes N
 --router rr|jsq|bestfit`` shards the queue across an N-node fleet of each
 system (one cluster drain per policy, with fleet tokens/s/$ and a
-per-node breakdown table), and ``--faults SPEC`` injects seeded node
+per-node breakdown table), ``--faults SPEC`` injects seeded node
 failures (spot preemption / crash / slowdown) into the drain, with
-per-node migration and downtime accounting in the breakdown.
+per-node migration and downtime accounting in the breakdown,
+``--overload SPEC`` bounds admission (shed / retry-with-backoff / park,
+with shed/retry/goodput accounting), and ``--autoscale SPEC`` hands the
+fleet to a reactive autoscaler whose scale decisions land in a fourth
+scale-event table.
 """
 
 from __future__ import annotations
@@ -35,8 +39,10 @@ from repro.errors import ConfigurationError
 from repro.experiments.harness import Table
 from repro.models import get_model
 from repro.serving import TraceReplay, default_policies, drain_queue, parse_arrival_spec
+from repro.serving.autoscale import parse_autoscale_spec
 from repro.serving.cluster import ClusterScheduler, build_fleet
 from repro.serving.faults import parse_fault_spec
+from repro.serving.overload import parse_overload_spec
 from repro.serving.policies import ADMISSION_MODES
 from repro.serving.routers import ROUTER_SPECS, parse_router_spec
 from repro.serving.steptime import (
@@ -80,6 +86,8 @@ def run(
     nodes: int = 1,
     router: str = "rr",
     faults: str | None = None,
+    overload: str | None = None,
+    autoscale: str | None = None,
 ) -> list[Table]:
     """Drain one seeded queue through every (system, policy) pair.
 
@@ -103,6 +111,15 @@ def run(
     ``slow:TIME:DURATION:FACTOR:NODE``, comma-separated); any fault
     schedule routes the drain through the cluster path (even one node)
     and the per-node table reports migrations and downtime.
+
+    ``overload`` is an overload-control spec (``shed:QDEPTH[:TPS]``,
+    ``retry:QDEPTH[:TPS[:ATTEMPTS[:SEED]]]``,
+    ``park:QDEPTH[:TPS[:DEADLINE_S]]``; ``-`` leaves a bound unset) and
+    ``autoscale`` an autoscale spec
+    (``auto:MIN:MAX:TARGET_QDEPTH[:PROVISION_S[:SEED]]``); either routes
+    the drain through the cluster path too.  Under autoscaling the fleet
+    is built at ``max(nodes, MAX)`` size and the scale-event timeline
+    becomes a fourth table.
     """
     if nodes < 1:
         raise ConfigurationError("a serving sweep needs at least one node")
@@ -110,7 +127,17 @@ def run(
     n_requests = n_requests or (FAST_REQUESTS if fast else FULL_REQUESTS)
     store = resolve_store(store, use_store)
     fault_schedule = parse_fault_spec(faults, seed=seed)
-    fleet_mode = nodes > 1 or fault_schedule is not None
+    overload_control = parse_overload_spec(overload, seed=seed)
+    autoscale_policy = parse_autoscale_spec(autoscale, seed=seed)
+    fleet_nodes = nodes
+    if autoscale_policy is not None:
+        fleet_nodes = max(nodes, autoscale_policy.max_nodes)
+    fleet_mode = (
+        fleet_nodes > 1
+        or fault_schedule is not None
+        or overload_control is not None
+        or autoscale_policy is not None
+    )
     arrivals = parse_arrival_spec(arrival, seed=seed)
     if isinstance(arrivals, TraceReplay) and arrivals.classes is not None:
         # A fully-specified trace (classes on every line) *is* the
@@ -128,9 +155,15 @@ def run(
         queue = sample_request_classes(n_requests, seed=seed)
     model = get_model(MODEL)
     scenario = "offline (all at t=0)" if arrivals is None else arrival
-    fleet_suffix = f", {nodes}-node fleets via {router}" if nodes > 1 else ""
+    fleet_suffix = (
+        f", {fleet_nodes}-node fleets via {router}" if fleet_nodes > 1 else ""
+    )
     if fault_schedule is not None:
         fleet_suffix += f", faults: {faults}"
+    if overload_control is not None:
+        fleet_suffix += f", overload: {overload}"
+    if autoscale_policy is not None:
+        fleet_suffix += f", autoscale: {autoscale}"
     table = Table(
         title=f"Serving throughput ({MODEL}, {n_requests} mixed requests, "
         f"arrivals: {scenario}{fleet_suffix})",
@@ -138,7 +171,10 @@ def run(
             "system",
             "policy",
             "completed",
+            "shed",
+            "retries",
             "tokens_per_s",
+            "goodput_tok_s",
             "mean_latency_s",
             "p95_latency_s",
             "peak_kv_gb",
@@ -174,13 +210,16 @@ def run(
     )
     per_node = (
         Table(
-            title=f"Per-node breakdown ({nodes}-node fleets, router: {router})",
+            title=f"Per-node breakdown ({fleet_nodes}-node fleets, "
+            f"router: {router})",
             columns=[
                 "system",
                 "policy",
                 "node",
                 "requests",
                 "completed",
+                "shed",
+                "retries",
                 "tokens_per_s",
                 "preemptions",
                 "wasted_prefill",
@@ -190,9 +229,30 @@ def run(
             ],
             notes="per-node tokens/s are over the fleet makespan and sum to "
             "the fleet rate; migrations/downtime are zero on fault-free "
-            "drains (see --faults)",
+            "drains (see --faults); shed/retries are zero without "
+            "--overload admission bounds",
         )
         if fleet_mode
+        else None
+    )
+    scale_table = (
+        Table(
+            title=f"Autoscaler scale events (policy: {autoscale})",
+            columns=[
+                "system",
+                "policy",
+                "time_s",
+                "action",
+                "node",
+                "reason",
+                "queue_depth",
+                "active_nodes",
+            ],
+            notes="every autoscaler decision across the sweep's drains; "
+            "provisioning rides the fault layer's RECOVERING lifecycle "
+            "and offline time is billed at zero",
+        )
+        if autoscale_policy is not None
         else None
     )
     clamped_any = False
@@ -200,7 +260,7 @@ def run(
         if fleet_mode:
             fleet = build_fleet(
                 model,
-                [label] * nodes,
+                [label] * fleet_nodes,
                 store=store,
                 batch_grid=batch_grid,
                 seq_grid=seq_grid,
@@ -215,6 +275,8 @@ def run(
                     policy,
                     router=parse_router_spec(router),
                     faults=fault_schedule,
+                    overload=overload_control,
+                    autoscale=autoscale_policy,
                 ).drain(list(queue), arrivals=arrivals)
                 for policy in default_policies(BATCH_SLOTS, admission=admission)
             ]
@@ -242,7 +304,10 @@ def run(
                 report.system if fleet_mode else label,
                 report.policy,
                 report.completed,
+                report.shed_requests,
+                report.retry_attempts,
                 report.tokens_per_second,
+                report.goodput_tokens_per_s,
                 report.mean_latency_seconds,
                 report.p95_latency_seconds,
                 report.peak_kv_reserved_bytes / 1e9,
@@ -259,12 +324,26 @@ def run(
                         breakdown.node,
                         breakdown.n_requests,
                         breakdown.completed,
+                        breakdown.shed_requests,
+                        breakdown.retry_attempts,
                         breakdown.tokens_per_second,
                         breakdown.preemptions,
                         breakdown.wasted_prefill_tokens,
                         breakdown.peak_kv_reserved_bytes / 1e9,
                         breakdown.migrations,
                         breakdown.downtime_seconds,
+                    )
+            if scale_table is not None:
+                for event in report.scale_events:
+                    scale_table.add_row(
+                        report.system,
+                        report.policy,
+                        event.time,
+                        event.action,
+                        event.node,
+                        event.reason,
+                        event.queue_depth,
+                        event.active_nodes,
                     )
         calibration.add_row(
             label,
@@ -282,6 +361,8 @@ def run(
     tables = [table, calibration]
     if fleet_mode:
         tables.append(per_node)
+    if scale_table is not None:
+        tables.append(scale_table)
     return tables
 
 
@@ -346,6 +427,22 @@ def add_serving_cli(parser: argparse.ArgumentParser) -> None:
         "dead nodes migrate their requests recompute-on-migrate and the "
         "per-node table reports migrations and downtime (default: none)",
     )
+    parser.add_argument(
+        "--overload", type=str, default=None, metavar="SPEC",
+        help="admission control: shed:QDEPTH[:TPS] (drop over-limit "
+        "arrivals), retry:QDEPTH[:TPS[:ATTEMPTS[:SEED]]] (seeded "
+        "exponential backoff, shed on exhaustion), "
+        "park:QDEPTH[:TPS[:DEADLINE_S]] (wait for capacity, shed past "
+        "the deadline); '-' leaves a bound unset (default: none)",
+    )
+    parser.add_argument(
+        "--autoscale", type=str, default=None, metavar="SPEC",
+        help="reactive fleet autoscaling: "
+        "auto:MIN:MAX:TARGET_QDEPTH[:PROVISION_S[:SEED]]; the fleet is "
+        "built at max(--nodes, MAX) size, nodes past MIN start offline "
+        "and unbilled, and scale decisions appear in a fourth table "
+        "(default: none)",
+    )
 
 
 def serving_kwargs(parser: argparse.ArgumentParser, args: argparse.Namespace) -> dict:
@@ -376,18 +473,40 @@ def serving_kwargs(parser: argparse.ArgumentParser, args: argparse.Namespace) ->
         if args.nodes < 1:
             parser.error("--nodes must be at least 1")
         kwargs["nodes"] = args.nodes
+    autoscale_policy = None
+    if getattr(args, "autoscale", None) is not None:
+        try:
+            autoscale_policy = parse_autoscale_spec(args.autoscale)
+        except ConfigurationError as exc:
+            parser.error(str(exc))
+        if autoscale_policy is not None:
+            kwargs["autoscale"] = args.autoscale
     if getattr(args, "router", None) is not None:
-        if getattr(args, "nodes", None) in (None, 1):
+        # An autoscaled drain is a fleet even at --nodes 1 (the fleet is
+        # built at max_nodes size), so a router is meaningful there too.
+        if getattr(args, "nodes", None) in (None, 1) and (
+            autoscale_policy is None or autoscale_policy.max_nodes <= 1
+        ):
             parser.error("--router requires --nodes > 1 (a fleet to route over)")
         kwargs["router"] = args.router
     if getattr(args, "faults", None) is not None:
         try:
             schedule = parse_fault_spec(args.faults)
             if schedule is not None:
-                schedule.validate_for(getattr(args, "nodes", None) or 1)
+                n_nodes = getattr(args, "nodes", None) or 1
+                if autoscale_policy is not None:
+                    n_nodes = max(n_nodes, autoscale_policy.max_nodes)
+                schedule.validate_for(n_nodes)
         except ConfigurationError as exc:
             parser.error(str(exc))
         kwargs["faults"] = args.faults
+    if getattr(args, "overload", None) is not None:
+        try:
+            control = parse_overload_spec(args.overload)
+        except ConfigurationError as exc:
+            parser.error(str(exc))
+        if control is not None:
+            kwargs["overload"] = args.overload
     return kwargs
 
 

@@ -24,6 +24,17 @@ requests migrate recompute-on-migrate, and the report prices downtime --
 ``ClusterScheduler(nodes, policy, router=..., faults=parse_fault_spec(
 "spot:900:60"))``.
 
+Overload control bounds admission at the dispatcher
+(:mod:`repro.serving.overload`): ``overload=parse_overload_spec(
+"retry:32")`` parks, retries with seeded backoff, or sheds over-limit
+arrivals as structured :class:`ShedRequest` outcomes, and the report
+grows shed/retry/goodput accounting.  Elastic fleets hand scaling to a
+reactive autoscaler (:mod:`repro.serving.autoscale`):
+``autoscale=parse_autoscale_spec("auto:1:4:8")`` provisions offline
+spares on queue-depth/TTFT pressure (through the fault layer's
+RECOVERING lifecycle and uptime-only billing) and gracefully drains idle
+nodes, recording every decision as a :class:`ScaleEvent`.
+
 Single host::
 
     from repro import HilosConfig, HilosSystem, get_model
@@ -77,6 +88,12 @@ from repro.serving.arrivals import (
     TraceReplay,
     parse_arrival_spec,
 )
+from repro.serving.autoscale import (
+    Autoscaler,
+    AutoscalePolicy,
+    ScaleEvent,
+    parse_autoscale_spec,
+)
 from repro.serving.budget import (
     BudgetTracker,
     CapacityBudget,
@@ -95,6 +112,13 @@ from repro.serving.metrics import (
     ServingReport,
     percentile,
     system_cost_model,
+    uptime_billing,
+)
+from repro.serving.overload import (
+    OverloadControl,
+    ShedRequest,
+    TokenRateThrottle,
+    parse_overload_spec,
 )
 from repro.serving.policies import (
     ContinuousBatching,
@@ -122,6 +146,8 @@ __all__ = [
     "AllAtOnce",
     "AnalyticStepTime",
     "ArrivalProcess",
+    "AutoscalePolicy",
+    "Autoscaler",
     "BestFitKV",
     "BudgetTracker",
     "CalibratedStepTime",
@@ -138,14 +164,18 @@ __all__ = [
     "NodeEngine",
     "NodeFault",
     "OfflineServingScheduler",
+    "OverloadControl",
     "PoissonArrivals",
     "RoundRobin",
     "Router",
+    "ScaleEvent",
     "SchedulingPolicy",
     "ServingReport",
     "ServingRequest",
+    "ShedRequest",
     "SpotPreemptions",
     "StepTimeModel",
+    "TokenRateThrottle",
     "TraceReplay",
     "as_request_queue",
     "build_fleet",
@@ -154,8 +184,11 @@ __all__ = [
     "drain_queue",
     "make_request_queue",
     "parse_arrival_spec",
+    "parse_autoscale_spec",
     "parse_fault_spec",
+    "parse_overload_spec",
     "parse_router_spec",
     "percentile",
     "system_cost_model",
+    "uptime_billing",
 ]

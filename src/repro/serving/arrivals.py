@@ -25,7 +25,11 @@ from typing import Sequence
 
 from repro.errors import ConfigurationError, SchedulingError
 from repro.serving.request import ServingRequest
+from repro.serving.specs import spec_error, spec_float, spec_int
 from repro.workloads.requests import REQUEST_CLASSES, RequestClass
+
+#: The CLI grammar, shared by the parser and its error messages.
+ARRIVAL_GRAMMAR = "poisson:RATE[:SEED] | rate:RATE | trace:PATH | offline"
 
 
 class ArrivalProcess(abc.ABC):
@@ -253,24 +257,18 @@ def parse_arrival_spec(spec: str | None, seed: int = 0) -> ArrivalProcess | None
     """
     if spec is None or spec == "offline":
         return None
+    what, grammar = "arrival", ARRIVAL_GRAMMAR
     kind, _, rest = spec.partition(":")
-    try:
-        if kind == "poisson":
-            rate, _, seed_part = rest.partition(":")
-            return PoissonArrivals(
-                float(rate), seed=int(seed_part) if seed_part else seed
-            )
-        if kind == "rate":
-            return FixedRateArrivals(float(rest))
-        if kind == "trace":
-            if not rest:
-                raise ConfigurationError("trace spec needs a path (trace:PATH)")
-            return TraceReplay.from_jsonl(rest)
-    except ValueError:
-        raise ConfigurationError(
-            f"malformed arrival spec {spec!r} (bad number)"
-        ) from None
-    raise ConfigurationError(
-        f"unknown arrival spec {spec!r}; expected poisson:RATE[:SEED], "
-        "rate:RATE, trace:PATH, or offline"
-    )
+    if kind == "poisson":
+        rate, _, seed_part = rest.partition(":")
+        return PoissonArrivals(
+            spec_float(rate, what, grammar, spec),
+            seed=spec_int(seed_part, what, grammar, spec) if seed_part else seed,
+        )
+    if kind == "rate":
+        return FixedRateArrivals(spec_float(rest, what, grammar, spec))
+    if kind == "trace":
+        if not rest:
+            raise spec_error(what, grammar, spec, reason="trace needs a path")
+        return TraceReplay.from_jsonl(rest)
+    raise spec_error(what, grammar, spec, reason=f"unknown kind {kind!r}")

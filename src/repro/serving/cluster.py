@@ -33,6 +33,16 @@ a structured :class:`~repro.errors.SchedulingError` naming the stranded
 requests.  :func:`check_report_conservation` extends to migration and
 downtime accounting so every request is still accounted by exactly one
 node.
+
+**Overload control & elasticity.** ``overload=OverloadControl(...)``
+bounds admission at the dispatcher (queue depth and/or fleet token rate;
+over-limit arrivals shed, retry with seeded backoff, or park with a
+deadline -- see :mod:`repro.serving.overload`), and
+``autoscale=AutoscalePolicy(...)`` runs a reactive
+:class:`~repro.serving.autoscale.Autoscaler` that provisions offline
+spares and gracefully drains idle nodes on the fault layer's lifecycle.
+Both route the drain through the fault driver's dispatcher; with neither
+(and no faults) the drain runs the exact legacy code path.
 """
 
 from __future__ import annotations
@@ -43,6 +53,7 @@ from repro.analysis.sanitizer import SanitizerError
 from repro.errors import ConfigurationError, SchedulingError
 from repro.models.config import ModelConfig
 from repro.serving.arrivals import ArrivalProcess
+from repro.serving.autoscale import Autoscaler, AutoscalePolicy
 from repro.serving.engine import Node, NodeEngine
 from repro.serving.faults import FaultDriver, FaultSchedule
 from repro.serving.metrics import (
@@ -51,6 +62,7 @@ from repro.serving.metrics import (
     build_report,
     node_breakdown,
 )
+from repro.serving.overload import OverloadControl
 from repro.serving.policies import ContinuousBatching, SchedulingPolicy
 from repro.serving.request import ServingRequest, make_request_queue
 from repro.serving.routers import Router, RoundRobin
@@ -92,11 +104,13 @@ def check_report_conservation(
 ) -> None:
     """Token/request conservation between node outcomes and the fleet report.
 
-    Every generated token and every routed request must be accounted for by
-    exactly one node breakdown; a mismatch means an engine's outcome was
-    dropped or double-counted on the way into the fleet report.  Sanitized
-    drains run this automatically; it is exported so tests can aim it at
-    deliberately inconsistent reports.
+    Every generated token and every arrived request must be accounted for
+    by exactly one node breakdown -- completed on it, or shed and charged
+    to it -- and the fleet's shed/retry totals must equal the per-node
+    sums.  A mismatch means an engine's outcome was dropped or
+    double-counted on the way into the fleet report.  Sanitized drains run
+    this automatically; it is exported so tests can aim it at deliberately
+    inconsistent reports.
     """
     if not report.node_reports:
         return
@@ -108,13 +122,42 @@ def check_report_conservation(
             invariant="token-conservation",
             sim_time=sim_time,
         )
-    for field_name in ("n_requests", "completed"):
+    # Shed requests never join a node's assigned list, so the node
+    # n_requests sums cover only the routed share of the queue.
+    node_routed = sum(node.n_requests for node in report.node_reports)
+    if node_routed + report.shed_requests != report.n_requests:
+        raise SanitizerError(
+            f"fleet report counts {report.n_requests} n_requests but the "
+            f"node breakdowns sum to {node_routed} routed plus "
+            f"{report.shed_requests} shed",
+            invariant="token-conservation",
+            sim_time=sim_time,
+        )
+    node_completed = sum(node.completed for node in report.node_reports)
+    if node_completed != report.completed:
+        raise SanitizerError(
+            f"fleet report counts {report.completed} completed but the "
+            f"node breakdowns sum to {node_completed}",
+            invariant="token-conservation",
+            sim_time=sim_time,
+        )
+    # Request conservation under overload control: every request either
+    # completed on exactly one node or was shed (and charged to exactly
+    # one node); retry attempts conserve the same way.
+    if report.completed + report.shed_requests != report.n_requests:
+        raise SanitizerError(
+            f"fleet report loses requests: {report.completed} completed + "
+            f"{report.shed_requests} shed != {report.n_requests} arrived",
+            invariant="request-conservation",
+            sim_time=sim_time,
+        )
+    for field_name in ("shed_requests", "retry_attempts"):
         node_total = sum(getattr(node, field_name) for node in report.node_reports)
         if node_total != getattr(report, field_name):
             raise SanitizerError(
                 f"fleet report counts {getattr(report, field_name)} "
                 f"{field_name} but the node breakdowns sum to {node_total}",
-                invariant="token-conservation",
+                invariant="request-conservation",
                 sim_time=sim_time,
             )
     # Conservation across migrations: the fleet totals come from per-request
@@ -155,6 +198,14 @@ class ClusterScheduler:
     migration/downtime accounting with uptime-only cost billing.  An empty
     schedule is normalised to ``None``, so faults-off drains run the exact
     pre-fault code path (including the 1-node preloaded bit-identity path).
+
+    ``overload`` bounds admission at the dispatcher (shed / retry / park,
+    see :mod:`repro.serving.overload`); an empty control is normalised to
+    ``None`` the same way.  ``autoscale`` hands the fleet to a reactive
+    :class:`~repro.serving.autoscale.Autoscaler`: the cluster is built at
+    ``max_nodes`` size, nodes past ``min_nodes`` start offline (billed
+    zero until provisioned), and scale decisions land on the fleet
+    report's scale-event timeline.
     """
 
     def __init__(
@@ -163,6 +214,8 @@ class ClusterScheduler:
         policy: SchedulingPolicy | None = None,
         router: Router | None = None,
         faults: FaultSchedule | None = None,
+        overload: OverloadControl | None = None,
+        autoscale: AutoscalePolicy | None = None,
     ) -> None:
         self.nodes = list(nodes)
         if not self.nodes:
@@ -188,6 +241,16 @@ class ClusterScheduler:
             self.faults: FaultSchedule | None = faults
         else:
             self.faults = None
+        # An OverloadControl with no bound set is a no-op; normalise it to
+        # None (mirroring the empty-FaultSchedule rule) so overload-off
+        # drains keep the exact legacy code path.
+        if overload is not None and not overload.is_empty:
+            self.overload: OverloadControl | None = overload
+        else:
+            self.overload = None
+        if autoscale is not None:
+            autoscale.validate_for(len(self.nodes))
+        self.autoscale = autoscale
 
     # --- the drain -------------------------------------------------------------
 
@@ -218,17 +281,39 @@ class ClusterScheduler:
         }
         ordered = sorted(queue, key=lambda r: (r.arrival_time, r.request_id))
         processes = []
-        if self.faults is not None:
-            # Fault mode always routes through the dispatcher (even on one
+        # Faults, overload control, and autoscaling all need the
+        # liveness-aware dispatcher (and the driver's completion-counted
+        # release); any of them switches the drain into driver mode.
+        driver_mode = (
+            self.faults is not None
+            or self.overload is not None
+            or self.autoscale is not None
+        )
+        driver: FaultDriver | None = None
+        autoscaler: Autoscaler | None = None
+        if driver_mode:
+            # Driver mode always routes through the dispatcher (even on one
             # node: a dead node's queue must flow back for re-delivery) and
             # the driver -- not the dispatcher -- releases the engines once
-            # the last request completes, since migrations can still be in
-            # flight after the arrival stream is exhausted.
+            # the last request completes or sheds, since migrations and
+            # retries can still be in flight after the arrival stream is
+            # exhausted.
             driver = FaultDriver(
-                sim, engines, self.router, self.faults, total_requests=len(ordered)
+                sim,
+                engines,
+                self.router,
+                self.faults or FaultSchedule(),
+                total_requests=len(ordered),
+                overload=self.overload,
             )
             for engine in engines:
                 engine.driver = driver
+            if self.autoscale is not None:
+                # Nodes past min_nodes start as unbilled offline spares the
+                # autoscaler can provision.
+                for engine in engines[self.autoscale.min_nodes :]:
+                    engine.start_offline()
+                autoscaler = Autoscaler(sim, engines, self.autoscale, driver)
             processes.append(
                 sim.process(
                     self._dispatch_faulty(sim, ordered, driver),
@@ -252,10 +337,13 @@ class ClusterScheduler:
             sim.process(engine.run(), name=f"{engine.node.name}.drain")
             for engine in engines
         )
-        if self.faults is not None:
-            # Injectors are fire-and-forget: a spot stream's next draw past
-            # the drain's end must not hold the conjunction open.
+        if driver is not None:
+            # Injectors (and the autoscaler's tick) are fire-and-forget: a
+            # spot stream's next draw or decision timer past the drain's
+            # end must not hold the conjunction open.
             driver.start_injectors()
+            if autoscaler is not None:
+                autoscaler.start()
         if len(processes) == 1:
             sim.run(processes[0])
         else:
@@ -278,10 +366,12 @@ class ClusterScheduler:
                 migrations=engine.migrations,
                 migrated_recompute_tokens=engine.migrated_recompute_tokens,
                 downtime_seconds=engine.downtime_seconds,
+                shed_requests=engine.shed_requests,
+                shed_retry_attempts=engine.shed_retry_attempts,
             )
             for engine in engines
         )
-        if len(engines) == 1 and self.faults is None:
+        if len(engines) == 1 and not driver_mode:
             report = build_report(
                 self.nodes[0].system,
                 self.policy.name,
@@ -301,6 +391,10 @@ class ClusterScheduler:
                 makespan_seconds=sim.now,
                 node_reports=breakdowns,
                 step_time_notes=notes,
+                sheds=tuple(driver.sheds) if driver is not None else (),
+                scale_events=(
+                    tuple(autoscaler.events) if autoscaler is not None else ()
+                ),
             )
         if sim.sanitizer is not None:
             check_report_conservation(report, sim_time=sim.now)

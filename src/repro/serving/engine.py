@@ -49,6 +49,15 @@ recovers (or until the drain ends); ``apply_slowdown`` multiplies step
 times for a window without killing the node.  Fault-free drains never
 touch any of this -- every hook is a single attribute test on the hot
 path, and the no-fault schedule is byte-identical to the pre-fault code.
+
+Autoscaled drains (:mod:`repro.serving.autoscale`) reuse the same
+lifecycle for *elasticity*: :meth:`NodeEngine.start_offline` begins a
+spare node DOWN (downtime from t=0, so the uptime-only cost path bills
+only its provisioned window), :meth:`NodeEngine.provision` re-runs the
+RECOVERING path with a provisioning delay, and
+:meth:`NodeEngine.drain_gracefully` scales a node down without killing
+in-flight work -- routing stops, admitted and queued requests complete,
+then the node goes DOWN as a provisionable spare.
 """
 
 from __future__ import annotations
@@ -149,6 +158,17 @@ class NodeEngine:
         self.migrations = 0
         #: Context tokens this node's deaths dropped (recomputed elsewhere).
         self.migrated_recompute_tokens = 0
+        # --- overload / autoscale lifecycle (inert otherwise) ---
+        #: True while the autoscaler drains this node gracefully: no new
+        #: routing, in-flight work completes, then the node goes DOWN.
+        self._scale_down = False
+        #: Whether an offline (scaled-down or never-started) node may be
+        #: provisioned back up by the autoscaler.
+        self.provisionable = False
+        #: Requests admission control shed and charged to this node.
+        self.shed_requests = 0
+        #: Backoff attempts carried by requests shed against this node.
+        self.shed_retry_attempts = 0
 
     # --- lifecycle --------------------------------------------------------------
 
@@ -166,12 +186,22 @@ class NodeEngine:
     @property
     def routable(self) -> bool:
         """Whether the dispatcher may still route new work here."""
-        return self._state == "up" and not self._death_pending
+        return self._state == "up" and not self._death_pending and not self._scale_down
 
     @property
     def recovery_pending(self) -> bool:
         """Whether a dead (or dying) node has a provisioning timer armed."""
         return self._will_recover
+
+    @property
+    def scale_draining(self) -> bool:
+        """Whether the autoscaler is gracefully draining this node."""
+        return self._scale_down and self._state == "up" and not self._death_pending
+
+    @property
+    def queued_requests(self) -> int:
+        """Requests routed here but not yet admitted (the overload signal)."""
+        return len(self.pending) + len(self.waiting)
 
     def inject_failure(self, recovery_seconds: float | None = None) -> bool:
         """Mark the node for death at its next scheduling-round boundary.
@@ -179,9 +209,10 @@ class NodeEngine:
         ``recovery_seconds`` arms a re-provisioning timer (spot
         preemption); ``None`` is a permanent crash.  Returns ``False``
         without effect when the node is already dead or dying -- repeated
-        spot draws against a down node are no-ops.
+        spot draws against a down node are no-ops.  (A gracefully
+        scale-draining node is still UP hardware: faults can kill it.)
         """
-        if not self.routable:
+        if self._state != "up" or self._death_pending:
             return False
         self._death_pending = True
         self._pending_recovery_seconds = recovery_seconds
@@ -223,6 +254,7 @@ class NodeEngine:
         is accounted by exactly one node's breakdown.
         """
         self._death_pending = False
+        self._scale_down = False
         self._state = "down"
         self._down_since = self.sim.now
         recovery = self._pending_recovery_seconds
@@ -273,6 +305,60 @@ class NodeEngine:
         if self._state == "down":
             self.downtime_seconds += self.sim.now - self._down_since
         self._state = "done"
+
+    # --- elastic lifecycle (autoscaled drains only) -----------------------------
+
+    def start_offline(self) -> None:
+        """Begin the drain DOWN as an unprovisioned spare (autoscale pool).
+
+        The node accrues downtime from t=0 until the autoscaler
+        provisions it, so the uptime-only cost path bills exactly the
+        provisioned window -- a spare never scaled up costs nothing.
+        Call before the drain starts running.
+        """
+        self._state = "down"
+        self._down_since = 0.0
+        self.provisionable = True
+
+    def provision(self, provision_seconds: float) -> bool:
+        """Bring capacity (back) online: the autoscaler's scale-up hook.
+
+        A gracefully-draining node is reactivated instantly (warm
+        cancel: it never went down).  An offline provisionable spare
+        arms the fault layer's RECOVERING timer -- the node is UP after
+        ``provision_seconds``, via the same :meth:`_recover` path a spot
+        preemption uses.  Returns ``False`` when the node is neither.
+        """
+        if self._scale_down:
+            self._scale_down = False
+            return True
+        if self._state == "down" and self.provisionable and not self._will_recover:
+            self.provisionable = False
+            self._will_recover = True
+            self.sim.schedule(provision_seconds, self._recover)
+            return True
+        return False
+
+    def drain_gracefully(self) -> bool:
+        """Scale this node down without killing in-flight work.
+
+        The node stops being routable immediately; its admitted and
+        queued requests run to completion, after which the run loop
+        takes it DOWN (accruing unbilled downtime) and marks it
+        provisionable for a later scale-up.
+        """
+        if self._state != "up" or self._death_pending:
+            return False
+        self._scale_down = True
+        self._wake_if_parked()
+        return True
+
+    def _complete_scale_down(self) -> None:
+        """The graceful drain emptied: go DOWN as a provisionable spare."""
+        self._scale_down = False
+        self._state = "down"
+        self._down_since = self.sim.now
+        self.provisionable = True
 
     # --- router-facing load views ----------------------------------------------
 
@@ -380,6 +466,10 @@ class NodeEngine:
                     request.admitted_time = sim.now
                 request.last_admitted_time = sim.now
             self.prefilling.extend(admitted)
+            if admitted and self.driver is not None:
+                # Queue depth just dropped: wake any delivery parked on a
+                # full waiting queue (overload park/backpressure).
+                self.driver.note_admission()
             if self.policy.padded and admitted:
                 # Slot count of the formed batch, captured before any
                 # prefill-completers retire: their slots idle (and are
@@ -414,6 +504,11 @@ class NodeEngine:
                 )
             if self.pending:
                 yield sim.timeout(self.pending[0].arrival_time - sim.now)
+                continue
+            if self._scale_down:
+                # The graceful drain just emptied: nothing admitted, queued,
+                # or pending -- go DOWN as a spare instead of exiting.
+                self._complete_scale_down()
                 continue
             if self._arrivals_done:
                 self._finalize()

@@ -26,6 +26,12 @@ discrete-event simulator:
   recovery event; if no recovery is pending either, the drain raises a
   structured :class:`~repro.errors.SchedulingError` naming the stranded
   requests instead of deadlocking.
+* **admission control** (optional, :mod:`repro.serving.overload`): an
+  :class:`~repro.serving.overload.OverloadControl` bounds per-node queue
+  depth and fleet token rate at the same front door; over-limit arrivals
+  are shed as structured outcomes, retried with seeded exponential
+  backoff, or parked with a deadline.  Without one, delivery runs the
+  exact pre-overload code path.
 
 Everything is deterministic under fixed seeds: :class:`SpotPreemptions`
 draws inter-failure gaps from a private per-node ``random.Random``, so two
@@ -51,7 +57,9 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.errors import ConfigurationError, SchedulingError
+from repro.serving.overload import OverloadControl, ShedRequest, TokenRateThrottle
 from repro.serving.request import ServingRequest
+from repro.serving.specs import spec_error, spec_fields, spec_float, spec_int
 
 #: Fault kinds a :class:`NodeFault` can carry.
 FAULT_KINDS = ("spot", "crash", "slow")
@@ -179,6 +187,13 @@ class FaultSchedule:
                 )
 
 
+#: The fault CLI grammar, shared by the parser and its error messages.
+FAULT_GRAMMAR = (
+    "comma-separated spot:MTBF:RECOVERY[:SEED], crash:TIME:NODE, "
+    "slow:TIME:DURATION:FACTOR:NODE, or none"
+)
+
+
 def parse_fault_spec(spec: str | None, seed: int = 0) -> FaultSchedule | None:
     """Parse a CLI fault spec into a :class:`FaultSchedule`.
 
@@ -189,65 +204,54 @@ def parse_fault_spec(spec: str | None, seed: int = 0) -> FaultSchedule | None:
     """
     if spec is None or spec in ("none", "off"):
         return None
+    what, grammar = "fault", FAULT_GRAMMAR
     faults: list[NodeFault] = []
     spot: SpotPreemptions | None = None
-    try:
-        for clause in spec.split(","):
-            clause = clause.strip()
-            if not clause:
-                raise ConfigurationError(f"empty clause in fault spec {spec!r}")
-            kind, _, rest = clause.partition(":")
-            parts = rest.split(":") if rest else []
-            if kind == "spot":
-                if spot is not None:
-                    raise ConfigurationError(
-                        f"fault spec {spec!r} names two spot streams; merge "
-                        "them into one spot:MTBF:RECOVERY[:SEED] clause"
-                    )
-                if len(parts) not in (2, 3):
-                    raise ConfigurationError(
-                        f"malformed spot clause {clause!r}; expected "
-                        "spot:MTBF:RECOVERY[:SEED]"
-                    )
-                spot = SpotPreemptions(
-                    mtbf_seconds=float(parts[0]),
-                    recovery_seconds=float(parts[1]),
-                    seed=int(parts[2]) if len(parts) == 3 else seed,
-                )
-            elif kind == "crash":
-                if len(parts) != 2:
-                    raise ConfigurationError(
-                        f"malformed crash clause {clause!r}; expected "
-                        "crash:TIME:NODE"
-                    )
-                faults.append(
-                    NodeFault(kind="crash", time=float(parts[0]), node=int(parts[1]))
-                )
-            elif kind == "slow":
-                if len(parts) != 4:
-                    raise ConfigurationError(
-                        f"malformed slow clause {clause!r}; expected "
-                        "slow:TIME:DURATION:FACTOR:NODE"
-                    )
-                faults.append(
-                    NodeFault(
-                        kind="slow",
-                        time=float(parts[0]),
-                        node=int(parts[3]),
-                        duration_seconds=float(parts[1]),
-                        factor=float(parts[2]),
-                    )
-                )
-            else:
+    for clause in spec.split(","):
+        clause = clause.strip()
+        if not clause:
+            raise spec_error(what, grammar, spec, reason="empty clause")
+        kind, _, rest = clause.partition(":")
+        if kind == "spot":
+            if spot is not None:
                 raise ConfigurationError(
-                    f"unknown fault clause {clause!r}; expected "
-                    "spot:MTBF:RECOVERY[:SEED], crash:TIME:NODE, "
-                    "slow:TIME:DURATION:FACTOR:NODE, or none"
+                    f"fault spec {spec!r} names two spot streams; merge "
+                    "them into one spot:MTBF:RECOVERY[:SEED] clause"
                 )
-    except ValueError:
-        raise ConfigurationError(
-            f"malformed fault spec {spec!r} (bad number)"
-        ) from None
+            parts = spec_fields(rest, (2, 3), what, grammar, spec)
+            spot = SpotPreemptions(
+                mtbf_seconds=spec_float(parts[0], what, grammar, spec),
+                recovery_seconds=spec_float(parts[1], what, grammar, spec),
+                seed=(
+                    spec_int(parts[2], what, grammar, spec)
+                    if len(parts) == 3
+                    else seed
+                ),
+            )
+        elif kind == "crash":
+            parts = spec_fields(rest, (2,), what, grammar, spec)
+            faults.append(
+                NodeFault(
+                    kind="crash",
+                    time=spec_float(parts[0], what, grammar, spec),
+                    node=spec_int(parts[1], what, grammar, spec),
+                )
+            )
+        elif kind == "slow":
+            parts = spec_fields(rest, (4,), what, grammar, spec)
+            faults.append(
+                NodeFault(
+                    kind="slow",
+                    time=spec_float(parts[0], what, grammar, spec),
+                    node=spec_int(parts[3], what, grammar, spec),
+                    duration_seconds=spec_float(parts[1], what, grammar, spec),
+                    factor=spec_float(parts[2], what, grammar, spec),
+                )
+            )
+        else:
+            raise spec_error(
+                what, grammar, spec, reason=f"unknown clause {clause!r}"
+            )
     return FaultSchedule(faults=tuple(faults), spot=spot)
 
 
@@ -263,17 +267,37 @@ class FaultDriver:
     simply leaves a dead timer on the heap.
     """
 
-    def __init__(self, sim, engines: Sequence, router, schedule: FaultSchedule, total_requests: int) -> None:
+    def __init__(
+        self,
+        sim,
+        engines: Sequence,
+        router,
+        schedule: FaultSchedule,
+        total_requests: int,
+        overload: OverloadControl | None = None,
+    ) -> None:
         self.sim = sim
         self.engines = list(engines)
         self.router = router
         self.schedule = schedule
         self.total_requests = total_requests
+        self.overload = overload
         self.finished = 0
         self.done = False
         self._returned: deque[ServingRequest] = deque()
         self._return_wake = None
         self._recovery_waiters: list = []
+        #: Structured load-shedding outcomes, in shed order.
+        self.sheds: list[ShedRequest] = []
+        #: Deliveries parked on a full queue / throttle deficit, woken by
+        #: the next admission (queue depth dropped) or recovery.
+        self._capacity_waiters: list = []
+        self._throttle = None
+        if overload is not None and overload.max_tokens_per_second is not None:
+            self._throttle = TokenRateThrottle(
+                rate=overload.max_tokens_per_second,
+                burst=overload.max_tokens_per_second * overload.burst_seconds,
+            )
 
     # --- engine notifications ---------------------------------------------------
 
@@ -283,15 +307,33 @@ class FaultDriver:
         self._wake_redispatcher()
 
     def note_recovery(self, engine) -> None:
-        """A node came back up; retry every delivery parked on a dead fleet."""
+        """A node came back up; retry every delivery parked on a dead fleet.
+
+        Park-deadline timers can race the recovery, so a waiter may
+        already be triggered -- guard instead of double-firing it.
+        """
         waiters, self._recovery_waiters = self._recovery_waiters, []
         for waiter in waiters:
-            waiter.succeed()
+            if not waiter.triggered:
+                waiter.succeed()
+
+    def note_admission(self) -> None:
+        """An engine admitted work; retry deliveries parked on capacity."""
+        if not self._capacity_waiters:
+            return
+        waiters, self._capacity_waiters = self._capacity_waiters, []
+        for waiter in waiters:
+            if not waiter.triggered:
+                waiter.succeed()
 
     def note_finished(self, request: ServingRequest) -> None:
-        """One request completed; at the last one, release every engine."""
+        """One request completed; at the last outcome, release every engine."""
         self.finished += 1
-        if self.finished >= self.total_requests:
+        self._maybe_release()
+
+    def _maybe_release(self) -> None:
+        """Declare the drain done once every request completed or was shed."""
+        if not self.done and self.finished + len(self.sheds) >= self.total_requests:
             self.done = True
             for engine in self.engines:
                 engine.finish_arrivals()
@@ -310,8 +352,18 @@ class FaultDriver:
         Only routable engines are offered to the router, so liveness
         awareness holds for every router implementation.  With the whole
         fleet down, parks until a recovery event; with no recovery pending
-        either, raises the structured stranded-fleet error.
+        either, raises the structured stranded-fleet error.  Under
+        admission control (``overload``) the bounded path also enforces
+        queue-depth and token-rate limits; without it the unbounded path
+        below is the exact pre-overload code.
         """
+        if self.overload is None:
+            yield from self._deliver_unbounded(request)
+        else:
+            yield from self._deliver_bounded(request)
+
+    def _deliver_unbounded(self, request: ServingRequest):
+        """The overload-free delivery loop (byte-identical legacy path)."""
         while True:
             alive = [engine for engine in self.engines if engine.routable]
             if alive:
@@ -324,6 +376,158 @@ class FaultDriver:
             waiter = self.sim.event("faults.recovery-wake")
             self._recovery_waiters.append(waiter)
             yield waiter
+
+    def _deliver_bounded(self, request: ServingRequest):
+        """Admission-controlled delivery: bound, then shed/retry/park.
+
+        Delivery stays a single sequential front door (head-of-line
+        blocking by design): requests are admitted, backed off, or shed
+        in arrival order, which keeps the drain deterministic and FIFO-
+        fair -- a parked head request is exactly the backpressure signal
+        an upstream client would see.
+        """
+        control = self.overload
+        attempts = 0
+        park_deadline: float | None = None
+        while True:
+            now = self.sim.now
+            alive = [engine for engine in self.engines if engine.routable]
+            if not alive:
+                # Whole fleet down: fault-layer degradation, except that a
+                # park deadline still bounds how long the request waits.
+                if not any(engine.recovery_pending for engine in self.engines):
+                    raise self.stranded_error(request)
+                if (
+                    control.action == "park"
+                    and control.park_deadline_seconds is not None
+                ):
+                    if park_deadline is None:
+                        park_deadline = now + control.park_deadline_seconds
+                    if now >= park_deadline:
+                        self._shed(request, "park-deadline", attempts)
+                        return
+                    yield from self._park(park_deadline - now, recovery=True)
+                else:
+                    yield from self._park(None, recovery=True)
+                continue
+            if self._throttle is not None and not self._throttle.ready(now):
+                reason = "token-rate"
+                wait = self._throttle.seconds_until_ready(now)
+            else:
+                eligible = alive
+                if control.max_queue_depth is not None:
+                    eligible = [
+                        engine
+                        for engine in alive
+                        if engine.queued_requests < control.max_queue_depth
+                    ]
+                if eligible:
+                    chosen = self.router.route(request, eligible)
+                    chosen = self._resolve(chosen, eligible)
+                    if self._throttle is not None:
+                        self._throttle.take(
+                            request.request_class.total_tokens, now
+                        )
+                    chosen.enqueue(request)
+                    return
+                reason = "queue-bound"
+                wait = None  # no timer: the next admission is the signal
+            if control.action == "shed":
+                self._shed(request, reason, attempts)
+                return
+            if control.action == "retry":
+                if attempts >= control.max_attempts:
+                    if control.shed_on_exhaustion:
+                        self._shed(request, "retry-exhausted", attempts)
+                        return
+                    raise SchedulingError(
+                        f"request {request.request_id} exhausted "
+                        f"{control.max_attempts} admission retries "
+                        f"({reason}); the fleet cannot absorb this load"
+                    )
+                attempts += 1
+                request.retry_attempts += 1
+                rng = random.Random(
+                    f"backoff:{control.backoff_seed}:"
+                    f"{request.request_id}:{attempts}"
+                )
+                delay = (
+                    control.backoff_seconds
+                    * (2 ** (attempts - 1))
+                    * rng.uniform(0.5, 1.5)
+                )
+                yield self.sim.timeout(delay)
+                continue
+            # action == "park": hold at the front door until capacity.
+            if park_deadline is None:
+                park_deadline = (
+                    math.inf
+                    if control.park_deadline_seconds is None
+                    else now + control.park_deadline_seconds
+                )
+            remaining = park_deadline - now
+            if remaining <= 0:
+                self._shed(request, "park-deadline", attempts)
+                return
+            bound = remaining if wait is None else min(wait, remaining)
+            yield from self._park(None if math.isinf(bound) else bound)
+
+    def _park(self, max_wait: float | None, recovery: bool = False):
+        """Park this delivery until capacity frees (or ``max_wait`` passes).
+
+        The waiter is woken by the next admission (queue depth dropped),
+        by a recovery when ``recovery`` is set, or by the bounding timer;
+        every wake source guards ``triggered`` since they race.
+        """
+        waiter = self.sim.event("faults.capacity-wake")
+        self._capacity_waiters.append(waiter)
+        if recovery:
+            self._recovery_waiters.append(waiter)
+        handle = None
+        if max_wait is not None:
+            handle = self.sim.schedule_cancellable(
+                max_wait,
+                lambda: None if waiter.triggered else waiter.succeed(),
+            )
+        yield waiter
+        if handle is not None:
+            handle.cancel()
+        if waiter in self._capacity_waiters:
+            self._capacity_waiters.remove(waiter)
+        if recovery and waiter in self._recovery_waiters:
+            self._recovery_waiters.remove(waiter)
+
+    # --- load shedding ----------------------------------------------------------
+
+    def _shed(self, request: ServingRequest, reason: str, attempts: int) -> None:
+        """Reject ``request`` as a structured outcome (never a silent drop)."""
+        request.shed_time = self.sim.now
+        request.shed_reason = reason
+        engine = self._charge_node()
+        engine.shed_requests += 1
+        engine.shed_retry_attempts += request.retry_attempts
+        self.sheds.append(
+            ShedRequest(
+                request_id=request.request_id,
+                time=self.sim.now,
+                reason=reason,
+                attempts=attempts,
+                node=engine.node.name,
+            )
+        )
+        self._maybe_release()
+
+    def _charge_node(self):
+        """The node a shed is charged to: deepest routable queue (the
+        backlog that turned the request away), ties to the lowest index,
+        falling back to node 0 on an all-down fleet."""
+        best = None
+        for engine in self.engines:
+            if engine.routable and (
+                best is None or engine.queued_requests > best.queued_requests
+            ):
+                best = engine
+        return best if best is not None else self.engines[0]
 
     def _resolve(self, chosen, alive):
         """Map a router's return (engine or bare node) to a live engine."""
@@ -347,7 +551,7 @@ class FaultDriver:
         error = SchedulingError(
             f"every node is permanently down with {len(stranded)} request(s) "
             f"stranded (ids {shown}) and "
-            f"{self.total_requests - self.finished - len(stranded)} more still "
+            f"{self.total_requests - self.finished - len(self.sheds) - len(stranded)} more still "
             "expected from the arrival stream; the fleet cannot finish this "
             "drain"
         )

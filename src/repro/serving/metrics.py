@@ -39,6 +39,32 @@ def system_cost_model(system: InferenceSystem) -> CostModel:
     )
 
 
+def uptime_billing(
+    cost_usd: float, downtime_seconds: float, makespan_seconds: float
+) -> tuple[float, str | None]:
+    """Bill a node only for its uptime fraction of the drain.
+
+    Returns ``(billed_cost, note)``.  The note is ``None`` on the normal
+    path and a structured explanation on the degenerate ones: a
+    zero-length drain with downtime, or downtime exceeding the makespan
+    (both bill $0 rather than full price or a negative cost).
+    """
+    if downtime_seconds <= 0.0:
+        return cost_usd, None
+    if makespan_seconds <= 0:
+        return 0.0, (
+            f"zero-length drain with {downtime_seconds:g}s downtime; "
+            "uptime fraction undefined, billed $0"
+        )
+    fraction = 1.0 - downtime_seconds / makespan_seconds
+    if fraction < 0.0:
+        return 0.0, (
+            f"downtime {downtime_seconds:g}s exceeds the {makespan_seconds:g}s "
+            "makespan; uptime fraction clamped to 0, billed $0"
+        )
+    return cost_usd * fraction, None
+
+
 @dataclass(frozen=True)
 class NodeBreakdown:
     """One node's share of a fleet drain (see :mod:`repro.serving.cluster`).
@@ -71,6 +97,14 @@ class NodeBreakdown:
     migrations: int = 0
     migrated_recompute_tokens: int = 0
     downtime_seconds: float = 0.0
+    #: Requests admission control shed against this node's backlog.
+    shed_requests: int = 0
+    #: Backoff re-deliveries by requests that ended here (or were shed here).
+    retry_attempts: int = 0
+    #: Tokens from completed (never-shed) requests over the fleet makespan.
+    goodput_tokens_per_s: float = 0.0
+    #: Structured uptime-billing caveat (degenerate drains only).
+    billing_note: str | None = None
 
 
 @dataclass(frozen=True)
@@ -112,6 +146,14 @@ class ServingReport:
     #: Summed per-node DOWN time; ``system_cost_usd`` already reflects the
     #: uptime-only billing, so tokens/s/$ prices spot capacity honestly.
     downtime_seconds: float = 0.0
+    #: Requests admission control rejected (structured, never silent;
+    #: see :class:`~repro.serving.overload.ShedRequest`).
+    shed_requests: int = 0
+    #: Total admission-control backoff re-deliveries across the queue.
+    retry_attempts: int = 0
+    #: Tokens from completed (never-shed) requests over the makespan --
+    #: the useful-work rate an overloaded drain actually sustained.
+    goodput_tokens_per_s: float = 0.0
     requests: list[ServingRequest] = field(default_factory=list, repr=False)
     #: Structured warnings from the step-time model (e.g. queries clamped to
     #: the calibration grid edge); empty when the drain stayed on-grid.
@@ -121,11 +163,23 @@ class ServingReport:
     router: str = ""
     #: Per-node share of a fleet drain (one entry per node, in node order).
     node_reports: tuple[NodeBreakdown, ...] = field(default=(), repr=False)
+    #: Structured shed outcomes, in shed order (overloaded drains only).
+    sheds: tuple = field(default=(), repr=False)
+    #: Autoscaler decision timeline (autoscaled drains only; see
+    #: :class:`~repro.serving.autoscale.ScaleEvent`).
+    scale_events: tuple = field(default=(), repr=False)
+    #: Per-node uptime-billing caveats, as ``"node: note"`` strings.
+    billing_notes: tuple = ()
 
     @property
     def all_completed(self) -> bool:
         """Whether the drain finished every request (no starvation)."""
         return self.completed == self.n_requests
+
+    @property
+    def all_accounted(self) -> bool:
+        """Whether every request either completed or was explicitly shed."""
+        return self.completed + self.shed_requests == self.n_requests
 
     def per_class_mean_latency(self) -> dict[str, float]:
         """Mean latency split by request class (Short/Medium/Long)."""
@@ -181,9 +235,15 @@ def build_report(
             r.migrated_recompute_tokens for r in requests
         ),
         downtime_seconds=sum(n.downtime_seconds for n in node_reports),
+        goodput_tokens_per_s=tokens_per_second,
         requests=list(requests),
         step_time_notes=dict(step_time_notes or {}),
         node_reports=node_reports,
+        billing_notes=tuple(
+            f"{n.node}: {n.billing_note}"
+            for n in node_reports
+            if n.billing_note is not None
+        ),
     )
 
 
@@ -197,20 +257,25 @@ def node_breakdown(
     migrations: int = 0,
     migrated_recompute_tokens: int = 0,
     downtime_seconds: float = 0.0,
+    shed_requests: int = 0,
+    shed_retry_attempts: int = 0,
 ) -> NodeBreakdown:
     """Summarise one node's share of a drain into a :class:`NodeBreakdown`.
 
     ``migrations``/``migrated_recompute_tokens``/``downtime_seconds`` come
-    from the engine's fault counters (zero on fault-free drains).  A node
-    that was down part of the drain is billed only its uptime fraction of
-    the capital cost.
+    from the engine's fault counters (zero on fault-free drains), and
+    ``shed_requests``/``shed_retry_attempts`` from its overload counters
+    (sheds charge the node whose backlog turned the request away; retry
+    attempts of requests that landed here travel with the requests).  A
+    node that was down part of the drain is billed only its uptime
+    fraction of the capital cost (see :func:`uptime_billing`).
     """
     finished = [r for r in assigned if r.finished]
     generated = sum(r.tokens_generated for r in finished)
     latencies = [r.latency_seconds for r in finished]
-    cost_usd = system_cost_model(system).total_usd()
-    if downtime_seconds > 0.0 and makespan_seconds > 0:
-        cost_usd *= max(0.0, 1.0 - downtime_seconds / makespan_seconds)
+    cost_usd, billing_note = uptime_billing(
+        system_cost_model(system).total_usd(), downtime_seconds, makespan_seconds
+    )
     return NodeBreakdown(
         node=node_name,
         system=system.name,
@@ -231,6 +296,14 @@ def node_breakdown(
         migrations=migrations,
         migrated_recompute_tokens=migrated_recompute_tokens,
         downtime_seconds=downtime_seconds,
+        shed_requests=shed_requests,
+        retry_attempts=(
+            sum(r.retry_attempts for r in assigned) + shed_retry_attempts
+        ),
+        goodput_tokens_per_s=(
+            generated / makespan_seconds if makespan_seconds > 0 else 0.0
+        ),
+        billing_note=billing_note,
     )
 
 
@@ -242,6 +315,8 @@ def build_fleet_report(
     makespan_seconds: float,
     node_reports: tuple[NodeBreakdown, ...],
     step_time_notes: dict | None = None,
+    sheds: tuple = (),
+    scale_events: tuple = (),
 ) -> ServingReport:
     """Merge per-node shares of a cluster drain into one fleet report.
 
@@ -249,9 +324,12 @@ def build_fleet_report(
     nodes' capital costs -- the Section 6.6 comparison's unit of account
     (the 2-node vLLM deployment is priced as a fleet, not per host) --
     and capacity/peak figures are fleet-wide sums for the same reason.
+    ``sheds`` / ``scale_events`` carry the overload and autoscale
+    timelines; a drain that shed *everything* still reports (with zeroed
+    latency figures) -- structured degradation, not an exception.
     """
     finished = [r for r in requests if r.finished]
-    if not finished:
+    if not finished and not sheds:
         raise SchedulingError("fleet drain completed no requests; nothing to report")
     if makespan_seconds <= 0:
         raise SchedulingError("fleet drain makespan must be positive")
@@ -268,9 +346,15 @@ def build_fleet_report(
         makespan_seconds=makespan_seconds,
         generated_tokens=generated,
         tokens_per_second=tokens_per_second,
-        mean_latency_seconds=sum(latencies) / len(latencies),
-        p95_latency_seconds=percentile(latencies, 0.95),
-        mean_queueing_seconds=sum(queueing) / len(queueing),
+        mean_latency_seconds=(
+            sum(latencies) / len(latencies) if latencies else 0.0
+        ),
+        p95_latency_seconds=(
+            percentile(latencies, 0.95) if latencies else 0.0
+        ),
+        mean_queueing_seconds=(
+            sum(queueing) / len(queueing) if queueing else 0.0
+        ),
         peak_kv_reserved_bytes=sum(n.peak_kv_reserved_bytes for n in node_reports),
         kv_capacity_bytes=sum(n.kv_capacity_bytes for n in node_reports),
         system_cost_usd=fleet_cost_usd,
@@ -284,8 +368,18 @@ def build_fleet_report(
             r.migrated_recompute_tokens for r in requests
         ),
         downtime_seconds=sum(n.downtime_seconds for n in node_reports),
+        shed_requests=len(sheds),
+        retry_attempts=sum(r.retry_attempts for r in requests),
+        goodput_tokens_per_s=tokens_per_second,
         requests=list(requests),
         step_time_notes=dict(step_time_notes or {}),
         router=router_name,
         node_reports=node_reports,
+        sheds=tuple(sheds),
+        scale_events=tuple(scale_events),
+        billing_notes=tuple(
+            f"{n.node}: {n.billing_note}"
+            for n in node_reports
+            if n.billing_note is not None
+        ),
     )

@@ -70,6 +70,15 @@ class ServingRequest:
     #: Maintained only on sanitized drains, where it catches a migrated
     #: request re-admitted before the dead node released its bytes.
     kv_holder: str | None = None
+    #: Admission-control re-deliveries under ``action="retry"`` overload
+    #: (see :mod:`repro.serving.overload`); distinct from
+    #: :attr:`migration_count`, which counts node-death re-routing.
+    retry_attempts: int = 0
+    #: When admission control shed this request (``None`` if never shed).
+    shed_time: float | None = None
+    #: Which bound shed it: ``"queue-bound"``, ``"token-rate"``,
+    #: ``"retry-exhausted"``, or ``"park-deadline"``.
+    shed_reason: str | None = None
 
     @property
     def input_tokens(self) -> int:
@@ -114,6 +123,11 @@ class ServingRequest:
     def finished(self) -> bool:
         """Whether every output token has been generated."""
         return self.completion_time is not None
+
+    @property
+    def shed(self) -> bool:
+        """Whether admission control rejected this request."""
+        return self.shed_time is not None
 
     @property
     def latency_seconds(self) -> float:

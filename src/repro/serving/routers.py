@@ -23,8 +23,8 @@ from __future__ import annotations
 import abc
 from typing import Sequence
 
-from repro.errors import ConfigurationError
 from repro.serving.request import ServingRequest
+from repro.serving.specs import spec_error
 
 
 class Router(abc.ABC):
@@ -134,7 +134,5 @@ def parse_router_spec(spec: str) -> Router:
     try:
         return ROUTER_SPECS[spec]()
     except KeyError:
-        known = ", ".join(sorted(ROUTER_SPECS))
-        raise ConfigurationError(
-            f"unknown router {spec!r}; expected one of: {known}"
-        ) from None
+        known = " | ".join(sorted(ROUTER_SPECS))
+        raise spec_error("router", known, spec, reason="unknown router") from None

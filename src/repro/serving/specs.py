@@ -1,0 +1,62 @@
+"""Shared plumbing for the serving CLI spec grammars.
+
+Four serving knobs are configured through colon-delimited mini-specs --
+arrival processes (:func:`~repro.serving.arrivals.parse_arrival_spec`),
+routers (:func:`~repro.serving.routers.parse_router_spec`), fault
+schedules (:func:`~repro.serving.faults.parse_fault_spec`), overload
+control (:func:`~repro.serving.overload.parse_overload_spec`), and
+autoscaling (:func:`~repro.serving.autoscale.parse_autoscale_spec`).
+This module is the one place their error shape lives: every malformed
+spec raises a :class:`~repro.errors.ConfigurationError` reading
+``malformed WHAT spec: expected GRAMMAR, got SPEC`` (optionally with a
+parenthesised reason), so argparse-time validation prints one consistent
+usage line no matter which knob was mistyped.
+
+Semantic errors -- a spot clause named twice, a fault aimed past the
+fleet -- stay bespoke in their parsers; only the *shape* errors unify
+here.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+
+def spec_error(
+    what: str, grammar: str, got: str, reason: str = ""
+) -> ConfigurationError:
+    """Build the uniform malformed-spec error (see module docstring)."""
+    message = f"malformed {what} spec: expected {grammar}, got {got!r}"
+    if reason:
+        message += f" ({reason})"
+    return ConfigurationError(message)
+
+
+def spec_float(raw: str, what: str, grammar: str, spec: str) -> float:
+    """Parse one numeric field of a spec, or raise the uniform error."""
+    try:
+        return float(raw)
+    except ValueError:
+        raise spec_error(what, grammar, spec, reason="bad number") from None
+
+
+def spec_int(raw: str, what: str, grammar: str, spec: str) -> int:
+    """Parse one integer field of a spec, or raise the uniform error."""
+    try:
+        return int(raw)
+    except ValueError:
+        raise spec_error(what, grammar, spec, reason="bad number") from None
+
+
+def spec_fields(
+    rest: str,
+    counts: tuple[int, ...],
+    what: str,
+    grammar: str,
+    spec: str,
+) -> list[str]:
+    """Split a clause body on ``:`` and check the field count is allowed."""
+    parts = rest.split(":") if rest else []
+    if len(parts) not in counts:
+        raise spec_error(what, grammar, spec, reason="wrong field count")
+    return parts

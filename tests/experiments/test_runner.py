@@ -138,6 +138,51 @@ class TestServingClusterCli:
         assert len(tables) == 3  # per-node table even with a single node
         assert set(tables[2].column("node")) == {"node0"}
 
+    def test_overload_flows_through_to_shed_accounting(self):
+        tables = serving_throughput.run(
+            fast=True,
+            systems=["HILOS (8 SmartSSDs)"],
+            n_requests=24,
+            nodes=2,
+            router="jsq",
+            arrival="poisson:0.5",
+            overload="shed:2",
+        )
+        assert len(tables) == 3
+        assert "overload: shed:2" in tables[0].title
+        assert sum(tables[0].column("shed")) > 0
+        # Per-node sheds sum to the fleet totals.
+        assert sum(tables[2].column("shed")) == sum(tables[0].column("shed"))
+
+    def test_autoscale_adds_the_scale_event_table(self):
+        tables = serving_throughput.run(
+            fast=True,
+            systems=["HILOS (8 SmartSSDs)"],
+            n_requests=24,
+            arrival="poisson:0.5",
+            autoscale="auto:1:2:2:60",
+        )
+        # The fleet is built at max_nodes even with the default --nodes 1,
+        # and the scale timeline becomes a fourth table.
+        assert len(tables) == 4
+        assert set(tables[2].column("node")) == {"node0", "node1"}
+        assert "scale-up" in tables[3].column("action")
+        assert "autoscale: auto:1:2:2:60" in tables[0].title
+
+    def test_overload_cli_rejects_malformed_spec(self):
+        with pytest.raises(SystemExit):
+            runner.main(["serving", "--overload", "bounce:4"])
+
+    def test_autoscale_cli_allows_router_without_nodes(self, capsys):
+        # --autoscale builds a fleet at max_nodes, so --router is
+        # meaningful without --nodes > 1; parsing must not error.
+        assert runner.main(
+            ["serving", "--fast", "--router", "jsq",
+             "--autoscale", "auto:1:2:4:60", "--arrival", "poisson:0.5"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Autoscaler scale events" in out
+
 
 class TestServingWarmCache:
     def test_second_runner_invocation_measures_nothing(

@@ -276,6 +276,19 @@ class TestFaultDrains:
         with pytest.raises(SchedulingError, match="max_migrations"):
             drain(system, 2, faults, n_requests=24, seed=3, router=RoundRobin())
 
+    def test_migration_exactly_at_the_bound_is_delivered(self, system):
+        # One crash migrates each stranded request exactly once: a bound of
+        # 1 sits right on the boundary and must still complete the drain
+        # (the redispatcher rejects only migration_count > max_migrations).
+        faults = FaultSchedule(
+            faults=(NodeFault(kind="crash", time=30.0, node=0),),
+            max_migrations=1,
+        )
+        report = drain(system, 2, faults, n_requests=24, seed=3, router=RoundRobin())
+        assert report.all_completed
+        assert report.migrations > 0
+        assert max(r.migration_count for r in report.requests) == 1
+
     def test_single_node_spot_recovery(self, system):
         faults = FaultSchedule(
             faults=(NodeFault(kind="spot", time=20.0, node=0, recovery_seconds=60.0),)
