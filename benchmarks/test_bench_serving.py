@@ -415,3 +415,100 @@ def test_serving_autoscale_warm(benchmark, tmp_path):
     result = benchmark.pedantic(_autoscale_drain, setup=setup, rounds=3, iterations=1)
     _assert_autoscale_shape(result)
     assert result[1].measurement_count == 0
+
+
+# --- fleet & request folding ------------------------------------------------
+
+#: The folding benchmark's scenario: a 64-node round-robin fleet draining
+#: a ~100k-request bursty Poisson stream of one request class.  Round-robin
+#: deals each 256-request burst 4 to a node, so the folded drain simulates
+#: ONE representative engine whose bursts collapse to weight-4 requests;
+#: the full path at this scale is ~13x slower (see BENCH_serving.json).
+FOLDED_NODES = 64
+FOLDED_REQUESTS = 100_352  # 64 nodes x 1568 requests
+FOLDED_BURST = 256
+FOLDED_RATE = 0.05
+FOLDED_SEED = 7
+
+
+def _fleet_folded_drain(store):
+    """Folded fleet drain: the ``serving-fleet-folded`` gate.  A symmetric
+    64-node HILOS-8 fleet under round-robin placement drains 100k uniform
+    requests arriving in Poisson-timed bursts;
+    ``fleet_symmetry="representative"`` demands the folded path, so the
+    timed body is one representative engine over weighted requests plus
+    the O(requests) plan/unfold/mirror bookkeeping."""
+    from repro.models import get_model
+    from repro.serving import (
+        BatchedArrivals,
+        ClusterScheduler,
+        ContinuousBatching,
+        RoundRobin,
+    )
+    from repro.serving.cluster import build_fleet
+    from repro.workloads.requests import SHORT
+
+    model = get_model(serving_throughput.MODEL)
+    fleet = build_fleet(
+        model, ["HILOS (8 SmartSSDs)"] * FOLDED_NODES, store=store
+    )
+    scheduler = ClusterScheduler(
+        fleet,
+        ContinuousBatching(serving_throughput.BATCH_SLOTS),
+        router=RoundRobin(),
+        fleet_symmetry="representative",
+    )
+    report = scheduler.drain(
+        [SHORT] * FOLDED_REQUESTS,
+        arrivals=BatchedArrivals(FOLDED_RATE, FOLDED_BURST, seed=FOLDED_SEED),
+    )
+    step_time = fleet[0].step_time
+    step_time.flush()
+    return report, step_time
+
+
+def _assert_fleet_folded_shape(result):
+    report, _ = result
+    assert report.fleet_symmetry == "representative"
+    assert report.all_completed
+    assert len(report.node_reports) == FOLDED_NODES
+    assert sum(n.completed for n in report.node_reports) == FOLDED_REQUESTS
+    # Mirroring: every node's breakdown is the representative's outcome.
+    assert len({n.generated_tokens for n in report.node_reports}) == 1
+    assert sum(r.weight for r in report.requests) == FOLDED_REQUESTS
+    assert report.tokens_per_second_per_usd > 0
+
+
+def test_serving_fleet_folded_cold(benchmark, tmp_path):
+    """Cold folded drain: the shared grid is measured in-run (once -- the
+    whole fleet shares one representative's step-time model)."""
+    state = {"round": 0}
+
+    def setup():
+        state["round"] += 1
+        clear_memory_layer()
+        return (CalibrationStore(tmp_path / f"ffcold{state['round']}"),), {}
+
+    result = benchmark.pedantic(
+        _fleet_folded_drain, setup=setup, rounds=3, iterations=1
+    )
+    _assert_fleet_folded_shape(result)
+    assert result[1].measurement_count > 0
+
+
+def test_serving_fleet_folded_warm(benchmark, tmp_path):
+    """Warm folded drain: zero measurements -- the fold plan, the
+    representative engine, and the unfold/mirror pass are what's timed."""
+    store_dir = tmp_path / "ffwarm"
+    clear_memory_layer()
+    _fleet_folded_drain(CalibrationStore(store_dir))
+
+    def setup():
+        clear_memory_layer()
+        return (CalibrationStore(store_dir),), {}
+
+    result = benchmark.pedantic(
+        _fleet_folded_drain, setup=setup, rounds=3, iterations=1
+    )
+    _assert_fleet_folded_shape(result)
+    assert result[1].measurement_count == 0

@@ -20,7 +20,10 @@ admission with recompute-on-readmit preemption, ``--prefill-chunk``
 interleaves chunked prefill with running decodes, ``--nodes N
 --router rr|jsq|bestfit`` shards the queue across an N-node fleet of each
 system (one cluster drain per policy, with fleet tokens/s/$ and a
-per-node breakdown table), ``--faults SPEC`` injects seeded node
+per-node breakdown table), ``--fleet-symmetry auto|full|representative``
+controls fleet folding (symmetric round-robin fleets simulate one
+representative node per homogeneous group), ``--faults SPEC`` injects
+seeded node
 failures (spot preemption / crash / slowdown) into the drain, with
 per-node migration and downtime accounting in the breakdown,
 ``--overload SPEC`` bounds admission (shed / retry-with-backoff / park,
@@ -40,7 +43,11 @@ from repro.experiments.harness import Table
 from repro.models import get_model
 from repro.serving import TraceReplay, default_policies, drain_queue, parse_arrival_spec
 from repro.serving.autoscale import parse_autoscale_spec
-from repro.serving.cluster import ClusterScheduler, build_fleet
+from repro.serving.cluster import (
+    FLEET_SYMMETRY_MODES,
+    ClusterScheduler,
+    build_fleet,
+)
 from repro.serving.faults import parse_fault_spec
 from repro.serving.overload import parse_overload_spec
 from repro.serving.policies import ADMISSION_MODES
@@ -80,6 +87,7 @@ def run(
     batch_grid: tuple[int, ...] | None = None,
     seq_grid: tuple[int, ...] | None = None,
     symmetry: str = "auto",
+    fleet_symmetry: str = "auto",
     admission: str = "reserve",
     arrival: str | None = None,
     prefill_chunk: int | None = None,
@@ -95,7 +103,12 @@ def run(
     persistence entirely -- every run then measures from scratch); the grid
     arguments override the default calibration grids.  ``symmetry`` selects
     the simulation substrate mode for calibration measurements ("auto"
-    folds symmetric device arrays to representative devices).  ``admission``
+    folds symmetric device arrays to representative devices), and
+    ``fleet_symmetry`` the cluster drain's fleet-folding mode ("auto"
+    simulates one representative node per homogeneous group when the
+    fleet is symmetric and the router load-oblivious; "full" always
+    simulates every node; "representative" demands folding and fails
+    fast on ineligible configurations).  ``admission``
     picks the continuous-batching accounting, ``arrival`` is an arrival
     spec (``poisson:RATE[:SEED]``, ``rate:RATE``, ``trace:PATH``), and
     ``prefill_chunk`` enables chunked prefill at that many tokens.
@@ -277,6 +290,7 @@ def run(
                     faults=fault_schedule,
                     overload=overload_control,
                     autoscale=autoscale_policy,
+                    fleet_symmetry=fleet_symmetry,
                 ).drain(list(queue), arrivals=arrivals)
                 for policy in default_policies(BATCH_SLOTS, admission=admission)
             ]
@@ -399,7 +413,8 @@ def add_serving_cli(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--arrival", type=str, default=None, metavar="SPEC",
-        help="arrival process: poisson:RATE[:SEED], rate:RATE, trace:PATH "
+        help="arrival process: poisson:RATE[:SEED], burst:RATE:SIZE[:SEED] "
+        "(Poisson-timed fixed-size bursts), rate:RATE, trace:PATH "
         "(a JSONL trace naming a request class on every line replaces the "
         "sampled workload), or offline (default: all requests at t=0)",
     )
@@ -412,6 +427,14 @@ def add_serving_cli(parser: argparse.ArgumentParser) -> None:
         "--nodes", type=int, default=None, metavar="N",
         help="drain the queue across an N-node fleet of each system "
         "(cluster scheduling; default: a single node)",
+    )
+    parser.add_argument(
+        "--fleet-symmetry", choices=FLEET_SYMMETRY_MODES, default=None,
+        help="fleet-folding mode for cluster drains: auto (fold symmetric "
+        "fleets under load-oblivious routers to one representative node "
+        "per homogeneous group; the default), full (always simulate every "
+        "node), representative (require folding, fail fast when "
+        "ineligible); only meaningful with --nodes > 1",
     )
     parser.add_argument(
         "--router", choices=sorted(ROUTER_SPECS), default=None,
@@ -473,6 +496,8 @@ def serving_kwargs(parser: argparse.ArgumentParser, args: argparse.Namespace) ->
         if args.nodes < 1:
             parser.error("--nodes must be at least 1")
         kwargs["nodes"] = args.nodes
+    if getattr(args, "fleet_symmetry", None) is not None:
+        kwargs["fleet_symmetry"] = args.fleet_symmetry
     autoscale_policy = None
     if getattr(args, "autoscale", None) is not None:
         try:

@@ -29,7 +29,10 @@ from repro.serving.specs import spec_error, spec_float, spec_int
 from repro.workloads.requests import REQUEST_CLASSES, RequestClass
 
 #: The CLI grammar, shared by the parser and its error messages.
-ARRIVAL_GRAMMAR = "poisson:RATE[:SEED] | rate:RATE | trace:PATH | offline"
+ARRIVAL_GRAMMAR = (
+    "poisson:RATE[:SEED] | burst:RATE:SIZE[:SEED] | rate:RATE | "
+    "trace:PATH | offline"
+)
 
 
 class ArrivalProcess(abc.ABC):
@@ -105,6 +108,44 @@ class PoissonArrivals(ArrivalProcess):
         for _ in range(n):
             now += rng.expovariate(self.rate_per_second)
             times.append(now)
+        return times
+
+
+class BatchedArrivals(ArrivalProcess):
+    """Poisson-timed bursts: ``burst_size`` requests share each timestamp.
+
+    Models clients that submit work in fixed-size batches (an offline
+    scoring job flushing a shard, a fan-out frontend issuing one call per
+    replica): burst start times follow a Poisson process at
+    ``rate_per_second`` bursts/s, and every request inside a burst carries
+    the identical arrival time.  A trailing partial burst is allowed, so
+    any queue length is servable.  Identically-timed same-class requests
+    are exactly what the folded drain collapses into weighted
+    representatives (see :mod:`repro.serving.cluster`), which makes this
+    the canonical load shape for fleet-folding benchmarks.
+
+    Like :class:`PoissonArrivals`, the schedule is a pure function of
+    ``(rate, burst_size, seed, n)``.
+    """
+
+    def __init__(
+        self, rate_per_second: float, burst_size: int, seed: int = 0
+    ) -> None:
+        if rate_per_second <= 0:
+            raise ConfigurationError("arrival rate must be positive")
+        if burst_size < 1:
+            raise ConfigurationError("burst size must be >= 1")
+        self.rate_per_second = rate_per_second
+        self.burst_size = burst_size
+        self.seed = seed
+
+    def arrival_times(self, n: int) -> list[float]:
+        rng = random.Random(self.seed)
+        times: list[float] = []
+        now = 0.0
+        while len(times) < n:
+            now += rng.expovariate(self.rate_per_second)
+            times.extend([now] * min(self.burst_size, n - len(times)))
         return times
 
 
@@ -251,9 +292,10 @@ def parse_arrival_spec(spec: str | None, seed: int = 0) -> ArrivalProcess | None
     """Parse a CLI arrival spec into an :class:`ArrivalProcess`.
 
     Accepted forms: ``poisson:RATE`` (seeded with ``seed``),
-    ``poisson:RATE:SEED``, ``rate:RATE``, ``trace:PATH``, and ``None`` /
-    ``"offline"`` for the implicit all-at-time-zero queue (returns ``None``
-    so callers can keep the legacy no-arrivals path).
+    ``poisson:RATE:SEED``, ``burst:RATE:SIZE`` / ``burst:RATE:SIZE:SEED``
+    (Poisson-timed fixed-size bursts), ``rate:RATE``, ``trace:PATH``, and
+    ``None`` / ``"offline"`` for the implicit all-at-time-zero queue
+    (returns ``None`` so callers can keep the legacy no-arrivals path).
     """
     if spec is None or spec == "offline":
         return None
@@ -263,6 +305,18 @@ def parse_arrival_spec(spec: str | None, seed: int = 0) -> ArrivalProcess | None
         rate, _, seed_part = rest.partition(":")
         return PoissonArrivals(
             spec_float(rate, what, grammar, spec),
+            seed=spec_int(seed_part, what, grammar, spec) if seed_part else seed,
+        )
+    if kind == "burst":
+        rate, _, rest2 = rest.partition(":")
+        size, _, seed_part = rest2.partition(":")
+        if not size:
+            raise spec_error(
+                what, grammar, spec, reason="burst needs RATE and SIZE"
+            )
+        return BatchedArrivals(
+            spec_float(rate, what, grammar, spec),
+            spec_int(size, what, grammar, spec),
             seed=spec_int(seed_part, what, grammar, spec) if seed_part else seed,
         )
     if kind == "rate":

@@ -43,10 +43,29 @@ deadline -- see :mod:`repro.serving.overload`), and
 spares and gracefully drains idle nodes on the fault layer's lifecycle.
 Both route the drain through the fault driver's dispatcher; with neither
 (and no faults) the drain runs the exact legacy code path.
+
+**Fleet & request folding.** ``fleet_symmetry="auto"`` (the default)
+carries the device-level representative-symmetry fast path up to hosts
+and requests: when the fleet is symmetric (nodes sharing one system
+instance, one calibrated step-time grid, equal budgets and chunking) and
+the router is load-oblivious (:attr:`~repro.serving.routers.Router.load_oblivious`),
+the drain partitions the arrival stream per the router's deterministic
+cycle, groups nodes receiving identical slices, simulates **one**
+representative :class:`~repro.serving.engine.NodeEngine` per group (with
+identical queued requests folded into weighted representatives, see
+:mod:`repro.serving.request`), and reconstructs the fleet report by
+mirroring each representative's outcome onto its group -- a 1000-node
+drain at the cost of one node.  Heterogeneous fleets, load-dependent
+routers (JSQ, BestFitKV), faults, overload control, and autoscaling all
+auto-fall back to full-fleet simulation; ``"full"`` forces the fallback
+and ``"representative"`` demands folding (raising a
+:class:`~repro.errors.ConfigurationError` naming the blocker when the
+fleet cannot fold), mirroring the device-array ``symmetry`` modes.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro.analysis.sanitizer import SanitizerError
@@ -67,10 +86,15 @@ from repro.serving.policies import ContinuousBatching, SchedulingPolicy
 from repro.serving.request import ServingRequest, make_request_queue
 from repro.serving.routers import Router, RoundRobin
 from repro.sim.engine import Simulator
+from repro.sim.metrics import mirrored_sum
 from repro.workloads.requests import RequestClass
 
 #: Slot count of the default policy when a cluster is built without one.
 DEFAULT_BATCH_SLOTS = 16
+
+#: Valid ``ClusterScheduler(fleet_symmetry=...)`` modes, mirroring the
+#: device-array ``symmetry`` grammar.
+FLEET_SYMMETRY_MODES = ("auto", "full", "representative")
 
 
 def as_request_queue(
@@ -180,6 +204,44 @@ def check_report_conservation(
             invariant="migration-conservation",
             sim_time=sim_time,
         )
+    # Fold conservation: a representative (folded) drain must unfold every
+    # weighted request back to plain members before reporting -- the queue's
+    # member count is exactly n_requests, so any weight left above 1 (or
+    # below) means a fold was dropped or double-counted.
+    for request in report.requests:
+        if request.weight < 1:
+            raise SanitizerError(
+                f"request {request.request_id} reports weight "
+                f"{request.weight}; every request stands for at least itself",
+                invariant="fold-conservation",
+                sim_time=sim_time,
+            )
+    if report.requests:
+        member_total = sum(r.weight for r in report.requests)
+        if member_total != report.n_requests:
+            raise SanitizerError(
+                f"fleet report counts {report.n_requests} n_requests but the "
+                f"request weights sum to {member_total} members; a folded "
+                "representative was not unfolded (or members were lost)",
+                invariant="fold-conservation",
+                sim_time=sim_time,
+            )
+
+
+@dataclass
+class _FoldGroup:
+    """One homogeneous node group of a folded fleet drain.
+
+    ``representative`` (the group's lowest node index) is the one node
+    actually simulated; every index in ``members`` received an identical
+    slice of the arrival stream, so the representative's outcome mirrors
+    onto each of them positionally.
+    """
+
+    representative: int
+    members: list[int] = field(default_factory=list)
+    #: Node index -> that node's slice of the arrival stream, FCFS order.
+    slices: dict[int, list[ServingRequest]] = field(default_factory=dict)
 
 
 class ClusterScheduler:
@@ -206,6 +268,15 @@ class ClusterScheduler:
     ``max_nodes`` size, nodes past ``min_nodes`` start offline (billed
     zero until provisioned), and scale decisions land on the fleet
     report's scale-event timeline.
+
+    ``fleet_symmetry`` selects the folding mode (see the module docstring):
+    ``"auto"`` folds symmetric multi-node fleets under load-oblivious
+    routers and silently falls back otherwise; ``"full"`` always simulates
+    every node (byte-identical to the pre-folding drain); and
+    ``"representative"`` demands folding, raising a
+    :class:`~repro.errors.ConfigurationError` at construction when the
+    fleet cannot fold.  ``"auto"`` never folds a single-node cluster, so
+    the 1-node preloaded bit-identity path is preserved by default.
     """
 
     def __init__(
@@ -216,6 +287,7 @@ class ClusterScheduler:
         faults: FaultSchedule | None = None,
         overload: OverloadControl | None = None,
         autoscale: AutoscalePolicy | None = None,
+        fleet_symmetry: str = "auto",
     ) -> None:
         self.nodes = list(nodes)
         if not self.nodes:
@@ -251,6 +323,58 @@ class ClusterScheduler:
         if autoscale is not None:
             autoscale.validate_for(len(self.nodes))
         self.autoscale = autoscale
+        if fleet_symmetry not in FLEET_SYMMETRY_MODES:
+            raise ConfigurationError(
+                f"unknown fleet_symmetry {fleet_symmetry!r}; expected one of "
+                + ", ".join(FLEET_SYMMETRY_MODES)
+            )
+        self.fleet_symmetry = fleet_symmetry
+        if fleet_symmetry == "representative":
+            reason = self._fold_ineligibility()
+            if reason is not None:
+                raise ConfigurationError(
+                    "fleet_symmetry='representative' requires a foldable "
+                    f"fleet, but {reason}; use 'auto' to fall back to "
+                    "full-fleet simulation"
+                )
+
+    def _fold_ineligibility(self) -> str | None:
+        """Why this cluster cannot run a folded drain (``None`` if it can).
+
+        Folding needs a placement that is a pure function of the arrival
+        sequence (a load-oblivious router, no liveness-aware driver
+        dispatcher) over a symmetric fleet: representative outcomes are
+        only transferable to nodes that would have simulated identically.
+        Sharing is checked by *instance*, matching how
+        :func:`build_fleet` shares one system and one calibrated grid per
+        label -- two separately-calibrated step-time models are not
+        interchangeable even when configured alike.
+        """
+        if (
+            self.faults is not None
+            or self.overload is not None
+            or self.autoscale is not None
+        ):
+            return (
+                "faults/overload/autoscale drains need the liveness-aware "
+                "full-fleet dispatcher"
+            )
+        if not self.router.load_oblivious:
+            return f"router {self.router.name!r} routes on live node load"
+        first = self.nodes[0]
+        for node in self.nodes[1:]:
+            if node.system is not first.system:
+                return f"node {node.name!r} does not share the fleet's system instance"
+            if node.step_time is not first.step_time:
+                return (
+                    f"node {node.name!r} does not share the fleet's "
+                    "calibrated step-time instance"
+                )
+            if node.budget.kv_capacity_bytes != first.budget.kv_capacity_bytes:
+                return f"node {node.name!r} has a different KV capacity budget"
+            if node.prefill_chunk_tokens != first.prefill_chunk_tokens:
+                return f"node {node.name!r} has a different prefill chunk size"
+        return None
 
     # --- the drain -------------------------------------------------------------
 
@@ -270,6 +394,10 @@ class ClusterScheduler:
         if arrivals is not None:
             arrivals.assign(queue)
         self.router.reset()
+        ordered = sorted(queue, key=lambda r: (r.arrival_time, r.request_id))
+        plan = self._fold_plan(ordered)
+        if plan is not None:
+            return self._drain_folded(queue, ordered, plan)
         sim = Simulator()
         engines = [NodeEngine(node, self.policy, sim) for node in self.nodes]
         # Snapshot the (shared, monotonic) clamp counters so this drain's
@@ -279,7 +407,6 @@ class ClusterScheduler:
         counters_before = {
             key: model.clamp_counters() for key, model in step_times.items()
         }
-        ordered = sorted(queue, key=lambda r: (r.arrival_time, r.request_id))
         processes = []
         # Faults, overload control, and autoscaling all need the
         # liveness-aware dispatcher (and the driver's completion-counted
@@ -438,6 +565,204 @@ class ClusterScheduler:
             if request.arrival_time > sim.now:
                 yield sim.timeout(request.arrival_time - sim.now)
             yield from driver.deliver(request)
+
+    # --- the folded (representative) drain --------------------------------------
+
+    def _fold_plan(self, ordered: list[ServingRequest]) -> "list[_FoldGroup] | None":
+        """Partition the stream per the router's cycle and group the nodes.
+
+        Returns ``None`` when this drain must take the full-fleet path:
+        ``fleet_symmetry="full"``, an ineligible fleet under ``"auto"``, or
+        a single node under ``"auto"`` (preserving the preloaded 1-node
+        bit-identity path).  Otherwise every node's slice is computed from
+        :meth:`~repro.serving.routers.Router.static_assignments` and nodes
+        whose slices are identical (same request classes, arrival times,
+        and incoming weights, position by position) merge into one
+        :class:`_FoldGroup`.
+        """
+        if self.fleet_symmetry == "full":
+            return None
+        if self.fleet_symmetry == "auto" and (
+            len(self.nodes) == 1 or self._fold_ineligibility() is not None
+        ):
+            return None
+        assignments = self.router.static_assignments(len(ordered), len(self.nodes))
+        if len(assignments) != len(ordered) or any(
+            not 0 <= index < len(self.nodes) for index in assignments
+        ):
+            raise SchedulingError(
+                f"router {self.router.name!r} produced an invalid static "
+                f"assignment for {len(ordered)} requests over "
+                f"{len(self.nodes)} nodes"
+            )
+        slices: list[list[ServingRequest]] = [[] for _ in self.nodes]
+        for request, node_index in zip(ordered, assignments):
+            slices[node_index].append(request)
+        groups: dict[tuple, _FoldGroup] = {}
+        for index in range(len(self.nodes)):
+            signature = tuple(
+                (request.request_class, request.arrival_time, request.weight)
+                for request in slices[index]
+            )
+            group = groups.get(signature)
+            if group is None:
+                groups[signature] = _FoldGroup(
+                    representative=index,
+                    members=[index],
+                    slices={index: slices[index]},
+                )
+            else:
+                group.members.append(index)
+                group.slices[index] = slices[index]
+        return list(groups.values())
+
+    def _drain_folded(
+        self,
+        queue: list[ServingRequest],
+        ordered: list[ServingRequest],
+        plan: list[_FoldGroup],
+    ) -> ServingReport:
+        """Run one representative engine per node group and mirror the rest.
+
+        Each representative's slice is delivered request by request by a
+        single dispatcher walking the merged arrival order -- the
+        dispatcher wakes at exactly the instants the full-fleet dispatcher
+        delivers to the representative (every mirrored node's arrival
+        times are, by group construction, also its representative's), so
+        the event interleaving matches the full path.  Request folding
+        happens *inside* each representative engine
+        (:attr:`~repro.serving.engine.NodeEngine.fold_requests`): at every
+        scheduling point, adjacent identical waiting requests collapse into
+        weighted representatives -- folding at delivery time would merge
+        requests the full path admits separately, because a parked engine
+        wakes (and admits) inside the dispatcher's first same-time
+        delivery, before the rest of a burst reaches its queue.  After the
+        drain the representatives unfold onto their members, outcomes
+        mirror onto every symmetric node's slice positionally, and the
+        per-node breakdowns carry identical (mirrored) figures.
+        """
+        sim = Simulator()
+        step_times = {id(n.step_time): n.step_time for n in self.nodes}
+        counters_before = {
+            key: model.clamp_counters() for key, model in step_times.items()
+        }
+        position = {id(request): k for k, request in enumerate(ordered)}
+        engines: dict[int, NodeEngine] = {}
+        deliveries: list[tuple[int, NodeEngine, ServingRequest]] = []
+        for group in plan:
+            engine = NodeEngine(self.nodes[group.representative], self.policy, sim)
+            engine.fold_requests = True
+            engines[group.representative] = engine
+            for piece in group.slices[group.representative]:
+                deliveries.append((position[id(piece)], engine, piece))
+        deliveries.sort(key=lambda item: item[0])
+        processes = [
+            sim.process(
+                self._dispatch_folded(sim, deliveries, engines),
+                name="cluster.route",
+            )
+        ]
+        processes.extend(
+            sim.process(engine.run(), name=f"{engine.node.name}.drain")
+            for engine in engines.values()
+        )
+        sim.run(sim.all_of(processes))
+        if sim.sanitizer is not None:
+            for engine in engines.values():
+                engine.tracker.assert_drained(context=f"node {engine.node.name!r}")
+            sim.sanitize_check_drained()
+        notes = self._step_time_notes(step_times, counters_before)
+        # Unfold each representative's outcome onto its folded members,
+        # then mirror the representative slice onto every symmetric node's
+        # slice positionally (the queue objects are shared, so the fleet
+        # report sees fully-populated plain requests).
+        for group in plan:
+            rep_slice = group.slices[group.representative]
+            for request in rep_slice:
+                if request.folded_into is not None:
+                    request.copy_outcome_from(request.folded_into)
+                    request.folded_into = None
+                request.folded = []
+                request.weight = 1
+            for index in group.members:
+                if index == group.representative:
+                    continue
+                for mirror, original in zip(group.slices[index], rep_slice):
+                    mirror.copy_outcome_from(original)
+        group_of = {
+            index: group for group in plan for index in group.members
+        }
+        breakdowns = tuple(
+            node_breakdown(
+                node.name,
+                node.system,
+                group_of[index].slices[index],
+                makespan_seconds=sim.now,
+                peak_kv_reserved_bytes=engines[
+                    group_of[index].representative
+                ].tracker.peak_reserved_bytes,
+                kv_capacity_bytes=node.budget.kv_capacity_bytes,
+            )
+            for index, node in enumerate(self.nodes)
+        )
+        if sim.sanitizer is not None:
+            # Mirroring invariant: the summed breakdowns must equal each
+            # representative's totals scaled by its group multiplicity --
+            # the same mirrored-sum arithmetic device-level symmetry uses.
+            mirrored_tokens = sum(
+                mirrored_sum(
+                    [group.slices[group.representative]],
+                    lambda rep_slice: sum(
+                        r.tokens_generated for r in rep_slice if r.finished
+                    ),
+                    multiplier=len(group.members),
+                )
+                for group in plan
+            )
+            breakdown_tokens = sum(b.generated_tokens for b in breakdowns)
+            if mirrored_tokens != breakdown_tokens:
+                raise SanitizerError(
+                    f"mirrored representative totals ({mirrored_tokens} "
+                    f"tokens) disagree with the summed node breakdowns "
+                    f"({breakdown_tokens})",
+                    invariant="fold-conservation",
+                    sim_time=sim.now,
+                )
+        if len(self.nodes) == 1:
+            report = build_report(
+                self.nodes[0].system,
+                self.policy.name,
+                queue,
+                makespan_seconds=sim.now,
+                peak_kv_reserved_bytes=engines[0].tracker.peak_reserved_bytes,
+                kv_capacity_bytes=self.nodes[0].budget.kv_capacity_bytes,
+                step_time_notes=notes,
+                node_reports=breakdowns,
+                fleet_symmetry="representative",
+            )
+        else:
+            report = build_fleet_report(
+                fleet_name=self.fleet_name,
+                policy_name=self.policy.name,
+                router_name=self.router.name,
+                requests=queue,
+                makespan_seconds=sim.now,
+                node_reports=breakdowns,
+                step_time_notes=notes,
+                fleet_symmetry="representative",
+            )
+        if sim.sanitizer is not None:
+            check_report_conservation(report, sim_time=sim.now)
+        return report
+
+    def _dispatch_folded(self, sim: Simulator, deliveries, engines):
+        """Folded dispatcher: deliver each folded piece at its arrival time."""
+        for _, engine, piece in deliveries:
+            if piece.arrival_time > sim.now:
+                yield sim.timeout(piece.arrival_time - sim.now)
+            engine.enqueue(piece)
+        for engine in engines.values():
+            engine.finish_arrivals()
 
     def _step_time_notes(self, step_times: dict, counters_before: dict) -> dict:
         """Per-drain clamp summaries, merged across the fleet's models.

@@ -69,7 +69,11 @@ from repro.baselines.base import InferenceSystem
 from repro.errors import ConfigurationError, SchedulingError
 from repro.serving.budget import BudgetTracker, CapacityBudget, capacity_budget_for
 from repro.serving.policies import SchedulingPolicy
-from repro.serving.request import ServingRequest
+from repro.serving.request import (
+    ServingRequest,
+    fold_identical_runs,
+    total_weight,
+)
 from repro.serving.steptime import CalibratedStepTime, StepTimeModel
 from repro.sim.engine import Simulator
 
@@ -142,6 +146,15 @@ class NodeEngine:
         self._batch_slots = 0
         self._wake = None
         self._arrivals_done = False
+        #: Representative fleet drains set this so the engine folds
+        #: identical waiting requests into weighted representatives at each
+        #: scheduling point.  Folding at the loop top (not at delivery)
+        #: matters: a parked engine is woken *inside* the dispatcher's
+        #: first same-time delivery and admits it before the rest of the
+        #: burst lands in ``pending``, so only requests that are actually
+        #: waiting together may fold -- which is exactly what the loop-top
+        #: queue state captures.
+        self.fold_requests = False
         #: Fault driver of a fault-mode cluster drain (None otherwise).
         self.driver = None
         # --- fault-injection lifecycle (inert on fault-free drains) ---
@@ -200,8 +213,12 @@ class NodeEngine:
 
     @property
     def queued_requests(self) -> int:
-        """Requests routed here but not yet admitted (the overload signal)."""
-        return len(self.pending) + len(self.waiting)
+        """Requests routed here but not yet admitted (the overload signal).
+
+        Counts folded members, not representatives, so the signal is the
+        same backlog an unfolded drain would report.
+        """
+        return total_weight(self.pending) + total_weight(self.waiting)
 
     def inject_failure(self, recovery_seconds: float | None = None) -> bool:
         """Mark the node for death at its next scheduling-round boundary.
@@ -372,7 +389,8 @@ class NodeEngine:
         """
         live = list(self.pending) + list(self.waiting) + self.prefilling + self.running
         return sum(
-            r.prefill_remaining_tokens + (r.output_tokens - r.tokens_generated)
+            r.weight
+            * (r.prefill_remaining_tokens + (r.output_tokens - r.tokens_generated))
             for r in live
         )
 
@@ -391,7 +409,7 @@ class NodeEngine:
         """
         model = self.node.system.model
         committed = sum(
-            r.kv_reservation_bytes(model)
+            r.weight * r.kv_reservation_bytes(model)
             for r in (
                 list(self.pending)
                 + list(self.waiting)
@@ -452,8 +470,19 @@ class NodeEngine:
                 self._wake = sim.event(f"{self.node.name}.wake")
                 yield self._wake
                 continue
+            arrived = False
             while self.pending and self.pending[0].arrival_time <= sim.now:
                 self.waiting.append(self.pending.popleft())
+                arrived = True
+            if arrived and self.fold_requests:
+                # Fold adjacent identical waiting requests (same class, same
+                # arrival time, no lifecycle state) into weighted
+                # representatives; weighted admission arithmetic is bit-equal
+                # to admitting the members one at a time, and partial
+                # admission / preemption split representatives back apart.
+                refolded = fold_identical_runs(list(self.waiting))
+                self.waiting.clear()
+                self.waiting.extend(refolded)
             admitted = self.policy.admit(
                 self.waiting, self.running + self.prefilling, self.tracker
             )
@@ -471,10 +500,13 @@ class NodeEngine:
                 # full waiting queue (overload park/backpressure).
                 self.driver.note_admission()
             if self.policy.padded and admitted:
-                # Slot count of the formed batch, captured before any
-                # prefill-completers retire: their slots idle (and are
+                # Slot count of the formed batch (in members, so folded
+                # representatives bill all their slots), captured before
+                # any prefill-completers retire: their slots idle (and are
                 # billed) until the whole batch drains.
-                self._batch_slots = len(self.running) + len(self.prefilling)
+                self._batch_slots = total_weight(self.running) + total_weight(
+                    self.prefilling
+                )
             progressed = bool(admitted)
             if self.prefilling:
                 yield sim.timeout(self._prefill_chunk_seconds())
@@ -532,7 +564,9 @@ class NodeEngine:
         # The slowdown multiplier is 1.0 outside a slow-fault window, and
         # x * 1.0 is bitwise x, so the fault-free schedule is unchanged.
         return (
-            self.node.step_time.prefill_seconds(len(self.prefilling), longest)
+            self.node.step_time.prefill_seconds(
+                total_weight(self.prefilling), longest
+            )
             * self._slow_factor
         )
 
@@ -572,43 +606,62 @@ class NodeEngine:
         of the waiting queue so it resumes before never-admitted work.
         Evicting youngest-first keeps the oldest requests' caches intact,
         bounding the recompute loss to the work least progressed.
+
+        Folded representatives are evicted one *member* at a time: the
+        youngest member splits off as a weight-1 piece (the representative
+        competes with its youngest member's id, since that is the request
+        an unfolded drain would pick), its KV share is released, and it
+        rejoins the waiting queue -- the rest of the membership keeps
+        decoding, exactly as the unfolded schedule would.
         """
         while True:
-            growth = sum(self.tracker.growth_bytes(r) for r in self.running)
+            growth = sum(
+                r.weight * self.tracker.growth_bytes(r) for r in self.running
+            )
             if self.tracker.fits_bytes(growth):
                 return
             candidates = self.running + self.prefilling
-            if len(candidates) <= 1:
+            if total_weight(candidates) <= 1:
                 raise SchedulingError(
                     f"KV budget ({self.node.budget.description}) cannot absorb "
                     "one decode token of the sole admitted request; preemption "
                     "cannot help -- the budget is too small for this workload"
                 )
             victim = max(
-                candidates, key=lambda r: (r.last_admitted_time, r.request_id)
+                candidates,
+                key=lambda r: (r.last_admitted_time, r.youngest_member_id),
             )
-            if victim in self.running:
-                self.running.remove(victim)
-                dropped = victim.context_tokens
+            in_running = victim in self.running
+            if victim.weight > 1:
+                evicted = victim.split_youngest()
+                self.tracker.release_share(victim)
             else:
-                self.prefilling.remove(victim)
-                dropped = victim.prefill_tokens_done
-            self.tracker.release(victim)
-            victim.record_preemption(dropped)
-            self.waiting.appendleft(victim)
+                evicted = victim
+                (self.running if in_running else self.prefilling).remove(victim)
+                self.tracker.release(victim)
+            dropped = (
+                evicted.context_tokens if in_running else evicted.prefill_tokens_done
+            )
+            evicted.record_preemption(dropped)
+            self.waiting.appendleft(evicted)
 
     # --- timing helpers --------------------------------------------------------
 
     def _iteration_seconds(self) -> float:
         running = self.running
+        members = total_weight(running)
         if self.policy.padded:
             # Padded execution: every slot of the formed batch pays for the
             # longest live context, even after its own request finished.
-            batch = max(self._batch_slots, len(running))
+            batch = max(self._batch_slots, members)
             context = max(r.context_tokens for r in running)
         else:
-            batch = len(running)
-            context = round(sum(r.context_tokens for r in running) / len(running))
+            batch = members
+            # Weighted mean context: the sums are integers, so this equals
+            # the unfolded per-member mean bit for bit.
+            context = round(
+                sum(r.weight * r.context_tokens for r in running) / members
+            )
         return (
             self.node.step_time.step_seconds(batch, max(1, context))
             * self._slow_factor

@@ -94,6 +94,12 @@ class NodeBreakdown:
     preemptions: int
     wasted_prefill_tokens: int
     cost_usd: float
+    #: Latency percentiles of the requests completed on this node (zero
+    #: when nothing finished here); lets tests assert mirrored breakdowns
+    #: preserve the latency *distribution*, not just its mean.
+    p50_latency_seconds: float = 0.0
+    p95_latency_seconds: float = 0.0
+    p99_latency_seconds: float = 0.0
     migrations: int = 0
     migrated_recompute_tokens: int = 0
     downtime_seconds: float = 0.0
@@ -154,6 +160,15 @@ class ServingReport:
     #: Tokens from completed (never-shed) requests over the makespan --
     #: the useful-work rate an overloaded drain actually sustained.
     goodput_tokens_per_s: float = 0.0
+    #: Median and tail latency alongside the p95 figure (nearest-rank,
+    #: over completed requests; zero when nothing finished).
+    p50_latency_seconds: float = 0.0
+    p99_latency_seconds: float = 0.0
+    #: Which fleet path produced this report: ``"representative"`` when the
+    #: drain folded symmetric node groups to representative engines,
+    #: ``"full"`` when every node was simulated, ``""`` for single-node
+    #: legacy-shape reports.
+    fleet_symmetry: str = ""
     requests: list[ServingRequest] = field(default_factory=list, repr=False)
     #: Structured warnings from the step-time model (e.g. queries clamped to
     #: the calibration grid edge); empty when the drain stayed on-grid.
@@ -201,6 +216,7 @@ def build_report(
     kv_capacity_bytes: float,
     step_time_notes: dict | None = None,
     node_reports: tuple[NodeBreakdown, ...] = (),
+    fleet_symmetry: str = "",
 ) -> ServingReport:
     """Aggregate per-request state into a :class:`ServingReport`."""
     finished = [r for r in requests if r.finished]
@@ -223,6 +239,8 @@ def build_report(
         tokens_per_second=tokens_per_second,
         mean_latency_seconds=sum(latencies) / len(latencies),
         p95_latency_seconds=percentile(latencies, 0.95),
+        p50_latency_seconds=percentile(latencies, 0.50),
+        p99_latency_seconds=percentile(latencies, 0.99),
         mean_queueing_seconds=sum(queueing) / len(queueing),
         peak_kv_reserved_bytes=peak_kv_reserved_bytes,
         kv_capacity_bytes=kv_capacity_bytes,
@@ -236,6 +254,7 @@ def build_report(
         ),
         downtime_seconds=sum(n.downtime_seconds for n in node_reports),
         goodput_tokens_per_s=tokens_per_second,
+        fleet_symmetry=fleet_symmetry,
         requests=list(requests),
         step_time_notes=dict(step_time_notes or {}),
         node_reports=node_reports,
@@ -293,6 +312,9 @@ def node_breakdown(
         preemptions=sum(r.preemption_count for r in assigned),
         wasted_prefill_tokens=sum(r.wasted_prefill_tokens for r in assigned),
         cost_usd=cost_usd,
+        p50_latency_seconds=percentile(latencies, 0.50) if latencies else 0.0,
+        p95_latency_seconds=percentile(latencies, 0.95) if latencies else 0.0,
+        p99_latency_seconds=percentile(latencies, 0.99) if latencies else 0.0,
         migrations=migrations,
         migrated_recompute_tokens=migrated_recompute_tokens,
         downtime_seconds=downtime_seconds,
@@ -317,6 +339,7 @@ def build_fleet_report(
     step_time_notes: dict | None = None,
     sheds: tuple = (),
     scale_events: tuple = (),
+    fleet_symmetry: str = "full",
 ) -> ServingReport:
     """Merge per-node shares of a cluster drain into one fleet report.
 
@@ -352,6 +375,12 @@ def build_fleet_report(
         p95_latency_seconds=(
             percentile(latencies, 0.95) if latencies else 0.0
         ),
+        p50_latency_seconds=(
+            percentile(latencies, 0.50) if latencies else 0.0
+        ),
+        p99_latency_seconds=(
+            percentile(latencies, 0.99) if latencies else 0.0
+        ),
         mean_queueing_seconds=(
             sum(queueing) / len(queueing) if queueing else 0.0
         ),
@@ -371,6 +400,7 @@ def build_fleet_report(
         shed_requests=len(sheds),
         retry_attempts=sum(r.retry_attempts for r in requests),
         goodput_tokens_per_s=tokens_per_second,
+        fleet_symmetry=fleet_symmetry,
         requests=list(requests),
         step_time_notes=dict(step_time_notes or {}),
         router=router_name,

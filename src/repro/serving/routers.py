@@ -23,6 +23,7 @@ from __future__ import annotations
 import abc
 from typing import Sequence
 
+from repro.errors import SchedulingError
 from repro.serving.request import ServingRequest
 from repro.serving.specs import spec_error
 
@@ -31,6 +32,14 @@ class Router(abc.ABC):
     """Strategy deciding which node serves a routed request."""
 
     name: str = "abstract"
+    #: Whether routing decisions depend only on the arrival sequence, never
+    #: on live node load.  Load-oblivious routers can state their whole
+    #: placement up front (:meth:`static_assignments`), which is the
+    #: eligibility hook for the representative fleet drain
+    #: (:mod:`repro.serving.cluster` folds symmetric fleets only when the
+    #: placement is load-independent).  Declared as a class attribute --
+    #: the SIM006 rule: interface capabilities are declared, not probed.
+    load_oblivious: bool = False
 
     @abc.abstractmethod
     def route(self, request: ServingRequest, nodes: Sequence) -> object:
@@ -50,11 +59,25 @@ class Router(abc.ABC):
         replay identically.
         """
 
+    def static_assignments(self, n_requests: int, n_nodes: int) -> list[int]:
+        """Node index per arrival position, decided without load signals.
+
+        Only meaningful for :attr:`load_oblivious` routers; the base
+        implementation refuses, so a load-dependent router can never be
+        asked to pre-commit a placement it would have made differently
+        under live load.
+        """
+        raise SchedulingError(
+            f"router {self.name!r} routes on live node load; its placement "
+            "cannot be stated up front (load_oblivious=False)"
+        )
+
 
 class RoundRobin(Router):
     """Cycle the nodes in order, one request each -- the baseline shard."""
 
     name = "round-robin"
+    load_oblivious = True
 
     def __init__(self) -> None:
         self._next = 0
@@ -66,6 +89,11 @@ class RoundRobin(Router):
         node = nodes[self._next % len(nodes)]
         self._next += 1
         return node
+
+    def static_assignments(self, n_requests: int, n_nodes: int) -> list[int]:
+        """Arrival position ``i`` lands on node ``i % n_nodes``, from a
+        reset cursor -- exactly the cycle :meth:`route` walks."""
+        return [i % n_nodes for i in range(n_requests)]
 
 
 class LeastOutstandingTokens(Router):

@@ -110,9 +110,12 @@ class OfflineServingScheduler:
         carry (zero for queues built from bare :class:`RequestClass`
         shapes -- the classic offline drain).
         """
-        return ClusterScheduler([self._node], policy=self.policy).drain(
-            requests, arrivals=arrivals
-        )
+        # fleet_symmetry="full" pins the preloaded legacy loop explicitly:
+        # this shim's contract is bit-identical historical schedules, not
+        # the folded drain's 1e-9 equivalence.
+        return ClusterScheduler(
+            [self._node], policy=self.policy, fleet_symmetry="full"
+        ).drain(requests, arrivals=arrivals)
 
 
 def drain_queue(

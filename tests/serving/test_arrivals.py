@@ -9,6 +9,7 @@ import pytest
 from repro.errors import ConfigurationError, SchedulingError
 from repro.serving.arrivals import (
     AllAtOnce,
+    BatchedArrivals,
     FixedRateArrivals,
     PoissonArrivals,
     TraceReplay,
@@ -208,6 +209,42 @@ class TestAssign:
             make_request_queue([SHORT], arrival_times=[0.0, 1.0])
 
 
+class TestBatchedArrivals:
+    def test_bursts_share_one_timestamp(self):
+        times = BatchedArrivals(0.5, 4, seed=1).arrival_times(12)
+        bursts = [times[i : i + 4] for i in range(0, 12, 4)]
+        for burst in bursts:
+            assert len(set(burst)) == 1
+        starts = [burst[0] for burst in bursts]
+        assert starts == sorted(starts)
+        assert len(set(starts)) == 3
+
+    def test_trailing_partial_burst_allowed(self):
+        times = BatchedArrivals(1.0, 8, seed=2).arrival_times(10)
+        assert len(times) == 10
+        assert len(set(times[:8])) == 1
+        assert len(set(times[8:])) == 1
+        assert times[8] > times[0]
+
+    def test_schedule_is_a_pure_function_of_the_seed(self):
+        a = BatchedArrivals(0.2, 16, seed=5).arrival_times(64)
+        b = BatchedArrivals(0.2, 16, seed=5).arrival_times(64)
+        assert a == b
+        assert BatchedArrivals(0.2, 16, seed=6).arrival_times(64) != a
+
+    def test_burst_size_one_is_plain_poisson(self):
+        assert (
+            BatchedArrivals(3.0, 1, seed=4).arrival_times(20)
+            == PoissonArrivals(3.0, seed=4).arrival_times(20)
+        )
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BatchedArrivals(0.0, 4)
+        with pytest.raises(ConfigurationError):
+            BatchedArrivals(1.0, 0)
+
+
 class TestParseSpec:
     def test_offline_and_none_mean_no_process(self):
         assert parse_arrival_spec(None) is None
@@ -231,7 +268,22 @@ class TestParseSpec:
         process = parse_arrival_spec(f"trace:{path}")
         assert isinstance(process, TraceReplay)
 
+    def test_burst_spec_with_default_and_explicit_seed(self):
+        process = parse_arrival_spec("burst:0.5:64", seed=9)
+        assert isinstance(process, BatchedArrivals)
+        assert process.rate_per_second == 0.5
+        assert process.burst_size == 64
+        assert process.seed == 9
+        assert parse_arrival_spec("burst:0.5:64:3").seed == 3
+
     def test_malformed_specs_rejected(self):
-        for spec in ("poisson:fast", "rate:", "trace:", "blizzard:3"):
+        for spec in (
+            "poisson:fast",
+            "rate:",
+            "trace:",
+            "blizzard:3",
+            "burst:1.0",
+            "burst:1.0:zero",
+        ):
             with pytest.raises(ConfigurationError):
                 parse_arrival_spec(spec)

@@ -6,7 +6,7 @@ import pytest
 
 from repro.core.config import HilosConfig
 from repro.core.runtime import HilosSystem
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, SchedulingError
 from repro.serving import (
     AnalyticStepTime,
     BestFitKV,
@@ -16,6 +16,7 @@ from repro.serving import (
     Node,
     NodeEngine,
     RoundRobin,
+    Router,
     make_request_queue,
     parse_router_spec,
 )
@@ -62,6 +63,39 @@ class TestRoundRobin:
         assert router.route(request(), nodes) is nodes[0]
         router.reset()
         assert router.route(request(), nodes) is nodes[0]
+
+
+class TestLoadObliviousness:
+    """The fold-eligibility hook: a declared class attribute (no runtime
+    probing) plus the static placement that folding partitions by."""
+
+    def test_declared_on_the_router_base(self):
+        # A declared attribute with a conservative default, not a getattr
+        # probe: every Router subclass answers without hasattr games.
+        assert isinstance(vars(Router).get("load_oblivious"), bool)
+        assert Router.load_oblivious is False
+
+    def test_round_robin_is_load_oblivious(self):
+        assert RoundRobin.load_oblivious is True
+
+    def test_load_dependent_routers_are_not(self):
+        assert LeastOutstandingTokens.load_oblivious is False
+        assert BestFitKV.load_oblivious is False
+
+    def test_round_robin_static_assignments_match_the_cycle(self, system):
+        router = RoundRobin()
+        assignments = router.static_assignments(7, 3)
+        assert assignments == [0, 1, 2, 0, 1, 2, 0]
+        # The static plan is exactly what route() would have picked.
+        nodes = engines(system, 3)
+        router.reset()
+        picks = [router.route(request(), nodes) for _ in range(7)]
+        assert [nodes.index(pick) for pick in picks] == assignments
+
+    def test_load_dependent_static_assignments_refuse(self):
+        for router in (LeastOutstandingTokens(), BestFitKV()):
+            with pytest.raises(SchedulingError, match="load_oblivious=False"):
+                router.static_assignments(4, 2)
 
 
 class TestLeastOutstandingTokens:
