@@ -417,6 +417,108 @@ def test_serving_autoscale_warm(benchmark, tmp_path):
     assert result[1].measurement_count == 0
 
 
+# --- tiered KV hierarchy ----------------------------------------------------
+
+#: The tier benchmark's stack: a top tier of two Long final contexts over a
+#: sixteen-Long near-storage tier behind a 16 GB/s link -- tight enough
+#: that the LRU policy demotes whole contexts under pressure, promotes
+#: them back for decode when headroom frees, and decode iterations pay the
+#: spilled-KV read surcharge while victims wait below.
+KVTIERS_TOP_FINALS = 2.0
+KVTIERS_LOWER_FINALS = 16.0
+KVTIERS_LINK_BYTES_PER_S = 16e9
+
+
+def _kvtiers_drain(store):
+    """Tiered drain: the ``serving-kvtiers`` gate.  The preemption gate's
+    Poisson stream drains through one HILOS-8 node whose KV home is a
+    two-tier stack (tight fast tier over a roomy near-storage tier) under
+    LRU-by-request demotion -- so tier placement, billed demotion and
+    promotion traffic, and the per-iteration spilled-KV read surcharge are
+    all on the timed path."""
+    from repro.models import get_model
+    from repro.serving import (
+        ClusterScheduler,
+        ContinuousBatching,
+        KVTier,
+        LRUByRequest,
+        PoissonArrivals,
+        TierStack,
+    )
+    from repro.serving.cluster import build_fleet
+    from repro.workloads import sample_request_classes
+    from repro.workloads.requests import LONG
+
+    model = get_model(serving_throughput.MODEL)
+    one_long = model.kv_cache_bytes(1, LONG.total_tokens)
+    stack = TierStack(
+        (
+            KVTier("hbm", capacity_bytes=one_long * KVTIERS_TOP_FINALS),
+            KVTier(
+                "ssd",
+                capacity_bytes=one_long * KVTIERS_LOWER_FINALS,
+                bandwidth_bytes_per_s=KVTIERS_LINK_BYTES_PER_S,
+            ),
+        )
+    )
+    fleet = build_fleet(
+        model,
+        ["HILOS (8 SmartSSDs)"],
+        store=store,
+        kv_tiers=stack,
+        kv_policy=LRUByRequest(),
+    )
+    scheduler = ClusterScheduler(
+        fleet, ContinuousBatching(serving_throughput.BATCH_SLOTS)
+    )
+    report = scheduler.drain(
+        sample_request_classes(PREEMPTION_REQUESTS, seed=PREEMPTION_SEED),
+        arrivals=PoissonArrivals(rate_per_second=0.02, seed=PREEMPTION_SEED),
+    )
+    step_time = fleet[0].step_time
+    step_time.flush()
+    return report, step_time
+
+
+def _assert_kvtiers_shape(result):
+    report, _ = result
+    assert report.all_completed
+    top, lower = report.kv_tiers
+    assert lower.demoted_bytes > 0, "the gate must exercise the demotion path"
+    assert top.hit_rate < 1.0, "the gate must exercise the spilled-read path"
+    assert report.spilled_decode_seconds > 0
+
+
+def test_serving_kvtiers_cold(benchmark, tmp_path):
+    """Cold tiered drain: the calibration grid is measured in-run."""
+    state = {"round": 0}
+
+    def setup():
+        state["round"] += 1
+        clear_memory_layer()
+        return (CalibrationStore(tmp_path / f"kcold{state['round']}"),), {}
+
+    result = benchmark.pedantic(_kvtiers_drain, setup=setup, rounds=3, iterations=1)
+    _assert_kvtiers_shape(result)
+    assert result[1].measurement_count > 0
+
+
+def test_serving_kvtiers_warm(benchmark, tmp_path):
+    """Warm tiered drain: the store holds the grid, zero measurements --
+    the tier ledger, policy, and movement billing are what's timed."""
+    store_dir = tmp_path / "kwarm"
+    clear_memory_layer()
+    _kvtiers_drain(CalibrationStore(store_dir))
+
+    def setup():
+        clear_memory_layer()
+        return (CalibrationStore(store_dir),), {}
+
+    result = benchmark.pedantic(_kvtiers_drain, setup=setup, rounds=3, iterations=1)
+    _assert_kvtiers_shape(result)
+    assert result[1].measurement_count == 0
+
+
 # --- fleet & request folding ------------------------------------------------
 
 #: The folding benchmark's scenario: a 64-node round-robin fleet draining

@@ -27,7 +27,13 @@ checks are:
   :class:`~repro.serving.budget.BudgetTracker` (occupied bytes never go
   negative; every reservation is released by drain end) and by
   :class:`~repro.serving.cluster.ClusterScheduler` (fleet report token and
-  request counts must equal the sum of the per-node outcomes).
+  request counts must equal the sum of the per-node outcomes);
+* **tier-conservation** -- enforced by
+  :class:`~repro.serving.kvtiers.TieredBudgetTracker` on tiered nodes:
+  per-tier occupancy never exceeds the tier's capacity and never goes
+  negative, every request's tier residency sums to its flat-ledger entry,
+  and releases -- including node-death migrations -- drain every tier the
+  request touched.
 
 This module sits below the simulation layers on purpose: it imports only
 :mod:`repro.errors`, so :mod:`repro.sim.engine` and

@@ -52,6 +52,7 @@ from repro.experiments import (
     fig16_cost_endurance,
     fig17_energy_multinode,
     fig18_accuracy,
+    kvtier_sweep,
     serving_throughput,
     table3_resources,
 )
@@ -73,6 +74,7 @@ EXPERIMENTS = {
     "estimator": estimator_correlation,
     "future-csd": discussion_future_csd,
     "serving": serving_throughput,
+    "kvtiers": kvtier_sweep,
 }
 
 def _supported_kwargs(module, kwargs: dict) -> dict:

@@ -27,9 +27,12 @@ seeded node
 failures (spot preemption / crash / slowdown) into the drain, with
 per-node migration and downtime accounting in the breakdown,
 ``--overload SPEC`` bounds admission (shed / retry-with-backoff / park,
-with shed/retry/goodput accounting), and ``--autoscale SPEC`` hands the
+with shed/retry/goodput accounting), ``--autoscale SPEC`` hands the
 fleet to a reactive autoscaler whose scale decisions land in a fourth
-scale-event table.
+scale-event table, and ``--kv-tiers SPEC --kv-policy SPEC`` mounts a
+tiered KV hierarchy (HBM/DRAM/SSD stack with demotion/promotion billed
+at tier bandwidths) on every node, with a per-tier traffic/hit-rate
+table.
 """
 
 from __future__ import annotations
@@ -49,9 +52,10 @@ from repro.serving.cluster import (
     build_fleet,
 )
 from repro.serving.faults import parse_fault_spec
+from repro.serving.kvtiers import parse_kv_policy_spec, parse_kv_tiers_spec
 from repro.serving.overload import parse_overload_spec
 from repro.serving.policies import ADMISSION_MODES
-from repro.serving.routers import ROUTER_SPECS, parse_router_spec
+from repro.serving.routers import parse_router_spec
 from repro.serving.steptime import (
     DEFAULT_BATCH_GRID,
     DEFAULT_SEQ_GRID,
@@ -96,6 +100,8 @@ def run(
     faults: str | None = None,
     overload: str | None = None,
     autoscale: str | None = None,
+    kv_tiers: str | None = None,
+    kv_policy: str | None = None,
 ) -> list[Table]:
     """Drain one seeded queue through every (system, policy) pair.
 
@@ -125,6 +131,13 @@ def run(
     schedule routes the drain through the cluster path (even one node)
     and the per-node table reports migrations and downtime.
 
+    ``kv_tiers`` is a tier-stack spec (``hbm:CAP,dram:CAP:BW,ssd:CAP:BW``)
+    mounting a tiered KV hierarchy on every node, and ``kv_policy``
+    (``lru`` | ``attention[:HOT]`` | ``static:ALPHA``) its
+    demotion/placement policy (default LRU-by-request); tier stacks
+    route the drain through the cluster path and add a per-tier
+    traffic/hit-rate table.
+
     ``overload`` is an overload-control spec (``shed:QDEPTH[:TPS]``,
     ``retry:QDEPTH[:TPS[:ATTEMPTS[:SEED]]]``,
     ``park:QDEPTH[:TPS[:DEADLINE_S]]``; ``-`` leaves a bound unset) and
@@ -142,6 +155,12 @@ def run(
     fault_schedule = parse_fault_spec(faults, seed=seed)
     overload_control = parse_overload_spec(overload, seed=seed)
     autoscale_policy = parse_autoscale_spec(autoscale, seed=seed)
+    tier_stack = parse_kv_tiers_spec(kv_tiers) if kv_tiers else None
+    tier_policy = parse_kv_policy_spec(kv_policy) if kv_policy else None
+    if tier_policy is not None and tier_stack is None:
+        raise ConfigurationError(
+            "--kv-policy needs a tier stack to govern (--kv-tiers)"
+        )
     fleet_nodes = nodes
     if autoscale_policy is not None:
         fleet_nodes = max(nodes, autoscale_policy.max_nodes)
@@ -150,6 +169,7 @@ def run(
         or fault_schedule is not None
         or overload_control is not None
         or autoscale_policy is not None
+        or tier_stack is not None
     )
     arrivals = parse_arrival_spec(arrival, seed=seed)
     if isinstance(arrivals, TraceReplay) and arrivals.classes is not None:
@@ -177,6 +197,8 @@ def run(
         fleet_suffix += f", overload: {overload}"
     if autoscale_policy is not None:
         fleet_suffix += f", autoscale: {autoscale}"
+    if tier_stack is not None:
+        fleet_suffix += f", kv tiers: {kv_tiers} ({kv_policy or 'lru'})"
     table = Table(
         title=f"Serving throughput ({MODEL}, {n_requests} mixed requests, "
         f"arrivals: {scenario}{fleet_suffix})",
@@ -248,6 +270,29 @@ def run(
         if fleet_mode
         else None
     )
+    tier_table = (
+        Table(
+            title=f"KV tier usage (stack: {kv_tiers}, "
+            f"policy: {kv_policy or 'lru'})",
+            columns=[
+                "system",
+                "policy",
+                "tier",
+                "capacity_gb",
+                "peak_gb",
+                "demoted_gb",
+                "promoted_gb",
+                "decode_read_gb",
+                "hit_rate",
+            ],
+            notes="fleet-merged per-tier traffic; hit_rate is the share of "
+            "decode KV reads served by this tier (top-tier reads are the "
+            "hits); demotion/promotion bytes were billed through the "
+            "simulation at the tier's bandwidth",
+        )
+        if tier_stack is not None
+        else None
+    )
     scale_table = (
         Table(
             title=f"Autoscaler scale events (policy: {autoscale})",
@@ -279,6 +324,8 @@ def run(
                 seq_grid=seq_grid,
                 symmetry=symmetry,
                 prefill_chunk_tokens=prefill_chunk,
+                kv_tiers=tier_stack,
+                kv_policy=tier_policy,
             )
             step_time = fleet[0].step_time  # shared across the symmetric fleet
             prewarmed = step_time.prewarm()
@@ -347,6 +394,19 @@ def run(
                         breakdown.migrations,
                         breakdown.downtime_seconds,
                     )
+            if tier_table is not None:
+                for tier in report.kv_tiers:
+                    tier_table.add_row(
+                        report.system,
+                        report.policy,
+                        tier.tier,
+                        tier.capacity_bytes / 1e9,
+                        tier.peak_occupied_bytes / 1e9,
+                        tier.demoted_bytes / 1e9,
+                        tier.promoted_bytes / 1e9,
+                        tier.decode_read_bytes / 1e9,
+                        tier.hit_rate,
+                    )
             if scale_table is not None:
                 for event in report.scale_events:
                     scale_table.add_row(
@@ -375,6 +435,8 @@ def run(
     tables = [table, calibration]
     if fleet_mode:
         tables.append(per_node)
+    if tier_table is not None:
+        tables.append(tier_table)
     if scale_table is not None:
         tables.append(scale_table)
     return tables
@@ -437,10 +499,11 @@ def add_serving_cli(parser: argparse.ArgumentParser) -> None:
         "ineligible); only meaningful with --nodes > 1",
     )
     parser.add_argument(
-        "--router", choices=sorted(ROUTER_SPECS), default=None,
+        "--router", type=str, default=None, metavar="SPEC",
         help="fleet placement policy: rr (round-robin), jsq (join the "
         "shortest queue by outstanding tokens), bestfit (KV-headroom "
-        "best fit); only meaningful with --nodes > 1",
+        "best fit), wrr:W0,W1,... (weighted round-robin, one integer "
+        "weight per node); only meaningful with --nodes > 1",
     )
     parser.add_argument(
         "--faults", type=str, default=None, metavar="SPEC",
@@ -457,6 +520,23 @@ def add_serving_cli(parser: argparse.ArgumentParser) -> None:
         "exponential backoff, shed on exhaustion), "
         "park:QDEPTH[:TPS[:DEADLINE_S]] (wait for capacity, shed past "
         "the deadline); '-' leaves a bound unset (default: none)",
+    )
+    parser.add_argument(
+        "--kv-tiers", type=str, default=None, metavar="SPEC",
+        help="tiered KV hierarchy on every node: NAME:CAP for the top tier "
+        "then NAME:CAP:BW per lower tier, comma-separated "
+        "(hbm:40g,dram:256g:50g,ssd:2t:8g; capacities/bandwidths take "
+        "k/m/g/t suffixes); admission budgets become the stack total and "
+        "KV movement is billed at tier bandwidths (default: flat budget)",
+    )
+    parser.add_argument(
+        "--kv-policy", type=str, default=None, metavar="SPEC",
+        help="tier demotion/placement policy: lru (demote "
+        "least-recently-admitted requests whole; default), "
+        "attention[:HOT_FRACTION] (keep the attention-hot KV prefix in "
+        "the top tier, demote the cold tail), static:ALPHA (place a "
+        "fixed ALPHA share below the top tier at admission, no "
+        "promotion); needs --kv-tiers",
     )
     parser.add_argument(
         "--autoscale", type=str, default=None, metavar="SPEC",
@@ -513,7 +593,25 @@ def serving_kwargs(parser: argparse.ArgumentParser, args: argparse.Namespace) ->
             autoscale_policy is None or autoscale_policy.max_nodes <= 1
         ):
             parser.error("--router requires --nodes > 1 (a fleet to route over)")
+        try:
+            parse_router_spec(args.router)
+        except ConfigurationError as exc:
+            parser.error(str(exc))
         kwargs["router"] = args.router
+    if getattr(args, "kv_policy", None) is not None and (
+        getattr(args, "kv_tiers", None) is None
+    ):
+        parser.error("--kv-policy needs a tier stack to govern (--kv-tiers)")
+    if getattr(args, "kv_tiers", None) is not None:
+        try:
+            parse_kv_tiers_spec(args.kv_tiers)
+            if getattr(args, "kv_policy", None) is not None:
+                parse_kv_policy_spec(args.kv_policy)
+        except ConfigurationError as exc:
+            parser.error(str(exc))
+        kwargs["kv_tiers"] = args.kv_tiers
+        if getattr(args, "kv_policy", None) is not None:
+            kwargs["kv_policy"] = args.kv_policy
     if getattr(args, "faults", None) is not None:
         try:
             schedule = parse_fault_spec(args.faults)

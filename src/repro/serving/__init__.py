@@ -29,6 +29,19 @@ requests migrate recompute-on-migrate, and the report prices downtime --
 ``ClusterScheduler(nodes, policy, router=..., faults=parse_fault_spec(
 "spot:900:60"))``.
 
+Nodes can mount a tiered KV hierarchy (:mod:`repro.serving.kvtiers`):
+``Node(system, kv_tiers=parse_kv_tiers_spec("hbm:40g,ssd:2t:8g"),
+kv_policy=parse_kv_policy_spec("lru"))`` splits the cache home into an
+HBM/DRAM/CXL/SmartSSD stack with byte capacities and movement
+bandwidths.  Admission still sees one flat budget (the stack total --
+single-tier stacks price byte-identically to the flat tracker), but a
+:class:`~repro.serving.kvtiers.TierPolicy` (LRU-by-request,
+attention-aware partial-KV demotion, or a static offload split) decides
+which requests' KV spills below the top tier; demotion/promotion traffic
+is billed through the simulation at tier bandwidths and decode steps pay
+a spilled-KV read surcharge.  Reports grow per-tier
+:class:`~repro.serving.kvtiers.TierReport` traffic/hit-rate lines.
+
 Overload control bounds admission at the dispatcher
 (:mod:`repro.serving.overload`): ``overload=parse_overload_spec(
 "retry:32")`` parks, retries with seeded backoff, or sheds over-limit
@@ -118,12 +131,26 @@ from repro.serving.faults import (
     SpotPreemptions,
     parse_fault_spec,
 )
+from repro.serving.kvtiers import (
+    AttentionAwareDemotion,
+    KVTier,
+    LRUByRequest,
+    StaticSplit,
+    TieredBudgetTracker,
+    TierPolicy,
+    TierStack,
+    parse_kv_policy_spec,
+    parse_kv_tiers_spec,
+)
 from repro.serving.metrics import (
     NodeBreakdown,
     ServingReport,
+    TierReport,
+    merge_tier_reports,
     percentile,
     system_cost_model,
     uptime_billing,
+    weighted_percentile,
 )
 from repro.serving.overload import (
     OverloadControl,
@@ -149,6 +176,7 @@ from repro.serving.routers import (
     LeastOutstandingTokens,
     RoundRobin,
     Router,
+    WeightedRoundRobin,
     parse_router_spec,
 )
 from repro.serving.scheduler import OfflineServingScheduler, drain_queue
@@ -162,6 +190,7 @@ __all__ = [
     "AllAtOnce",
     "AnalyticStepTime",
     "ArrivalProcess",
+    "AttentionAwareDemotion",
     "AutoscalePolicy",
     "Autoscaler",
     "BatchedArrivals",
@@ -175,6 +204,8 @@ __all__ = [
     "FLEET_SYMMETRY_MODES",
     "FaultSchedule",
     "FixedRateArrivals",
+    "KVTier",
+    "LRUByRequest",
     "LeastOutstandingTokens",
     "LengthBucketedBatch",
     "Node",
@@ -192,9 +223,15 @@ __all__ = [
     "ServingRequest",
     "ShedRequest",
     "SpotPreemptions",
+    "StaticSplit",
     "StepTimeModel",
+    "TierPolicy",
+    "TierReport",
+    "TierStack",
+    "TieredBudgetTracker",
     "TokenRateThrottle",
     "TraceReplay",
+    "WeightedRoundRobin",
     "as_request_queue",
     "build_fleet",
     "capacity_budget_for",
@@ -202,13 +239,17 @@ __all__ = [
     "drain_queue",
     "fold_identical_runs",
     "make_request_queue",
+    "merge_tier_reports",
     "parse_arrival_spec",
     "parse_autoscale_spec",
     "parse_fault_spec",
+    "parse_kv_policy_spec",
+    "parse_kv_tiers_spec",
     "parse_overload_spec",
     "parse_router_spec",
     "percentile",
     "system_cost_model",
     "total_weight",
     "uptime_billing",
+    "weighted_percentile",
 ]

@@ -12,6 +12,14 @@ budget is derived from the same placement rules
   staging/double-buffering overhead factor;
 * storage- and NSP-resident caches get the aggregate flash capacity of the
   drive array, minus weights for >100B models whose weights live on flash.
+
+The :class:`BudgetTracker` ledger here is *flat*: one capacity number, no
+distinction between where within the cache home a request's bytes live.
+Nodes configured with a KV tier stack swap in
+:class:`~repro.serving.kvtiers.TieredBudgetTracker`, which keeps this
+ledger's arithmetic byte-for-byte (the flat budget becomes the stack
+total) while additionally tracking per-tier residency, demotion/promotion
+traffic, and spilled-decode read time.
 """
 
 from __future__ import annotations

@@ -204,6 +204,28 @@ def check_report_conservation(
             invariant="migration-conservation",
             sim_time=sim_time,
         )
+    # Tier conservation at the report boundary: the fleet's spilled-decode
+    # total and merged per-tier shares must equal the per-node sums, and no
+    # node may report a tier peak above the tier's capacity (the tracker
+    # enforces this live; the report check catches hand-built reports).
+    node_spilled = sum(node.spilled_decode_seconds for node in report.node_reports)
+    if abs(node_spilled - report.spilled_decode_seconds) > 1e-6:
+        raise SanitizerError(
+            f"fleet report carries {report.spilled_decode_seconds} spilled "
+            f"decode seconds but the node breakdowns sum to {node_spilled}",
+            invariant="tier-conservation",
+            sim_time=sim_time,
+        )
+    for node in report.node_reports:
+        for tier in node.kv_tiers:
+            if tier.peak_occupied_bytes > tier.capacity_bytes * (1 + 1e-9) + 1e-6:
+                raise SanitizerError(
+                    f"node {node.node!r} tier {tier.tier!r} peaked at "
+                    f"{tier.peak_occupied_bytes} bytes over its "
+                    f"{tier.capacity_bytes}-byte capacity",
+                    invariant="tier-conservation",
+                    sim_time=sim_time,
+                )
     # Fold conservation: a representative (folded) drain must unfold every
     # weighted request back to plain members before reporting -- the queue's
     # member count is exactly n_requests, so any weight left above 1 (or
@@ -361,6 +383,11 @@ class ClusterScheduler:
             )
         if not self.router.load_oblivious:
             return f"router {self.router.name!r} routes on live node load"
+        if any(node.kv_tiers is not None for node in self.nodes):
+            return (
+                "tiered KV nodes track per-request tier residency, which "
+                "weighted representatives cannot mirror"
+            )
         first = self.nodes[0]
         for node in self.nodes[1:]:
             if node.system is not first.system:
@@ -495,6 +522,8 @@ class ClusterScheduler:
                 downtime_seconds=engine.downtime_seconds,
                 shed_requests=engine.shed_requests,
                 shed_retry_attempts=engine.shed_retry_attempts,
+                kv_tiers=engine.tier_reports(),
+                spilled_decode_seconds=engine.spilled_decode_seconds,
             )
             for engine in engines
         )
@@ -791,6 +820,8 @@ def build_fleet(
     seq_grid: tuple[int, ...] | None = None,
     symmetry: str = "auto",
     prefill_chunk_tokens: int | None = None,
+    kv_tiers=None,
+    kv_policy=None,
 ) -> list[Node]:
     """Build a fleet from system labels, one node per label entry.
 
@@ -802,6 +833,12 @@ def build_fleet(
     cost is per distinct label, not per node -- and warm stores make even
     heterogeneous fleets start measurement-free.  Nodes are named
     ``node0`` .. ``nodeN-1`` in label order.
+
+    ``kv_tiers`` (a :class:`~repro.serving.kvtiers.TierStack`) gives every
+    node that tier stack instead of the flat system budget, with
+    ``kv_policy`` selecting the eviction/offload policy; the frozen stack
+    and the (stateless) policy are shared across nodes -- each engine
+    still builds its own per-drain tier ledgers.
     """
     from repro.baselines.registry import build_inference_system
     from repro.serving.steptime import CalibratedStepTime
@@ -827,6 +864,8 @@ def build_fleet(
                 step_time=step_time,
                 prefill_chunk_tokens=prefill_chunk_tokens,
                 name=f"node{index}",
+                kv_tiers=kv_tiers,
+                kv_policy=kv_policy,
             )
         )
     return nodes

@@ -68,6 +68,7 @@ from typing import Iterable
 from repro.baselines.base import InferenceSystem
 from repro.errors import ConfigurationError, SchedulingError
 from repro.serving.budget import BudgetTracker, CapacityBudget, capacity_budget_for
+from repro.serving.kvtiers import TieredBudgetTracker, TierPolicy, TierStack
 from repro.serving.policies import SchedulingPolicy
 from repro.serving.request import (
     ServingRequest,
@@ -98,14 +99,32 @@ class Node:
         budget: CapacityBudget | None = None,
         prefill_chunk_tokens: int | None = None,
         name: str | None = None,
+        kv_tiers: TierStack | None = None,
+        kv_policy: TierPolicy | None = None,
     ) -> None:
         if prefill_chunk_tokens is not None and prefill_chunk_tokens < 1:
             raise ConfigurationError("prefill chunk size must be >= 1 token")
         self.system = system
         self.step_time = step_time or CalibratedStepTime(system)
-        self.budget = budget or capacity_budget_for(system)
-        self.prefill_chunk_tokens = prefill_chunk_tokens
         self.name = name or system.name
+        if kv_tiers is not None:
+            if budget is not None:
+                raise ConfigurationError(
+                    f"node {self.name!r} got both a flat budget and a KV tier "
+                    "stack; a tiered node's budget is the stack's total "
+                    "capacity"
+                )
+            self.budget = kv_tiers.capacity_budget(self.name)
+        else:
+            if kv_policy is not None:
+                raise ConfigurationError(
+                    f"node {self.name!r} got a KV policy without a tier "
+                    "stack; pass kv_tiers alongside kv_policy"
+                )
+            self.budget = budget or capacity_budget_for(system)
+        self.kv_tiers = kv_tiers
+        self.kv_policy = kv_policy
+        self.prefill_chunk_tokens = prefill_chunk_tokens
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Node({self.name!r}, system={self.system.name!r})"
@@ -127,12 +146,25 @@ class NodeEngine:
         self.node = node
         self.policy = policy
         self.sim = sim
-        self.tracker = BudgetTracker(
-            budget=node.budget,
-            model=node.system.model,
-            sanitize=sim.sanitizer is not None,
-            owner=node.name,
-        )
+        if node.kv_tiers is not None:
+            self.tracker: BudgetTracker = TieredBudgetTracker.for_stack(
+                stack=node.kv_tiers,
+                model=node.system.model,
+                policy=node.kv_policy,
+                sanitize=sim.sanitizer is not None,
+                owner=node.name,
+            )
+        else:
+            self.tracker = BudgetTracker(
+                budget=node.budget,
+                model=node.system.model,
+                sanitize=sim.sanitizer is not None,
+                owner=node.name,
+            )
+        #: Whether this node tracks a KV tier stack.  Declared once so the
+        #: hot-loop hooks are single attribute tests (the ``_slow_factor``
+        #: pattern) and flat drains stay byte-identical.
+        self.tiered = node.kv_tiers is not None
         #: Requests routed here whose arrival time has not been reached
         #: (preloaded single-node queues only; dispatched requests arrive
         #: due and go straight through to ``waiting`` at the next loop top).
@@ -268,7 +300,10 @@ class NodeEngine:
         Every evicted request's ledger entry is released *here*, before any
         re-admission elsewhere (the sanitizer's ``migration-kv-release``
         invariant), and the requests leave :attr:`assigned` so each request
-        is accounted by exactly one node's breakdown.
+        is accounted by exactly one node's breakdown.  On tiered nodes the
+        release drains every tier the request's KV touched (the
+        ``tier-conservation`` invariant) -- migration never strands spilled
+        bytes.
         """
         self._death_pending = False
         self._scale_down = False
@@ -426,6 +461,38 @@ class NodeEngine:
             <= self.kv_headroom_bytes
         )
 
+    @property
+    def top_tier_headroom_bytes(self) -> float:
+        """Compute-tier headroom -- the tier-aware best-fit ranking signal.
+
+        Flat nodes have a single implicit tier, so this equals
+        :attr:`kv_headroom_bytes` and tier-aware routing ranks exactly as
+        before.  Tiered nodes report the *top* tier's capacity minus its
+        live occupancy minus the hot share of queued commitments -- the
+        bytes that will actually contend for the compute tier, so best-fit
+        packs hot sets instead of total stack bytes.
+        """
+        if not self.tiered:
+            return self.kv_headroom_bytes
+        return self.tracker.top_headroom_for_routing(
+            list(self.pending) + list(self.waiting)
+        )
+
+    # --- tier reporting views ----------------------------------------------------
+
+    def tier_reports(self) -> tuple:
+        """Per-tier occupancy/movement shares (empty for flat nodes)."""
+        if not self.tiered:
+            return ()
+        return self.tracker.tier_reports()
+
+    @property
+    def spilled_decode_seconds(self) -> float:
+        """Extra decode seconds spilled-attention reads cost this node."""
+        if not self.tiered:
+            return 0.0
+        return self.tracker.spilled_decode_seconds
+
     # --- work delivery ---------------------------------------------------------
 
     def preload(self, requests: Iterable[ServingRequest]) -> None:
@@ -508,6 +575,12 @@ class NodeEngine:
                     self.prefilling
                 )
             progressed = bool(admitted)
+            if self.tiered:
+                # Admission placement may have demoted resident KV to make
+                # top-tier room; bill that movement before prefill starts.
+                # Zero movement yields nothing, so a single-tier stack adds
+                # no events and stays byte-identical to the flat path.
+                yield from self._bill_kv_movement()
             if self.prefilling:
                 yield sim.timeout(self._prefill_chunk_seconds())
                 self._advance_prefill(optimistic)
@@ -517,6 +590,12 @@ class NodeEngine:
                 if optimistic:
                     self._resolve_overflow()
                 if self.running:
+                    if self.tiered:
+                        # Pull spilled KV back into top-tier headroom (the
+                        # policy may decline) and bill the promotions before
+                        # the iteration they accelerate.
+                        self.tracker.promote_for_decode(self.running)
+                        yield from self._bill_kv_movement()
                     yield sim.timeout(self._iteration_seconds())
                     for request in self.running:
                         request.tokens_generated += 1
@@ -662,10 +741,30 @@ class NodeEngine:
             context = round(
                 sum(r.weight * r.context_tokens for r in running) / members
             )
-        return (
+        seconds = (
             self.node.step_time.step_seconds(batch, max(1, context))
             * self._slow_factor
         )
+        if self.tiered:
+            # Offloaded attention: KV resident below the compute tier is
+            # re-read at the holding tier's near-storage rate.  Zero spill
+            # adds nothing, so fully-resident batches are untouched.
+            extra = self.tracker.spill_read_seconds(running, self.node.step_time)
+            if extra > 0.0:
+                seconds += extra * self._slow_factor
+        return seconds
+
+    def _bill_kv_movement(self):
+        """Yield one timeout for accumulated tier transfers (tiered only).
+
+        Demotions and promotions accumulate seconds on the tracker; this
+        drains the bill into a single simulated wait so all KV movement is
+        paid through the DES.  No movement yields nothing, keeping the
+        event sequence identical to a flat drain.
+        """
+        seconds = self.tracker.consume_transfer_seconds()
+        if seconds > 0.0:
+            yield self.sim.timeout(seconds * self._slow_factor)
 
     def _retire_finished(self) -> None:
         for request in [

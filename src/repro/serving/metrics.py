@@ -27,6 +27,47 @@ def percentile(values: list[float], fraction: float) -> float:
     return ordered[rank - 1]
 
 
+def weighted_percentile(
+    values: list[float], weights: list[int], fraction: float
+) -> float:
+    """Nearest-rank percentile of the weight-expanded multiset.
+
+    Equivalent to :func:`percentile` over ``values`` with each entry
+    repeated ``weights[i]`` times, computed by rank selection over the
+    sorted ``(value, weight)`` pairs without materialising the expansion.
+    This is the fold-aware SLO path: folded representatives carry their
+    member count as :attr:`~repro.serving.request.ServingRequest.weight`,
+    so percentiles over weighted representatives match the unfolded
+    distribution exactly (property-tested in
+    ``tests/serving/test_fleet_folding.py``).  With every weight 1 this
+    degenerates to :func:`percentile`.
+    """
+    if len(values) != len(weights):
+        raise SchedulingError(
+            f"weighted percentile got {len(values)} values but "
+            f"{len(weights)} weights"
+        )
+    if not values:
+        raise SchedulingError("percentile of an empty sample")
+    if not 0.0 < fraction <= 1.0:
+        raise SchedulingError(f"percentile fraction {fraction} outside (0, 1]")
+    total = 0
+    for weight in weights:
+        if weight < 1:
+            raise SchedulingError(
+                f"weighted percentile needs positive weights, got {weight!r}"
+            )
+        total += weight
+    rank = max(1, math.ceil(fraction * total))
+    ordered = sorted(zip(values, weights))
+    accumulated = 0
+    for value, weight in ordered:
+        accumulated += weight
+        if accumulated >= rank:
+            return value
+    return ordered[-1][0]
+
+
 def system_cost_model(system: InferenceSystem) -> CostModel:
     """Price a system from its hardware config (host, GPU, drives, chassis)."""
     hardware = system.hardware_config()
@@ -63,6 +104,66 @@ def uptime_billing(
             "makespan; uptime fraction clamped to 0, billed $0"
         )
     return cost_usd * fraction, None
+
+
+@dataclass(frozen=True)
+class TierReport:
+    """One KV tier's share of a drain (tiered nodes only).
+
+    ``hit_rate`` is this tier's fraction of the decode-iteration KV read
+    bytes -- every running request re-reads its current KV each iteration,
+    and the share resident below the top tier is what the offloaded-
+    attention surcharge billed (``spilled_decode_seconds`` on the owning
+    breakdown).  ``demoted_bytes`` counts pressure-driven movement *into*
+    the tier, ``promoted_bytes`` movement *out of* it back to the top.
+    """
+
+    tier: str
+    capacity_bytes: float
+    peak_occupied_bytes: float
+    demoted_bytes: float
+    promoted_bytes: float
+    decode_read_bytes: float
+    hit_rate: float
+
+
+def merge_tier_reports(
+    node_reports: tuple["NodeBreakdown", ...],
+) -> tuple[TierReport, ...]:
+    """Merge per-node tier shares into fleet-wide per-tier totals.
+
+    Tiers merge by name in first-seen stack order; hit rates are
+    recomputed over the fleet-wide read bytes.  Flat nodes contribute
+    nothing, so a mixed flat/tiered fleet reports only the tiered share.
+    """
+    order: list[str] = []
+    totals: dict[str, list[float]] = {}
+    for node in node_reports:
+        for tier in node.kv_tiers:
+            if tier.tier not in totals:
+                order.append(tier.tier)
+                totals[tier.tier] = [0.0, 0.0, 0.0, 0.0, 0.0]
+            entry = totals[tier.tier]
+            entry[0] += tier.capacity_bytes
+            entry[1] += tier.peak_occupied_bytes
+            entry[2] += tier.demoted_bytes
+            entry[3] += tier.promoted_bytes
+            entry[4] += tier.decode_read_bytes
+    total_reads = sum(entry[4] for entry in totals.values())
+    return tuple(
+        TierReport(
+            tier=name,
+            capacity_bytes=totals[name][0],
+            peak_occupied_bytes=totals[name][1],
+            demoted_bytes=totals[name][2],
+            promoted_bytes=totals[name][3],
+            decode_read_bytes=totals[name][4],
+            hit_rate=(
+                totals[name][4] / total_reads if total_reads > 0.0 else 0.0
+            ),
+        )
+        for name in order
+    )
 
 
 @dataclass(frozen=True)
@@ -111,6 +212,12 @@ class NodeBreakdown:
     goodput_tokens_per_s: float = 0.0
     #: Structured uptime-billing caveat (degenerate drains only).
     billing_note: str | None = None
+    #: Per-tier occupancy/movement/hit-rate shares (tiered nodes only;
+    #: see :class:`TierReport`).  Empty for flat-budget nodes.
+    kv_tiers: tuple = ()
+    #: Extra decode seconds this node's spilled-attention reads cost
+    #: (near-storage rate for KV resident below the top tier).
+    spilled_decode_seconds: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -185,6 +292,11 @@ class ServingReport:
     scale_events: tuple = field(default=(), repr=False)
     #: Per-node uptime-billing caveats, as ``"node: note"`` strings.
     billing_notes: tuple = ()
+    #: Fleet-merged per-tier KV shares (tiered drains only; tiers merge by
+    #: name across nodes, hit rates over fleet-wide reads).
+    kv_tiers: tuple = ()
+    #: Summed extra decode seconds spilled-attention reads cost the fleet.
+    spilled_decode_seconds: float = 0.0
 
     @property
     def all_completed(self) -> bool:
@@ -225,6 +337,7 @@ def build_report(
     if makespan_seconds <= 0:
         raise SchedulingError("drain makespan must be positive")
     latencies = [r.latency_seconds for r in finished]
+    weights = [r.weight for r in finished]
     queueing = [r.queueing_seconds for r in finished]
     generated = sum(r.tokens_generated for r in finished)
     tokens_per_second = generated / makespan_seconds
@@ -238,9 +351,9 @@ def build_report(
         generated_tokens=generated,
         tokens_per_second=tokens_per_second,
         mean_latency_seconds=sum(latencies) / len(latencies),
-        p95_latency_seconds=percentile(latencies, 0.95),
-        p50_latency_seconds=percentile(latencies, 0.50),
-        p99_latency_seconds=percentile(latencies, 0.99),
+        p95_latency_seconds=weighted_percentile(latencies, weights, 0.95),
+        p50_latency_seconds=weighted_percentile(latencies, weights, 0.50),
+        p99_latency_seconds=weighted_percentile(latencies, weights, 0.99),
         mean_queueing_seconds=sum(queueing) / len(queueing),
         peak_kv_reserved_bytes=peak_kv_reserved_bytes,
         kv_capacity_bytes=kv_capacity_bytes,
@@ -263,6 +376,10 @@ def build_report(
             for n in node_reports
             if n.billing_note is not None
         ),
+        kv_tiers=merge_tier_reports(node_reports),
+        spilled_decode_seconds=sum(
+            n.spilled_decode_seconds for n in node_reports
+        ),
     )
 
 
@@ -278,6 +395,8 @@ def node_breakdown(
     downtime_seconds: float = 0.0,
     shed_requests: int = 0,
     shed_retry_attempts: int = 0,
+    kv_tiers: tuple = (),
+    spilled_decode_seconds: float = 0.0,
 ) -> NodeBreakdown:
     """Summarise one node's share of a drain into a :class:`NodeBreakdown`.
 
@@ -292,6 +411,7 @@ def node_breakdown(
     finished = [r for r in assigned if r.finished]
     generated = sum(r.tokens_generated for r in finished)
     latencies = [r.latency_seconds for r in finished]
+    weights = [r.weight for r in finished]
     cost_usd, billing_note = uptime_billing(
         system_cost_model(system).total_usd(), downtime_seconds, makespan_seconds
     )
@@ -312,9 +432,15 @@ def node_breakdown(
         preemptions=sum(r.preemption_count for r in assigned),
         wasted_prefill_tokens=sum(r.wasted_prefill_tokens for r in assigned),
         cost_usd=cost_usd,
-        p50_latency_seconds=percentile(latencies, 0.50) if latencies else 0.0,
-        p95_latency_seconds=percentile(latencies, 0.95) if latencies else 0.0,
-        p99_latency_seconds=percentile(latencies, 0.99) if latencies else 0.0,
+        p50_latency_seconds=(
+            weighted_percentile(latencies, weights, 0.50) if latencies else 0.0
+        ),
+        p95_latency_seconds=(
+            weighted_percentile(latencies, weights, 0.95) if latencies else 0.0
+        ),
+        p99_latency_seconds=(
+            weighted_percentile(latencies, weights, 0.99) if latencies else 0.0
+        ),
         migrations=migrations,
         migrated_recompute_tokens=migrated_recompute_tokens,
         downtime_seconds=downtime_seconds,
@@ -326,6 +452,8 @@ def node_breakdown(
             generated / makespan_seconds if makespan_seconds > 0 else 0.0
         ),
         billing_note=billing_note,
+        kv_tiers=tuple(kv_tiers),
+        spilled_decode_seconds=spilled_decode_seconds,
     )
 
 
@@ -357,6 +485,7 @@ def build_fleet_report(
     if makespan_seconds <= 0:
         raise SchedulingError("fleet drain makespan must be positive")
     latencies = [r.latency_seconds for r in finished]
+    weights = [r.weight for r in finished]
     queueing = [r.queueing_seconds for r in finished]
     generated = sum(r.tokens_generated for r in finished)
     tokens_per_second = generated / makespan_seconds
@@ -373,13 +502,13 @@ def build_fleet_report(
             sum(latencies) / len(latencies) if latencies else 0.0
         ),
         p95_latency_seconds=(
-            percentile(latencies, 0.95) if latencies else 0.0
+            weighted_percentile(latencies, weights, 0.95) if latencies else 0.0
         ),
         p50_latency_seconds=(
-            percentile(latencies, 0.50) if latencies else 0.0
+            weighted_percentile(latencies, weights, 0.50) if latencies else 0.0
         ),
         p99_latency_seconds=(
-            percentile(latencies, 0.99) if latencies else 0.0
+            weighted_percentile(latencies, weights, 0.99) if latencies else 0.0
         ),
         mean_queueing_seconds=(
             sum(queueing) / len(queueing) if queueing else 0.0
@@ -411,5 +540,9 @@ def build_fleet_report(
             f"{n.node}: {n.billing_note}"
             for n in node_reports
             if n.billing_note is not None
+        ),
+        kv_tiers=merge_tier_reports(node_reports),
+        spilled_decode_seconds=sum(
+            n.spilled_decode_seconds for n in node_reports
         ),
     )

@@ -90,6 +90,17 @@ class ServingRequest:
     #: (see :mod:`repro.serving.overload`); distinct from
     #: :attr:`migration_count`, which counts node-death re-routing.
     retry_attempts: int = 0
+    #: Live per-tier KV residency (tier name -> bytes) while admitted to a
+    #: tiered node -- the same dict the node's
+    #: :class:`~repro.serving.kvtiers.TieredBudgetTracker` maintains, so
+    #: reads are zero-copy; ``None`` on flat nodes and whenever the
+    #: request holds no reservation.  Excluded from equality/repr: it is
+    #: transient tracker state, not an outcome.
+    kv_residency: dict | None = field(default=None, repr=False, compare=False)
+    #: Extra decode seconds this request paid re-reading its spilled KV at
+    #: the near-storage rate (tiered nodes with bytes below the top tier;
+    #: counted at the nominal rate, before slowdown-fault scaling).
+    spilled_decode_seconds: float = 0.0
     #: When admission control shed this request (``None`` if never shed).
     shed_time: float | None = None
     #: Which bound shed it: ``"queue-bound"``, ``"token-rate"``,
@@ -224,6 +235,7 @@ class ServingRequest:
         "retry_attempts",
         "shed_time",
         "shed_reason",
+        "spilled_decode_seconds",
     )
 
     @property

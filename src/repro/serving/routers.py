@@ -23,9 +23,9 @@ from __future__ import annotations
 import abc
 from typing import Sequence
 
-from repro.errors import SchedulingError
+from repro.errors import ConfigurationError, SchedulingError
 from repro.serving.request import ServingRequest
-from repro.serving.specs import spec_error
+from repro.serving.specs import spec_error, spec_int
 
 
 class Router(abc.ABC):
@@ -47,8 +47,9 @@ class Router(abc.ABC):
 
         ``nodes`` are live node views (cluster drains pass
         :class:`~repro.serving.engine.NodeEngine` instances) exposing
-        ``outstanding_tokens``, ``kv_headroom_bytes``, ``kv_fits`` and the
-        underlying ``node``; implementations must return one of them.
+        ``outstanding_tokens``, ``kv_headroom_bytes``,
+        ``top_tier_headroom_bytes``, ``kv_fits`` and the underlying
+        ``node``; implementations must return one of them.
         """
 
     def reset(self) -> None:
@@ -96,6 +97,57 @@ class RoundRobin(Router):
         return [i % n_nodes for i in range(n_requests)]
 
 
+class WeightedRoundRobin(Router):
+    """Cycle the nodes proportionally to integer weights.
+
+    A fleet of unlike nodes (say one 2x-provisioned node next to two
+    stock ones) shards fairly under ``wrr:2,1,1``: the cycle visits node
+    0 twice for every visit to nodes 1 and 2.  The expanded cycle is
+    fixed at construction, so placement depends only on the arrival
+    position -- the router stays load-oblivious and therefore
+    fold-eligible on symmetric (equal-weight) fleets.
+    """
+
+    load_oblivious = True
+
+    def __init__(self, weights: Sequence[int]) -> None:
+        weights = tuple(weights)
+        if not weights or any(w < 1 for w in weights):
+            raise ConfigurationError(
+                f"weighted round-robin needs one positive integer weight "
+                f"per node, got {list(weights)!r}"
+            )
+        self.weights = weights
+        self.name = "wrr:" + ",".join(str(w) for w in weights)
+        self._cycle = tuple(
+            index for index, weight in enumerate(weights) for _ in range(weight)
+        )
+        self._next = 0
+
+    def reset(self) -> None:
+        self._next = 0
+
+    def route(self, request, nodes):
+        if len(nodes) != len(self.weights):
+            raise SchedulingError(
+                f"router {self.name!r} carries {len(self.weights)} weights "
+                f"but was offered {len(nodes)} nodes"
+            )
+        node = nodes[self._cycle[self._next % len(self._cycle)]]
+        self._next += 1
+        return node
+
+    def static_assignments(self, n_requests: int, n_nodes: int) -> list[int]:
+        """Arrival position ``i`` lands on cycle slot ``i % len(cycle)``,
+        from a reset cursor -- exactly the cycle :meth:`route` walks."""
+        if n_nodes != len(self.weights):
+            raise SchedulingError(
+                f"router {self.name!r} carries {len(self.weights)} weights "
+                f"but was asked to place across {n_nodes} nodes"
+            )
+        return [self._cycle[i % len(self._cycle)] for i in range(n_requests)]
+
+
 class LeastOutstandingTokens(Router):
     """Join the shortest queue, measured in tokens of outstanding work.
 
@@ -118,10 +170,15 @@ class BestFitKV(Router):
 
     Among the nodes whose headroom still holds the request's final-context
     KV, pick the one the request fits *tightest* (classic best-fit packing:
-    preserve the big holes for the big requests).  A request no node can
-    hold falls back to the node with the most headroom -- admission-side
-    backpressure (or preemption) then deals with it, exactly as it would
-    on a single machine.
+    preserve the big holes for the big requests).  Fit is judged against
+    total KV headroom, but ranking uses *top-tier* headroom
+    (:attr:`NodeEngine.top_tier_headroom_bytes`): on tiered nodes the two
+    differ, and packing against the fast tier steers requests away from
+    nodes that could only hold them spilled.  On flat nodes the two
+    signals are the same number, so behaviour there is unchanged.  A
+    request no node can hold falls back to the node with the most
+    top-tier headroom -- admission-side backpressure (or preemption) then
+    deals with it, exactly as it would on a single machine.
     """
 
     name = "bestfit-kv"
@@ -138,11 +195,14 @@ class BestFitKV(Router):
         if fitting:
             return min(
                 fitting,
-                key=lambda pair: (pair[1].kv_headroom_bytes - need[pair[0]], pair[0]),
+                key=lambda pair: (
+                    pair[1].top_tier_headroom_bytes - need[pair[0]],
+                    pair[0],
+                ),
             )[1]
         return max(
             enumerate(nodes),
-            key=lambda pair: (pair[1].kv_headroom_bytes, -pair[0]),
+            key=lambda pair: (pair[1].top_tier_headroom_bytes, -pair[0]),
         )[1]
 
 
@@ -157,10 +217,30 @@ ROUTER_SPECS = {
 }
 
 
+#: Grammar shown in router spec errors; ``wrr`` takes its weights inline.
+ROUTER_GRAMMAR = " | ".join(sorted(ROUTER_SPECS)) + " | wrr:W0,W1,..."
+
+
 def parse_router_spec(spec: str) -> Router:
-    """Build a router from a CLI spec (``rr`` | ``jsq`` | ``bestfit``)."""
+    """Build a router from a CLI spec (``rr`` | ``jsq`` | ``bestfit`` |
+    ``wrr:W0,W1,...``)."""
+    head, _, rest = spec.partition(":")
+    if head == "wrr":
+        if not rest:
+            raise spec_error(
+                "router", ROUTER_GRAMMAR, spec, reason="wrr needs weights"
+            )
+        weights = [
+            spec_int(raw, "router", ROUTER_GRAMMAR, spec)
+            for raw in rest.split(",")
+        ]
+        try:
+            return WeightedRoundRobin(weights)
+        except ConfigurationError as exc:
+            raise spec_error("router", ROUTER_GRAMMAR, spec, reason=str(exc)) from None
     try:
         return ROUTER_SPECS[spec]()
     except KeyError:
-        known = " | ".join(sorted(ROUTER_SPECS))
-        raise spec_error("router", known, spec, reason="unknown router") from None
+        raise spec_error(
+            "router", ROUTER_GRAMMAR, spec, reason="unknown router"
+        ) from None

@@ -93,6 +93,23 @@ class StepTimeModel(abc.ABC):
         have nothing to persist and inherit this no-op.
         """
 
+    def spill_read_seconds(
+        self, spilled_bytes: float, bandwidth_bytes_per_s: float
+    ) -> float:
+        """Seconds one decode iteration spends re-reading spilled KV.
+
+        The offloaded-attention step-time mode: KV resident below a tiered
+        node's compute tier is re-read each iteration at the holding
+        tier's near-storage rate (see :mod:`repro.serving.kvtiers`).  The
+        declared default is a pure bandwidth bill, ``bytes / bandwidth``;
+        models that overlap the transfer with compute (the paper's
+        SmartSSD pipelines attention against the flash read) override it
+        -- declared on the interface, never ``getattr``-probed.
+        """
+        if spilled_bytes <= 0.0:
+            return 0.0
+        return spilled_bytes / bandwidth_bytes_per_s
+
 
 class AnalyticStepTime(StepTimeModel):
     """Affine iteration cost: ``base + per_token * seq_len`` per iteration.

@@ -43,9 +43,12 @@ from repro.serving import (
     Node,
     PoissonArrivals,
     RoundRobin,
+    WeightedRoundRobin,
     fold_identical_runs,
     make_request_queue,
+    percentile,
     total_weight,
+    weighted_percentile,
 )
 from repro.serving.autoscale import parse_autoscale_spec
 from repro.serving.cluster import (
@@ -524,6 +527,96 @@ class TestWeightedRequests:
         assert all(r.completion_time == 9.0 for r in queue)
         assert all(r.folded_into is None for r in queue)
         assert rep.folded == []
+
+
+class TestWeightedRoundRobinFolding:
+    """WRR's static placement is fold-eligible; nodes whose slices agree
+    (equal weights) merge into one representative group."""
+
+    def test_unequal_weights_fold_the_equal_weight_nodes(self, system):
+        full = ClusterScheduler(
+            symmetric_fleet(system, 3),
+            ContinuousBatching(4),
+            router=WeightedRoundRobin((2, 1, 1)),
+            fleet_symmetry="full",
+        ).drain([SHORT] * 24)
+        rep = ClusterScheduler(
+            symmetric_fleet(system, 3),
+            ContinuousBatching(4),
+            router=WeightedRoundRobin((2, 1, 1)),
+            fleet_symmetry="representative",
+        ).drain([SHORT] * 24)
+        assert_folded_matches_full(full, rep)
+        # The double-weight node takes twice the requests of the others.
+        assert [n.n_requests for n in rep.node_reports] == [12, 6, 6]
+
+    @pytest.mark.parametrize("seed", [3, 11])
+    def test_equal_weight_wrr_matches_round_robin_folded(self, system, seed):
+        classes = sample_request_classes(24, seed=seed)
+        rr = ClusterScheduler(
+            symmetric_fleet(system, 2),
+            ContinuousBatching(4),
+            router=RoundRobin(),
+            fleet_symmetry="representative",
+        ).drain(list(classes))
+        wrr = ClusterScheduler(
+            symmetric_fleet(system, 2),
+            ContinuousBatching(4),
+            router=WeightedRoundRobin((1, 1)),
+            fleet_symmetry="representative",
+        ).drain(list(classes))
+        assert [r.completion_time for r in rr.requests] == [
+            r.completion_time for r in wrr.requests
+        ]
+
+
+class TestWeightedPercentile:
+    """Fold-aware SLO percentiles: rank selection over the weighted
+    multiset must equal the materialised expansion exactly."""
+
+    @given(
+        pairs=st.lists(
+            st.tuples(
+                st.floats(
+                    min_value=0.0,
+                    max_value=1e6,
+                    allow_nan=False,
+                    allow_infinity=False,
+                ),
+                st.integers(min_value=1, max_value=9),
+            ),
+            min_size=1,
+            max_size=24,
+        ),
+        fraction=st.floats(min_value=0.01, max_value=1.0),
+    )
+    @settings(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_matches_the_expanded_multiset(self, pairs, fraction):
+        values = [value for value, _ in pairs]
+        weights = [weight for _, weight in pairs]
+        expanded = [
+            value for value, weight in pairs for _ in range(weight)
+        ]
+        assert weighted_percentile(values, weights, fraction) == percentile(
+            expanded, fraction
+        )
+
+    def test_unit_weights_degenerate_to_percentile(self):
+        values = [5.0, 1.0, 3.0, 2.0]
+        for fraction in (0.5, 0.95, 0.99, 1.0):
+            assert weighted_percentile(
+                values, [1] * len(values), fraction
+            ) == percentile(values, fraction)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(SchedulingError, match="weights"):
+            weighted_percentile([1.0, 2.0], [1], 0.5)
+        with pytest.raises(SchedulingError, match="empty"):
+            weighted_percentile([], [], 0.5)
+        with pytest.raises(SchedulingError, match="positive weights"):
+            weighted_percentile([1.0], [0], 0.5)
+        with pytest.raises(SchedulingError, match="fraction"):
+            weighted_percentile([1.0], [1], 0.0)
 
 
 class TestReportPercentiles:

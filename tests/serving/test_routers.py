@@ -17,6 +17,7 @@ from repro.serving import (
     NodeEngine,
     RoundRobin,
     Router,
+    WeightedRoundRobin,
     make_request_queue,
     parse_router_spec,
 )
@@ -96,6 +97,52 @@ class TestLoadObliviousness:
         for router in (LeastOutstandingTokens(), BestFitKV()):
             with pytest.raises(SchedulingError, match="load_oblivious=False"):
                 router.static_assignments(4, 2)
+
+
+class TestWeightedRoundRobin:
+    def test_cycles_proportionally_to_weights(self, system):
+        nodes = engines(system, 2)
+        router = WeightedRoundRobin((2, 1))
+        picks = [router.route(request(), nodes) for _ in range(6)]
+        assert [nodes.index(pick) for pick in picks] == [0, 0, 1, 0, 0, 1]
+
+    def test_reset_rewinds_the_cursor(self, system):
+        nodes = engines(system, 2)
+        router = WeightedRoundRobin((2, 1))
+        assert router.route(request(), nodes) is nodes[0]
+        router.route(request(), nodes)
+        router.reset()
+        assert router.route(request(), nodes) is nodes[0]
+
+    def test_is_load_oblivious(self):
+        assert WeightedRoundRobin.load_oblivious is True
+
+    def test_static_assignments_match_the_cycle(self, system):
+        router = WeightedRoundRobin((1, 3))
+        assignments = router.static_assignments(9, 2)
+        assert assignments == [0, 1, 1, 1, 0, 1, 1, 1, 0]
+        nodes = engines(system, 2)
+        router.reset()
+        picks = [router.route(request(), nodes) for _ in range(9)]
+        assert [nodes.index(pick) for pick in picks] == assignments
+
+    def test_equal_weights_match_round_robin(self, system):
+        assert (
+            WeightedRoundRobin((1, 1, 1)).static_assignments(8, 3)
+            == RoundRobin().static_assignments(8, 3)
+        )
+
+    def test_weight_count_must_match_the_fleet(self, system):
+        router = WeightedRoundRobin((2, 1))
+        with pytest.raises(SchedulingError, match="2 weights"):
+            router.route(request(), engines(system, 3))
+        with pytest.raises(SchedulingError, match="2 weights"):
+            router.static_assignments(4, 3)
+
+    @pytest.mark.parametrize("weights", [(), (0, 1), (2, -1)])
+    def test_rejects_non_positive_weights(self, weights):
+        with pytest.raises(ConfigurationError, match="positive integer weight"):
+            WeightedRoundRobin(weights)
 
 
 class TestLeastOutstandingTokens:
@@ -226,6 +273,17 @@ class TestParseRouterSpec:
     def test_unknown_spec_rejected(self):
         with pytest.raises(ConfigurationError, match="unknown router"):
             parse_router_spec("random")
+
+    def test_wrr_spec_carries_its_weights(self):
+        router = parse_router_spec("wrr:2,1")
+        assert isinstance(router, WeightedRoundRobin)
+        assert router.weights == (2, 1)
+        assert router.name == "wrr:2,1"
+
+    @pytest.mark.parametrize("spec", ["wrr", "wrr:", "wrr:0,1", "wrr:2,x"])
+    def test_malformed_wrr_specs_rejected(self, spec):
+        with pytest.raises(ConfigurationError, match="malformed router spec"):
+            parse_router_spec(spec)
 
 
 class TestEngineLoadViews:
